@@ -1,0 +1,48 @@
+//! Criterion benches of the matching substrate: Hopcroft–Karp versus the
+//! two bottleneck (max–min) matching implementations — the paper's Figure 6
+//! incremental algorithm and the threshold binary search OGGP actually uses.
+
+use bipartite::generate::{complete_graph, random_graph, GraphParams};
+use bipartite::{bottleneck, greedy, hopcroft_karp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_maximum_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximum_matching");
+    for &(nodes, edges) in &[(10usize, 100usize), (20, 400), (50, 1000)] {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let params = GraphParams {
+            max_nodes_per_side: nodes,
+            max_edges: edges,
+            weight_range: (1, 100),
+        };
+        let g = random_graph(&mut rng, &params);
+        let label = format!("{nodes}n_{edges}m");
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", &label), &g, |b, g| {
+            b.iter(|| black_box(hopcroft_karp::maximum_matching(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", &label), &g, |b, g| {
+            b.iter(|| black_box(greedy::maximal_matching(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bottleneck(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bottleneck_matching");
+    for n in [8usize, 16, 32] {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = complete_graph(&mut rng, n, n, (1, 1000));
+        group.bench_with_input(BenchmarkId::new("threshold_search", n), &g, |b, g| {
+            b.iter(|| black_box(bottleneck::max_min_matching(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("incremental_fig6", n), &g, |b, g| {
+            b.iter(|| black_box(bottleneck::max_min_matching_incremental(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maximum_matching, bench_bottleneck);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches of the flowsim substrate: the max–min allocator and
+//! full brute-force / scheduled testbed runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowsim::{brute_force_time, fairshare, scheduled_time, NetworkSpec, SimConfig, TcpModel};
+use kpbs::traffic::TickScale;
+use kpbs::{oggp, Platform, TrafficMatrix};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_fairshare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fairshare");
+    for n in [10usize, 100, 400] {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let nodes = 20;
+        let flows: Vec<(usize, usize)> = (0..n)
+            .map(|_| (rng.gen_range(0..nodes), rng.gen_range(0..nodes)))
+            .collect();
+        let caps = vec![100.0; nodes];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &flows, |b, flows| {
+            b.iter(|| black_box(fairshare::max_min_rates(flows, &caps, &caps, 500.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_testbed_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testbed");
+    group.sample_size(20);
+    let platform = Platform::testbed(5);
+    let spec = NetworkSpec::from_platform(&platform);
+    let mut rng = SmallRng::seed_from_u64(6);
+    let traffic = TrafficMatrix::uniform_mb(&mut rng, 10, 10, 10, 30);
+    let cfg = SimConfig {
+        tcp: TcpModel::default(),
+        seed: 1,
+        record_trace: false,
+    };
+    group.bench_function("brute_force_100_flows", |b| {
+        b.iter(|| black_box(brute_force_time(&traffic, &spec, &cfg)))
+    });
+
+    let (inst, endpoints) = traffic.to_instance(&platform, 0.05, TickScale::MILLIS);
+    let schedule = oggp(&inst);
+    group.bench_function("scheduled_oggp", |b| {
+        b.iter(|| {
+            black_box(scheduled_time(
+                &traffic, &inst, &endpoints, &schedule, &spec, 0.05, &cfg,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fairshare, bench_testbed_runs);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Shared helpers for the figure-regeneration binaries and criterion
+//! benches: tiny CLI parsing and table printing (kept dependency-free).
+
+/// Parses `--name value` style options from `std::env::args`, falling back
+/// to `default` when absent or malformed.
+pub fn arg_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == format!("--{name}") {
+            if let Some(v) = args.next() {
+                if let Ok(parsed) = v.parse() {
+                    return parsed;
+                }
+            }
+        }
+    }
+    default
+}
+
+/// True when `--name` is present as a flag.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+/// Prints a row of right-aligned cells of width 12 (first cell width 8).
+pub fn row(cells: &[String]) {
+    let mut line = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i == 0 {
+            line.push_str(&format!("{c:>8}"));
+        } else {
+            line.push_str(&format!("{c:>12}"));
+        }
+    }
+    println!("{line}");
+}
+
+/// Formats a float with 4 decimals.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_default_when_missing() {
+        assert_eq!(arg_or("definitely-not-passed", 42usize), 42);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f4(1.23456), "1.2346");
+        assert_eq!(f2(1.235), "1.24");
+    }
+}

@@ -1,0 +1,244 @@
+//! Max–min (bottleneck) matchings: maximum-cardinality matchings whose
+//! *minimum* edge weight is as large as possible.
+//!
+//! This is the matching OGGP plugs into the peeling loop (Section 4.3,
+//! Figure 6 of the paper): the size of a communication step is the smallest
+//! communication in its matching, so maximising that minimum lengthens steps
+//! and reduces their number.
+//!
+//! Two equivalent implementations are provided:
+//!
+//! * [`max_min_matching_incremental`] — the paper's own algorithm (Fig. 6):
+//!   insert edges in decreasing weight order, maintaining a matching by
+//!   augmentation, and stop at the first prefix whose maximum matching has
+//!   full cardinality. `O(m^2·sqrt(n))` worst case.
+//! * [`max_min_matching`] — a threshold binary search over the distinct edge
+//!   weights using Hopcroft–Karp, `O(m·sqrt(n)·log m)`. This is the one the
+//!   scheduler uses; tests assert both agree on the achieved minimum.
+
+use crate::graph::{EdgeId, Graph, Weight};
+use crate::hopcroft_karp;
+use crate::matching::Matching;
+
+/// Returns a maximum-cardinality matching of `g` whose minimum edge weight is
+/// maximal, via threshold binary search. Empty graph yields an empty matching.
+///
+/// ```
+/// use bipartite::{Graph, bottleneck};
+///
+/// let mut g = Graph::new(2, 2);
+/// g.add_edge(0, 0, 1);
+/// g.add_edge(0, 1, 5); // the heavy perfect matching: {(0,1), (1,0)}
+/// g.add_edge(1, 0, 4);
+/// g.add_edge(1, 1, 1);
+/// let m = bottleneck::max_min_matching(&g);
+/// assert_eq!(m.len(), 2);
+/// assert_eq!(m.min_weight(&g), Some(4));
+/// ```
+pub fn max_min_matching(g: &Graph) -> Matching {
+    let target = hopcroft_karp::maximum_matching(g).len();
+    if target == 0 {
+        return Matching::new();
+    }
+    // Distinct weights, ascending. The predicate "edges >= w admit a matching
+    // of size `target`" is monotone decreasing in w; find the largest w
+    // where it still holds.
+    let mut weights: Vec<Weight> = g.edges().map(|(_, _, _, w)| w).collect();
+    weights.sort_unstable();
+    weights.dedup();
+    let (mut lo, mut hi) = (0usize, weights.len() - 1); // invariant: lo feasible
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        let t = weights[mid];
+        let size = hopcroft_karp::maximum_matching_where(g, |e| g.weight(e) >= t).len();
+        if size == target {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    hopcroft_karp::maximum_matching_where(g, |e| g.weight(e) >= weights[lo])
+}
+
+/// The paper's Figure 6 algorithm: insert edges in decreasing weight order,
+/// growing a matching by single augmenting-path searches, until the matching
+/// reaches the maximum cardinality of the whole graph.
+pub fn max_min_matching_incremental(g: &Graph) -> Matching {
+    let target = hopcroft_karp::maximum_matching(g).len();
+    if target == 0 {
+        return Matching::new();
+    }
+    let mut order: Vec<(EdgeId, usize, usize, Weight)> = g.edges().collect();
+    order.sort_unstable_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(&b.0)));
+
+    let nl = g.left_count();
+    let nr = g.right_count();
+    let mut adj: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new(); nl];
+    const NIL: u32 = u32::MAX;
+    let mut match_left: Vec<u32> = vec![NIL; nl];
+    let mut match_right: Vec<u32> = vec![NIL; nr];
+    let mut via_left: Vec<EdgeId> = vec![EdgeId(0); nl];
+    let mut size = 0usize;
+
+    for &(id, l, r, _) in &order {
+        adj[l].push((r as u32, id));
+        if size == target {
+            unreachable!("loop exits as soon as the target size is reached");
+        }
+        // A new augmenting path must use the inserted edge, but searching from
+        // every free left node is simple and correct: at most one augmentation
+        // can succeed per insertion.
+        let mut visited = vec![false; nl];
+        for free in 0..nl {
+            if match_left[free] == NIL
+                && kuhn(
+                    free,
+                    &adj,
+                    &mut match_left,
+                    &mut match_right,
+                    &mut via_left,
+                    &mut visited,
+                )
+            {
+                size += 1;
+                break;
+            }
+        }
+        if size == target {
+            break;
+        }
+    }
+
+    let mut m = Matching::new();
+    for l in 0..nl {
+        if match_left[l] != NIL {
+            m.push(via_left[l]);
+        }
+    }
+    m
+}
+
+fn kuhn(
+    l: usize,
+    adj: &[Vec<(u32, EdgeId)>],
+    match_left: &mut [u32],
+    match_right: &mut [u32],
+    via_left: &mut [EdgeId],
+    visited: &mut [bool],
+) -> bool {
+    if visited[l] {
+        return false;
+    }
+    visited[l] = true;
+    for &(r, e) in &adj[l] {
+        let next = match_right[r as usize];
+        if next == u32::MAX
+            || kuhn(
+                next as usize,
+                adj,
+                match_left,
+                match_right,
+                via_left,
+                visited,
+            )
+        {
+            match_left[l] = r;
+            match_right[r as usize] = l as u32;
+            via_left[l] = e;
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(2, 2);
+        assert!(max_min_matching(&g).is_empty());
+        assert!(max_min_matching_incremental(&g).is_empty());
+    }
+
+    #[test]
+    fn prefers_heavy_perfect_matching() {
+        // Two perfect matchings: {1,1} (min 1) and {5,4} (min 4).
+        let mut g = Graph::new(2, 2);
+        g.add_edge(0, 0, 1);
+        g.add_edge(0, 1, 5);
+        g.add_edge(1, 0, 4);
+        g.add_edge(1, 1, 1);
+        let m = max_min_matching(&g);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.min_weight(&g), Some(4));
+        let mi = max_min_matching_incremental(&g);
+        assert_eq!(mi.min_weight(&g), Some(4));
+    }
+
+    #[test]
+    fn cardinality_never_sacrificed() {
+        // The only maximum matching must use the weight-1 edge; bottleneck
+        // matching keeps full cardinality even though a single heavy edge
+        // would have a larger minimum.
+        let mut g = Graph::new(2, 2);
+        g.add_edge(0, 0, 100);
+        g.add_edge(1, 0, 50); // shares right 0 with the heavy edge
+        g.add_edge(1, 1, 1);
+        let m = max_min_matching(&g);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.min_weight(&g), Some(1));
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut g = Graph::new(1, 1);
+        g.add_edge(0, 0, 7);
+        let m = max_min_matching(&g);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.min_weight(&g), Some(7));
+    }
+
+    #[test]
+    fn agreement_on_random_graphs() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let nl = rng.gen_range(1..8);
+            let nr = rng.gen_range(1..8);
+            let mut g = Graph::new(nl, nr);
+            let m = rng.gen_range(0..=nl * nr * 2);
+            for _ in 0..m {
+                g.add_edge(
+                    rng.gen_range(0..nl),
+                    rng.gen_range(0..nr),
+                    rng.gen_range(1..100),
+                );
+            }
+            let a = max_min_matching(&g);
+            let b = max_min_matching_incremental(&g);
+            assert_eq!(a.len(), b.len(), "cardinality must agree");
+            assert_eq!(
+                a.min_weight(&g),
+                b.min_weight(&g),
+                "achieved bottleneck must agree"
+            );
+            assert!(a.is_valid(&g));
+            assert!(b.is_valid(&g));
+        }
+    }
+
+    #[test]
+    fn all_equal_weights_is_any_maximum_matching() {
+        let mut g = Graph::new(3, 3);
+        for l in 0..3 {
+            for r in 0..3 {
+                g.add_edge(l, r, 9);
+            }
+        }
+        let m = max_min_matching(&g);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.min_weight(&g), Some(9));
+    }
+}

@@ -1,0 +1,50 @@
+//! Graphviz (DOT) export for debugging and documentation.
+
+use crate::graph::Graph;
+use std::fmt::Write;
+
+/// Renders the graph in Graphviz DOT syntax with left nodes `l0, l1, ...`,
+/// right nodes `r0, r1, ...` and edge weights as labels.
+pub fn to_dot(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str("graph G {\n  rankdir=LR;\n");
+    for l in 0..g.left_count() {
+        let _ = writeln!(out, "  l{l} [shape=circle];");
+    }
+    for r in 0..g.right_count() {
+        let _ = writeln!(out, "  r{r} [shape=doublecircle];");
+    }
+    for (_, l, r, w) in g.edges() {
+        let _ = writeln!(out, "  l{l} -- r{r} [label=\"{w}\"];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g = Graph::new(2, 1);
+        g.add_edge(0, 0, 3);
+        g.add_edge(1, 0, 8);
+        let dot = to_dot(&g);
+        assert!(dot.contains("l0"));
+        assert!(dot.contains("l1"));
+        assert!(dot.contains("r0"));
+        assert!(dot.contains("label=\"3\""));
+        assert!(dot.contains("label=\"8\""));
+        assert!(dot.starts_with("graph G {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dead_edges_not_exported() {
+        let mut g = Graph::new(1, 1);
+        let e = g.add_edge(0, 0, 3);
+        g.remove_edge(e);
+        assert!(!to_dot(&g).contains("label"));
+    }
+}

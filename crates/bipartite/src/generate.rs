@@ -1,0 +1,151 @@
+//! Seeded random bipartite graph generators.
+//!
+//! These reproduce the workload of the paper's simulation campaigns
+//! (Section 5.1): "graphs generated with a random number of nodes (up to 40)
+//! and a random number of edges (up to 400)", with edge weights uniform in a
+//! configurable range.
+
+use crate::graph::{Graph, Weight};
+use rand::Rng;
+
+/// Parameters for [`random_graph`].
+#[derive(Debug, Clone)]
+pub struct GraphParams {
+    /// Maximum number of nodes per side (each side size is drawn uniformly
+    /// from `1..=max_nodes_per_side`). The paper's "up to 40 nodes" total
+    /// corresponds to 20 per side.
+    pub max_nodes_per_side: usize,
+    /// Maximum number of edges (the drawn count is clamped to the number of
+    /// available distinct pairs).
+    pub max_edges: usize,
+    /// Inclusive edge-weight range.
+    pub weight_range: (Weight, Weight),
+}
+
+impl Default for GraphParams {
+    /// The paper's Figure 7 settings: ≤40 nodes, ≤400 edges, weights 1..=20.
+    fn default() -> Self {
+        GraphParams {
+            max_nodes_per_side: 20,
+            max_edges: 400,
+            weight_range: (1, 20),
+        }
+    }
+}
+
+impl GraphParams {
+    /// Figure 8 settings: weights drawn from 1..=10000.
+    pub fn large_weights() -> Self {
+        GraphParams {
+            weight_range: (1, 10_000),
+            ..Default::default()
+        }
+    }
+}
+
+/// Draws a random bipartite graph: side sizes uniform in
+/// `1..=max_nodes_per_side`, edge count uniform in `1..=max_edges` (clamped
+/// to `n1·n2`), distinct endpoint pairs, weights uniform in `weight_range`.
+pub fn random_graph<R: Rng + ?Sized>(rng: &mut R, p: &GraphParams) -> Graph {
+    assert!(p.max_nodes_per_side >= 1);
+    assert!(p.weight_range.0 >= 1 && p.weight_range.0 <= p.weight_range.1);
+    let n1 = rng.gen_range(1..=p.max_nodes_per_side);
+    let n2 = rng.gen_range(1..=p.max_nodes_per_side);
+    let max_pairs = n1 * n2;
+    let m = rng.gen_range(1..=p.max_edges.max(1)).min(max_pairs);
+    let mut g = Graph::new(n1, n2);
+    // Sample m distinct pairs by partial Fisher–Yates over pair indices.
+    let mut pairs: Vec<usize> = (0..max_pairs).collect();
+    for i in 0..m {
+        let j = rng.gen_range(i..max_pairs);
+        pairs.swap(i, j);
+        let (l, r) = (pairs[i] / n2, pairs[i] % n2);
+        let w = rng.gen_range(p.weight_range.0..=p.weight_range.1);
+        g.add_edge(l, r, w);
+    }
+    g
+}
+
+/// Draws a complete bipartite graph `n1 × n2` with weights uniform in
+/// `weight_range` — the all-to-all redistribution pattern of the paper's
+/// real-world experiments (Section 5.2).
+pub fn complete_graph<R: Rng + ?Sized>(
+    rng: &mut R,
+    n1: usize,
+    n2: usize,
+    weight_range: (Weight, Weight),
+) -> Graph {
+    let mut g = Graph::new(n1, n2);
+    for l in 0..n1 {
+        for r in 0..n2 {
+            g.add_edge(l, r, rng.gen_range(weight_range.0..=weight_range.1));
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use std::collections::HashSet;
+
+    #[test]
+    fn random_graph_within_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = GraphParams::default();
+        for _ in 0..100 {
+            let g = random_graph(&mut rng, &p);
+            assert!(g.left_count() >= 1 && g.left_count() <= 20);
+            assert!(g.right_count() >= 1 && g.right_count() <= 20);
+            assert!(g.edge_count() >= 1);
+            assert!(g.edge_count() <= 400);
+            assert!(g.edge_count() <= g.left_count() * g.right_count());
+            for (_, _, _, w) in g.edges() {
+                assert!((1..=20).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn random_graph_distinct_pairs() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let g = random_graph(&mut rng, &GraphParams::default());
+            let mut seen = HashSet::new();
+            for (_, l, r, _) in g.edges() {
+                assert!(seen.insert((l, r)), "duplicate pair ({l},{r})");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = GraphParams::default();
+        let a = random_graph(&mut SmallRng::seed_from_u64(123), &p);
+        let b = random_graph(&mut SmallRng::seed_from_u64(123), &p);
+        assert_eq!(a.left_count(), b.left_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        let wa: Vec<_> = a.edges().collect();
+        let wb: Vec<_> = b.edges().collect();
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn large_weight_params() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = random_graph(&mut rng, &GraphParams::large_weights());
+        for (_, _, _, w) in g.edges() {
+            assert!((1..=10_000).contains(&w));
+        }
+    }
+
+    #[test]
+    fn complete_graph_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = complete_graph(&mut rng, 10, 10, (10, 100));
+        assert_eq!(g.edge_count(), 100);
+        assert_eq!(properties::max_degree(&g), 10);
+    }
+}

@@ -1,0 +1,430 @@
+//! A mutable weighted bipartite multigraph.
+//!
+//! Node identifiers are plain `usize` indices, scoped to a [`Side`]: left
+//! nodes `0..left_count()` and right nodes `0..right_count()`. Edges carry
+//! integer weights ("ticks") and a stable [`EdgeId`]; removing an edge (or
+//! peeling its weight down to zero) tombstones it without invalidating other
+//! ids, which is what the scheduler's peeling loops need.
+
+use serde::{Deserialize, Serialize};
+
+/// Integer edge weight in scheduler ticks.
+pub type Weight = u64;
+
+/// Which side of the bipartition a node belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// Sender side (cluster `C1` in the paper).
+    Left,
+    /// Receiver side (cluster `C2` in the paper).
+    Right,
+}
+
+/// Stable identifier of an edge within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EdgeData {
+    left: u32,
+    right: u32,
+    weight: Weight,
+    alive: bool,
+}
+
+/// A weighted bipartite multigraph with tombstoned edge removal.
+///
+/// Parallel edges between the same `(left, right)` pair are allowed (the
+/// regularisation step of GGP can create them), and every query skips dead
+/// edges transparently.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    edges: Vec<EdgeData>,
+    adj_left: Vec<Vec<EdgeId>>,
+    adj_right: Vec<Vec<EdgeId>>,
+    live_edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `left` and `right` isolated nodes and no edges.
+    pub fn new(left: usize, right: usize) -> Self {
+        Graph {
+            edges: Vec::new(),
+            adj_left: vec![Vec::new(); left],
+            adj_right: vec![Vec::new(); right],
+            live_edges: 0,
+        }
+    }
+
+    /// Number of left-side nodes.
+    #[inline]
+    pub fn left_count(&self) -> usize {
+        self.adj_left.len()
+    }
+
+    /// Number of right-side nodes.
+    #[inline]
+    pub fn right_count(&self) -> usize {
+        self.adj_right.len()
+    }
+
+    /// Total number of nodes, `n = |V1| + |V2|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.left_count() + self.right_count()
+    }
+
+    /// Number of live (non-removed) edges, `m = |E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// True when the graph has no live edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live_edges == 0
+    }
+
+    /// Appends a new left-side node and returns its index.
+    pub fn add_left_node(&mut self) -> usize {
+        self.adj_left.push(Vec::new());
+        self.adj_left.len() - 1
+    }
+
+    /// Appends a new right-side node and returns its index.
+    pub fn add_right_node(&mut self) -> usize {
+        self.adj_right.push(Vec::new());
+        self.adj_right.len() - 1
+    }
+
+    /// Adds an edge of weight `weight` between left node `left` and right
+    /// node `right`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `weight == 0` (zero-weight
+    /// communications do not exist in the model; use no edge instead).
+    pub fn add_edge(&mut self, left: usize, right: usize, weight: Weight) -> EdgeId {
+        assert!(left < self.left_count(), "left node {left} out of range");
+        assert!(right < self.right_count(), "right node {right} out of range");
+        assert!(weight > 0, "edges must have positive weight");
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("too many edges"));
+        self.edges.push(EdgeData {
+            left: left as u32,
+            right: right as u32,
+            weight,
+            alive: true,
+        });
+        self.adj_left[left].push(id);
+        self.adj_right[right].push(id);
+        self.live_edges += 1;
+        id
+    }
+
+    /// True when edge `e` exists and has not been removed.
+    #[inline]
+    pub fn is_alive(&self, e: EdgeId) -> bool {
+        self.edges.get(e.index()).is_some_and(|d| d.alive)
+    }
+
+    /// Left endpoint of edge `e` (valid even for removed edges).
+    #[inline]
+    pub fn left_of(&self, e: EdgeId) -> usize {
+        self.edges[e.index()].left as usize
+    }
+
+    /// Right endpoint of edge `e` (valid even for removed edges).
+    #[inline]
+    pub fn right_of(&self, e: EdgeId) -> usize {
+        self.edges[e.index()].right as usize
+    }
+
+    /// Current weight of edge `e`. Zero for removed edges.
+    #[inline]
+    pub fn weight(&self, e: EdgeId) -> Weight {
+        let d = &self.edges[e.index()];
+        if d.alive {
+            d.weight
+        } else {
+            0
+        }
+    }
+
+    /// Overwrites the weight of live edge `e`; setting it to zero removes the
+    /// edge.
+    pub fn set_weight(&mut self, e: EdgeId, weight: Weight) {
+        assert!(self.is_alive(e), "cannot set weight of a removed edge");
+        if weight == 0 {
+            self.remove_edge(e);
+        } else {
+            self.edges[e.index()].weight = weight;
+        }
+    }
+
+    /// Decreases the weight of live edge `e` by `delta`, removing the edge
+    /// when it reaches zero. This is the peeling primitive of WRGP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` exceeds the current weight.
+    pub fn decrease_weight(&mut self, e: EdgeId, delta: Weight) {
+        assert!(self.is_alive(e), "cannot peel a removed edge");
+        let d = &mut self.edges[e.index()];
+        assert!(
+            delta <= d.weight,
+            "peel of {delta} exceeds weight {}",
+            d.weight
+        );
+        d.weight -= delta;
+        if d.weight == 0 {
+            let id = e;
+            self.remove_edge(id);
+        }
+    }
+
+    /// Tombstones edge `e`. Other edge ids remain valid.
+    pub fn remove_edge(&mut self, e: EdgeId) {
+        let d = &mut self.edges[e.index()];
+        if d.alive {
+            d.alive = false;
+            d.weight = 0;
+            self.live_edges -= 1;
+        }
+    }
+
+    /// Iterates over the ids of all live edges.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.alive)
+            .map(|(i, _)| EdgeId(i as u32))
+    }
+
+    /// Iterates over `(EdgeId, left, right, weight)` for all live edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, usize, usize, Weight)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.alive)
+            .map(|(i, d)| (EdgeId(i as u32), d.left as usize, d.right as usize, d.weight))
+    }
+
+    /// Live edges adjacent to left node `l`.
+    pub fn edges_of_left(&self, l: usize) -> impl Iterator<Item = EdgeId> + '_ {
+        self.adj_left[l]
+            .iter()
+            .copied()
+            .filter(move |&e| self.is_alive(e))
+    }
+
+    /// Live edges adjacent to right node `r`.
+    pub fn edges_of_right(&self, r: usize) -> impl Iterator<Item = EdgeId> + '_ {
+        self.adj_right[r]
+            .iter()
+            .copied()
+            .filter(move |&e| self.is_alive(e))
+    }
+
+    /// Degree of left node `l` (live edges only).
+    pub fn degree_left(&self, l: usize) -> usize {
+        self.edges_of_left(l).count()
+    }
+
+    /// Degree of right node `r` (live edges only).
+    pub fn degree_right(&self, r: usize) -> usize {
+        self.edges_of_right(r).count()
+    }
+
+    /// Sum of the weights of live edges adjacent to left node `l` — the
+    /// paper's `w(s)` for a sender.
+    pub fn node_weight_left(&self, l: usize) -> Weight {
+        self.edges_of_left(l).map(|e| self.weight(e)).sum()
+    }
+
+    /// Sum of the weights of live edges adjacent to right node `r` — the
+    /// paper's `w(s)` for a receiver.
+    pub fn node_weight_right(&self, r: usize) -> Weight {
+        self.edges_of_right(r).map(|e| self.weight(e)).sum()
+    }
+
+    /// Builds a graph from a dense weight matrix (`matrix[l][r]` = weight,
+    /// zero meaning "no edge"). The paper's communication matrix `C`
+    /// viewed as a graph (Section 2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_matrix(matrix: &[Vec<Weight>]) -> Self {
+        let nl = matrix.len();
+        let nr = matrix.first().map_or(0, |row| row.len());
+        let mut g = Graph::new(nl, nr);
+        for (l, row) in matrix.iter().enumerate() {
+            assert_eq!(row.len(), nr, "ragged matrix");
+            for (r, &w) in row.iter().enumerate() {
+                if w > 0 {
+                    g.add_edge(l, r, w);
+                }
+            }
+        }
+        g
+    }
+
+    /// Returns a compacted copy of the graph containing only live edges,
+    /// together with the mapping from new edge ids to the original ids.
+    pub fn compact(&self) -> (Graph, Vec<EdgeId>) {
+        let mut g = Graph::new(self.left_count(), self.right_count());
+        let mut back = Vec::with_capacity(self.live_edges);
+        for (id, l, r, w) in self.edges() {
+            g.add_edge(l, r, w);
+            back.push(id);
+        }
+        (g, back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(3, 2);
+        assert_eq!(g.left_count(), 3);
+        assert_eq!(g.right_count(), 2);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Graph::new(2, 2);
+        let e0 = g.add_edge(0, 1, 7);
+        let e1 = g.add_edge(1, 0, 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.left_of(e0), 0);
+        assert_eq!(g.right_of(e0), 1);
+        assert_eq!(g.weight(e0), 7);
+        assert_eq!(g.weight(e1), 3);
+        assert_eq!(g.degree_left(0), 1);
+        assert_eq!(g.node_weight_left(0), 7);
+        assert_eq!(g.node_weight_right(0), 3);
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut g = Graph::new(1, 1);
+        g.add_edge(0, 0, 2);
+        g.add_edge(0, 0, 5);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node_weight_left(0), 7);
+        assert_eq!(g.degree_left(0), 2);
+    }
+
+    #[test]
+    fn decrease_weight_peels_and_removes() {
+        let mut g = Graph::new(1, 1);
+        let e = g.add_edge(0, 0, 5);
+        g.decrease_weight(e, 2);
+        assert_eq!(g.weight(e), 3);
+        assert!(g.is_alive(e));
+        g.decrease_weight(e, 3);
+        assert!(!g.is_alive(e));
+        assert_eq!(g.weight(e), 0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds weight")]
+    fn overpeel_panics() {
+        let mut g = Graph::new(1, 1);
+        let e = g.add_edge(0, 0, 5);
+        g.decrease_weight(e, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn zero_weight_edge_rejected() {
+        let mut g = Graph::new(1, 1);
+        g.add_edge(0, 0, 0);
+    }
+
+    #[test]
+    fn remove_edge_is_idempotent() {
+        let mut g = Graph::new(1, 1);
+        let e = g.add_edge(0, 0, 5);
+        g.remove_edge(e);
+        g.remove_edge(e);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree_left(0), 0);
+    }
+
+    #[test]
+    fn set_weight_zero_removes() {
+        let mut g = Graph::new(1, 1);
+        let e = g.add_edge(0, 0, 5);
+        g.set_weight(e, 0);
+        assert!(!g.is_alive(e));
+    }
+
+    #[test]
+    fn grow_nodes() {
+        let mut g = Graph::new(1, 1);
+        let l = g.add_left_node();
+        let r = g.add_right_node();
+        assert_eq!((l, r), (1, 1));
+        g.add_edge(l, r, 4);
+        assert_eq!(g.node_weight_left(1), 4);
+    }
+
+    #[test]
+    fn from_matrix_builds_edges() {
+        let g = Graph::from_matrix(&[vec![0, 5], vec![3, 0]]);
+        assert_eq!(g.left_count(), 2);
+        assert_eq!(g.right_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node_weight_left(0), 5);
+        assert_eq!(g.node_weight_right(0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_matrix_rejects_ragged() {
+        Graph::from_matrix(&[vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn compact_preserves_live_edges_and_mapping() {
+        let mut g = Graph::new(2, 2);
+        let e0 = g.add_edge(0, 0, 1);
+        let e1 = g.add_edge(0, 1, 2);
+        let e2 = g.add_edge(1, 1, 3);
+        g.remove_edge(e1);
+        let (c, back) = g.compact();
+        assert_eq!(c.edge_count(), 2);
+        assert_eq!(back, vec![e0, e2]);
+        let weights: Vec<Weight> = c.edges().map(|(_, _, _, w)| w).collect();
+        assert_eq!(weights, vec![1, 3]);
+    }
+
+    #[test]
+    fn edge_iteration_skips_dead() {
+        let mut g = Graph::new(2, 2);
+        let e0 = g.add_edge(0, 0, 1);
+        g.add_edge(1, 1, 2);
+        g.remove_edge(e0);
+        let ids: Vec<EdgeId> = g.edge_ids().collect();
+        assert_eq!(ids.len(), 1);
+        assert_eq!(g.edges_of_left(0).count(), 0);
+    }
+}

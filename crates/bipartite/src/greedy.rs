@@ -1,0 +1,82 @@
+//! Greedy maximal matchings, used by baseline schedulers.
+
+use crate::graph::{EdgeId, Graph};
+use crate::matching::Matching;
+
+/// Greedy maximal matching scanning edges in id order. Not maximum in
+/// general, but maximal: no further edge can be added.
+pub fn maximal_matching(g: &Graph) -> Matching {
+    greedy_by(g, |ids| ids)
+}
+
+/// Greedy maximal matching scanning edges by decreasing weight, so heavy
+/// communications are placed first (a common list-scheduling heuristic).
+pub fn maximal_matching_heaviest_first(g: &Graph) -> Matching {
+    greedy_by(g, |mut ids| {
+        ids.sort_unstable_by(|&a, &b| g.weight(b).cmp(&g.weight(a)).then(a.cmp(&b)));
+        ids
+    })
+}
+
+fn greedy_by<F: FnOnce(Vec<EdgeId>) -> Vec<EdgeId>>(g: &Graph, order: F) -> Matching {
+    let ids = order(g.edge_ids().collect());
+    let mut left_used = vec![false; g.left_count()];
+    let mut right_used = vec![false; g.right_count()];
+    let mut m = Matching::new();
+    for e in ids {
+        let (l, r) = (g.left_of(e), g.right_of(e));
+        if !left_used[l] && !right_used[r] {
+            left_used[l] = true;
+            right_used[r] = true;
+            m.push(e);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_is_maximal_and_valid() {
+        let mut g = Graph::new(3, 3);
+        g.add_edge(0, 0, 1);
+        g.add_edge(0, 1, 9);
+        g.add_edge(1, 0, 9);
+        g.add_edge(2, 2, 5);
+        let m = maximal_matching(&g);
+        assert!(m.is_valid(&g));
+        assert!(m.is_maximal(&g));
+    }
+
+    #[test]
+    fn heaviest_first_picks_heavy_edges() {
+        let mut g = Graph::new(2, 2);
+        g.add_edge(0, 0, 1);
+        g.add_edge(0, 1, 9);
+        g.add_edge(1, 0, 8);
+        let m = maximal_matching_heaviest_first(&g);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.min_weight(&g), Some(8));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(2, 2);
+        assert!(maximal_matching(&g).is_empty());
+        assert!(maximal_matching_heaviest_first(&g).is_empty());
+    }
+
+    #[test]
+    fn greedy_can_be_half_of_maximum_but_never_less() {
+        // Classic 2-approximation structure for maximal matchings.
+        let mut g = Graph::new(2, 2);
+        g.add_edge(0, 0, 1); // picked first by id order
+        g.add_edge(1, 0, 1);
+        g.add_edge(0, 1, 1);
+        let m = maximal_matching(&g);
+        assert!(!m.is_empty());
+        assert!(m.is_maximal(&g));
+    }
+}

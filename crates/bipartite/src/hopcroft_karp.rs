@@ -1,0 +1,366 @@
+//! Hopcroft–Karp maximum-cardinality bipartite matching in `O(m·sqrt(n))`.
+//!
+//! This is the "perfect matching [found] using the Hungarian Method"
+//! primitive of the paper's WRGP algorithm (the paper cites Micali–Vazirani
+//! [22]; on bipartite graphs Hopcroft–Karp attains the same bound). The
+//! `_where` variant restricts the graph to edges satisfying a predicate,
+//! which the bottleneck matching of OGGP uses for threshold searches.
+
+use crate::graph::{EdgeId, Graph};
+use crate::matching::Matching;
+use std::collections::VecDeque;
+
+const NIL: u32 = u32::MAX;
+const INF: u32 = u32::MAX;
+
+/// Maximum-cardinality matching over all live edges of `g`.
+pub fn maximum_matching(g: &Graph) -> Matching {
+    maximum_matching_where(g, |_| true)
+}
+
+/// Maximum-cardinality matching grown from an initial matching `seed`
+/// (whose edges must form a valid matching of `g`): the seed's pairs are
+/// kept whenever possible — augmenting paths may re-route them but never
+/// shrink the matched set below maximum.
+///
+/// The WRGP peeling uses this with a heaviest-first greedy seed to bias
+/// "any perfect matching" towards heavy edges (see
+/// `kpbs::wrgp::GreedySeeded`), which quantifies how sensitive plain GGP is
+/// to the unspecified matching choice.
+///
+/// # Panics
+///
+/// Panics if `seed` is not a valid matching of `g`.
+pub fn maximum_matching_seeded(g: &Graph, seed: &Matching) -> Matching {
+    assert!(seed.is_valid(g), "seed must be a valid matching");
+    let nl = g.left_count();
+    let nr = g.right_count();
+    let mut adj: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new(); nl];
+    for (id, l, r, _) in g.edges() {
+        adj[l].push((r as u32, id));
+    }
+    let mut match_left: Vec<u32> = vec![NIL; nl];
+    let mut match_right: Vec<u32> = vec![NIL; nr];
+    let mut via_left: Vec<EdgeId> = vec![EdgeId(0); nl];
+    for &e in seed.edges() {
+        let (l, r) = (g.left_of(e), g.right_of(e));
+        match_left[l] = r as u32;
+        match_right[r] = l as u32;
+        via_left[l] = e;
+    }
+    // Augment from every free left node (Kuhn) until no path remains.
+    loop {
+        let mut augmented = false;
+        let mut visited = vec![false; nl];
+        for l in 0..nl {
+            if match_left[l] == NIL
+                && kuhn_augment(
+                    l,
+                    &adj,
+                    &mut match_left,
+                    &mut match_right,
+                    &mut via_left,
+                    &mut visited,
+                )
+            {
+                augmented = true;
+                visited.iter_mut().for_each(|v| *v = false);
+            }
+        }
+        if !augmented {
+            break;
+        }
+    }
+    let mut m = Matching::new();
+    for l in 0..nl {
+        if match_left[l] != NIL {
+            m.push(via_left[l]);
+        }
+    }
+    m
+}
+
+fn kuhn_augment(
+    l: usize,
+    adj: &[Vec<(u32, EdgeId)>],
+    match_left: &mut [u32],
+    match_right: &mut [u32],
+    via_left: &mut [EdgeId],
+    visited: &mut [bool],
+) -> bool {
+    if visited[l] {
+        return false;
+    }
+    visited[l] = true;
+    for &(r, e) in &adj[l] {
+        let next = match_right[r as usize];
+        if next == NIL
+            || kuhn_augment(
+                next as usize,
+                adj,
+                match_left,
+                match_right,
+                via_left,
+                visited,
+            )
+        {
+            match_left[l] = r;
+            match_right[r as usize] = l as u32;
+            via_left[l] = e;
+            return true;
+        }
+    }
+    false
+}
+
+/// Maximum-cardinality matching over live edges satisfying `keep`.
+pub fn maximum_matching_where<F: FnMut(EdgeId) -> bool>(g: &Graph, mut keep: F) -> Matching {
+    // Flatten the filtered adjacency once: (right node, edge id) per left node.
+    let nl = g.left_count();
+    let nr = g.right_count();
+    let mut adj: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new(); nl];
+    for (id, l, r, _) in g.edges() {
+        if keep(id) {
+            adj[l].push((r as u32, id));
+        }
+    }
+    solve(nl, nr, &adj)
+}
+
+/// Core solver over a pre-built adjacency structure.
+pub(crate) fn solve(nl: usize, nr: usize, adj: &[Vec<(u32, EdgeId)>]) -> Matching {
+    let mut match_left: Vec<u32> = vec![NIL; nl]; // left -> right
+    let mut match_right: Vec<u32> = vec![NIL; nr]; // right -> left
+    let mut via_left: Vec<EdgeId> = vec![EdgeId(0); nl]; // edge used by match_left
+    let mut dist: Vec<u32> = vec![0; nl];
+    let mut queue = VecDeque::with_capacity(nl);
+
+    loop {
+        // BFS: layer the graph from free left nodes.
+        queue.clear();
+        for l in 0..nl {
+            if match_left[l] == NIL {
+                dist[l] = 0;
+                queue.push_back(l as u32);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        let mut found_free_right = false;
+        while let Some(l) = queue.pop_front() {
+            for &(r, _) in &adj[l as usize] {
+                let next = match_right[r as usize];
+                if next == NIL {
+                    found_free_right = true;
+                } else if dist[next as usize] == INF {
+                    dist[next as usize] = dist[l as usize] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        if !found_free_right {
+            break;
+        }
+        // DFS: vertex-disjoint shortest augmenting paths.
+        for l in 0..nl {
+            if match_left[l] == NIL {
+                augment(
+                    l,
+                    adj,
+                    &mut match_left,
+                    &mut match_right,
+                    &mut via_left,
+                    &mut dist,
+                );
+            }
+        }
+    }
+
+    let mut m = Matching::new();
+    for l in 0..nl {
+        if match_left[l] != NIL {
+            m.push(via_left[l]);
+        }
+    }
+    m
+}
+
+fn augment(
+    l: usize,
+    adj: &[Vec<(u32, EdgeId)>],
+    match_left: &mut [u32],
+    match_right: &mut [u32],
+    via_left: &mut [EdgeId],
+    dist: &mut [u32],
+) -> bool {
+    for &(r, e) in &adj[l] {
+        let next = match_right[r as usize];
+        let reachable = if next == NIL {
+            true
+        } else if dist[next as usize] == dist[l] + 1 {
+            augment(next as usize, adj, match_left, match_right, via_left, dist)
+        } else {
+            false
+        };
+        if reachable {
+            match_left[l] = r;
+            match_right[r as usize] = l as u32;
+            via_left[l] = e;
+            return true;
+        }
+    }
+    dist[l] = INF;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_empty_matching() {
+        let g = Graph::new(3, 3);
+        assert!(maximum_matching(&g).is_empty());
+    }
+
+    #[test]
+    fn perfect_on_complete_graph() {
+        let mut g = Graph::new(4, 4);
+        for l in 0..4 {
+            for r in 0..4 {
+                g.add_edge(l, r, 1);
+            }
+        }
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 4);
+        assert!(m.is_perfect(&g));
+    }
+
+    #[test]
+    fn respects_structure() {
+        // Star: left 0 connected to all rights; only one edge can match.
+        let mut g = Graph::new(1, 5);
+        for r in 0..5 {
+            g.add_edge(0, r, 1);
+        }
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 1);
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn unbalanced_sides() {
+        let mut g = Graph::new(3, 2);
+        g.add_edge(0, 0, 1);
+        g.add_edge(1, 0, 1);
+        g.add_edge(2, 1, 1);
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 2);
+        assert!(m.is_valid(&g));
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // l0-r0, l0-r1, l1-r0: maximum is 2 but greedy l0->r0 would block l1.
+        let mut g = Graph::new(2, 2);
+        g.add_edge(0, 0, 1);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 0, 1);
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn skips_dead_edges() {
+        let mut g = Graph::new(2, 2);
+        let e = g.add_edge(0, 0, 1);
+        g.add_edge(1, 1, 1);
+        g.remove_edge(e);
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn filtered_matching() {
+        let mut g = Graph::new(2, 2);
+        g.add_edge(0, 0, 10);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 1, 10);
+        let m = maximum_matching_where(&g, |e| g.weight(e) >= 5);
+        assert_eq!(m.len(), 2);
+        assert!(m.edges().iter().all(|&e| g.weight(e) >= 5));
+    }
+
+    #[test]
+    fn seeded_matching_reaches_maximum() {
+        use crate::greedy;
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..100 {
+            let nl = rng.gen_range(1..8);
+            let nr = rng.gen_range(1..8);
+            let mut g = Graph::new(nl, nr);
+            for _ in 0..rng.gen_range(0..20) {
+                g.add_edge(
+                    rng.gen_range(0..nl),
+                    rng.gen_range(0..nr),
+                    rng.gen_range(1..50),
+                );
+            }
+            let seed = greedy::maximal_matching_heaviest_first(&g);
+            let m = maximum_matching_seeded(&g, &seed);
+            assert!(m.is_valid(&g));
+            assert_eq!(m.len(), maximum_matching(&g).len());
+        }
+    }
+
+    #[test]
+    fn seeded_matching_keeps_heavy_seed_when_possible() {
+        // Seed {heavy, heavy} is already perfect; augmentation keeps it.
+        let mut g = Graph::new(2, 2);
+        let h0 = g.add_edge(0, 1, 100);
+        let h1 = g.add_edge(1, 0, 100);
+        g.add_edge(0, 0, 1);
+        g.add_edge(1, 1, 1);
+        let seed = Matching::from_edges(vec![h0, h1]);
+        let m = maximum_matching_seeded(&g, &seed);
+        assert_eq!(m.min_weight(&g), Some(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "valid matching")]
+    fn seeded_matching_rejects_bad_seed() {
+        let mut g = Graph::new(1, 2);
+        let a = g.add_edge(0, 0, 1);
+        let b = g.add_edge(0, 1, 1);
+        maximum_matching_seeded(&g, &Matching::from_edges(vec![a, b]));
+    }
+
+    #[test]
+    fn hall_violation_limits_size() {
+        // Three left nodes all only adjacent to right 0 and 1.
+        let mut g = Graph::new(3, 2);
+        for l in 0..3 {
+            g.add_edge(l, 0, 1);
+            g.add_edge(l, 1, 1);
+        }
+        assert_eq!(maximum_matching(&g).len(), 2);
+    }
+
+    #[test]
+    fn long_augmenting_chain() {
+        // Path graph requiring cascading augmentation:
+        // l_i - r_i and l_i - r_{i-1}; unique perfect matching l_i - r_i.
+        let n = 50;
+        let mut g = Graph::new(n, n);
+        for i in 0..n {
+            if i > 0 {
+                g.add_edge(i, i - 1, 1);
+            }
+            g.add_edge(i, i, 1);
+        }
+        let m = maximum_matching(&g);
+        assert_eq!(m.len(), n);
+        assert!(m.is_perfect(&g));
+    }
+}

@@ -1,0 +1,169 @@
+//! Matching representation and validation.
+
+use crate::graph::{EdgeId, Graph, Weight};
+
+/// A matching: a set of live edges no two of which share an endpoint.
+///
+/// The scheduler treats each matching as one communication *step* (Section 2
+/// of the paper): the 1-port constraint is exactly the matching property.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Matching {
+    edges: Vec<EdgeId>,
+}
+
+impl Matching {
+    /// An empty matching.
+    pub fn new() -> Self {
+        Matching { edges: Vec::new() }
+    }
+
+    /// Builds a matching from edges, asserting validity in debug builds.
+    pub fn from_edges(edges: Vec<EdgeId>) -> Self {
+        Matching { edges }
+    }
+
+    /// Number of matched edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no edge is matched.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The matched edge ids.
+    #[inline]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Consumes the matching, returning its edge ids.
+    pub fn into_edges(self) -> Vec<EdgeId> {
+        self.edges
+    }
+
+    /// Adds an edge (no validity check; see [`Matching::is_valid`]).
+    pub fn push(&mut self, e: EdgeId) {
+        self.edges.push(e);
+    }
+
+    /// The minimum edge weight in the matching, or `None` if empty.
+    ///
+    /// This is the peel quantum `w` of WRGP and the quantity OGGP maximises.
+    pub fn min_weight(&self, g: &Graph) -> Option<Weight> {
+        self.edges.iter().map(|&e| g.weight(e)).min()
+    }
+
+    /// The maximum edge weight in the matching — `W(M)` in the paper, the
+    /// duration of the communication step the matching models.
+    pub fn max_weight(&self, g: &Graph) -> Option<Weight> {
+        self.edges.iter().map(|&e| g.weight(e)).max()
+    }
+
+    /// Checks the matching property against `g`: all edges live, endpoints
+    /// pairwise distinct on both sides.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        let mut left_used = vec![false; g.left_count()];
+        let mut right_used = vec![false; g.right_count()];
+        for &e in &self.edges {
+            if !g.is_alive(e) {
+                return false;
+            }
+            let (l, r) = (g.left_of(e), g.right_of(e));
+            if left_used[l] || right_used[r] {
+                return false;
+            }
+            left_used[l] = true;
+            right_used[r] = true;
+        }
+        true
+    }
+
+    /// True when the matching is *perfect* on `g`: valid and covering every
+    /// node of both sides (requires `|V1| == |V2|`).
+    pub fn is_perfect(&self, g: &Graph) -> bool {
+        g.left_count() == g.right_count()
+            && self.edges.len() == g.left_count()
+            && self.is_valid(g)
+    }
+
+    /// True when the matching is *maximal*: no live edge of `g` can be added
+    /// without breaking the matching property.
+    pub fn is_maximal(&self, g: &Graph) -> bool {
+        if !self.is_valid(g) {
+            return false;
+        }
+        let mut left_used = vec![false; g.left_count()];
+        let mut right_used = vec![false; g.right_count()];
+        for &e in &self.edges {
+            left_used[g.left_of(e)] = true;
+            right_used[g.right_of(e)] = true;
+        }
+        !g.edge_ids()
+            .any(|e| !left_used[g.left_of(e)] && !right_used[g.right_of(e)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Graph, Vec<EdgeId>) {
+        // 2x2 complete bipartite graph.
+        let mut g = Graph::new(2, 2);
+        let es = vec![
+            g.add_edge(0, 0, 1),
+            g.add_edge(0, 1, 2),
+            g.add_edge(1, 0, 3),
+            g.add_edge(1, 1, 4),
+        ];
+        (g, es)
+    }
+
+    #[test]
+    fn valid_perfect_matching() {
+        let (g, es) = diamond();
+        let m = Matching::from_edges(vec![es[0], es[3]]);
+        assert!(m.is_valid(&g));
+        assert!(m.is_perfect(&g));
+        assert!(m.is_maximal(&g));
+        assert_eq!(m.min_weight(&g), Some(1));
+        assert_eq!(m.max_weight(&g), Some(4));
+    }
+
+    #[test]
+    fn shared_endpoint_invalid() {
+        let (g, es) = diamond();
+        let m = Matching::from_edges(vec![es[0], es[1]]); // both use left 0
+        assert!(!m.is_valid(&g));
+    }
+
+    #[test]
+    fn dead_edge_invalid() {
+        let (mut g, es) = diamond();
+        g.remove_edge(es[0]);
+        let m = Matching::from_edges(vec![es[0]]);
+        assert!(!m.is_valid(&g));
+    }
+
+    #[test]
+    fn non_maximal_detected() {
+        let (g, es) = diamond();
+        let m = Matching::from_edges(vec![es[0]]); // could add es[3]
+        assert!(m.is_valid(&g));
+        assert!(!m.is_maximal(&g));
+        assert!(!m.is_perfect(&g));
+    }
+
+    #[test]
+    fn empty_matching_on_empty_graph_is_maximal() {
+        let g = Graph::new(3, 3);
+        let m = Matching::new();
+        assert!(m.is_valid(&g));
+        assert!(m.is_maximal(&g));
+        assert_eq!(m.min_weight(&g), None);
+    }
+}

@@ -1,0 +1,111 @@
+//! Structural properties used throughout the paper: `P(G)`, `W(G)`, `Δ(G)`
+//! and weight-regularity (Section 2.3).
+
+use crate::graph::{Graph, Weight};
+
+/// `P(G)`: the sum of all live edge weights — the total communication volume.
+pub fn total_weight(g: &Graph) -> Weight {
+    g.edges().map(|(_, _, _, w)| w).sum()
+}
+
+/// `W(G)`: the maximum over all nodes of `w(s)`, the summed weight adjacent
+/// to `s`. A node with weight `W(G)` keeps its port busy for at least that
+/// long, so `W(G)` lower-bounds the total transmission time.
+pub fn max_node_weight(g: &Graph) -> Weight {
+    let left = (0..g.left_count()).map(|l| g.node_weight_left(l));
+    let right = (0..g.right_count()).map(|r| g.node_weight_right(r));
+    left.chain(right).max().unwrap_or(0)
+}
+
+/// `Δ(G)`: the maximum node degree (live edges). A node of degree `Δ` needs
+/// at least `Δ` steps, so `Δ(G)` lower-bounds the number of steps.
+pub fn max_degree(g: &Graph) -> usize {
+    let left = (0..g.left_count()).map(|l| g.degree_left(l));
+    let right = (0..g.right_count()).map(|r| g.degree_right(r));
+    left.chain(right).max().unwrap_or(0)
+}
+
+/// True when every node of the graph has the same weight `w(s)` — the
+/// precondition of WRGP. Isolated nodes are permitted only when the common
+/// weight is zero (i.e. the graph is empty).
+pub fn is_weight_regular(g: &Graph) -> bool {
+    regular_weight(g).is_some()
+}
+
+/// The common node weight of a weight-regular graph, `None` when the graph
+/// is not weight-regular.
+pub fn regular_weight(g: &Graph) -> Option<Weight> {
+    if g.left_count() == 0 && g.right_count() == 0 {
+        return Some(0);
+    }
+    let mut expected: Option<Weight> = None;
+    let left = (0..g.left_count()).map(|l| g.node_weight_left(l));
+    let right = (0..g.right_count()).map(|r| g.node_weight_right(r));
+    for w in left.chain(right) {
+        match expected {
+            None => expected = Some(w),
+            Some(e) if e != w => return None,
+            _ => {}
+        }
+    }
+    expected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_properties() {
+        let g = Graph::new(2, 2);
+        assert_eq!(total_weight(&g), 0);
+        assert_eq!(max_node_weight(&g), 0);
+        assert_eq!(max_degree(&g), 0);
+        // Isolated nodes all have weight zero: regular.
+        assert!(is_weight_regular(&g));
+        assert_eq!(regular_weight(&g), Some(0));
+    }
+
+    #[test]
+    fn simple_properties() {
+        let mut g = Graph::new(2, 2);
+        g.add_edge(0, 0, 3);
+        g.add_edge(0, 1, 4);
+        g.add_edge(1, 1, 2);
+        assert_eq!(total_weight(&g), 9);
+        assert_eq!(max_node_weight(&g), 7); // left 0: 3 + 4
+        assert_eq!(max_degree(&g), 2);
+        assert!(!is_weight_regular(&g));
+    }
+
+    #[test]
+    fn weight_regular_detection() {
+        // Each node weight = 5.
+        let mut g = Graph::new(2, 2);
+        g.add_edge(0, 0, 3);
+        g.add_edge(0, 1, 2);
+        g.add_edge(1, 0, 2);
+        g.add_edge(1, 1, 3);
+        assert!(is_weight_regular(&g));
+        assert_eq!(regular_weight(&g), Some(5));
+    }
+
+    #[test]
+    fn isolated_node_breaks_regularity() {
+        let mut g = Graph::new(2, 1);
+        g.add_edge(0, 0, 5);
+        // Left node 1 is isolated (weight 0) while others weigh 5.
+        assert!(!is_weight_regular(&g));
+    }
+
+    #[test]
+    fn dead_edges_ignored() {
+        let mut g = Graph::new(1, 1);
+        let e = g.add_edge(0, 0, 5);
+        g.add_edge(0, 0, 2);
+        g.remove_edge(e);
+        assert_eq!(total_weight(&g), 2);
+        assert_eq!(max_node_weight(&g), 2);
+        assert_eq!(max_degree(&g), 1);
+    }
+}

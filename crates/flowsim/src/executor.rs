@@ -1,0 +1,409 @@
+//! Executes redistribution strategies over the simulated network: the
+//! paper's two experimental arms (Section 5.2).
+//!
+//! * [`scheduled_time`] — the GGP/OGGP arm: the schedule's steps run one
+//!   after another, separated by a barrier; each step's slices start
+//!   simultaneously and the step lasts until its last slice completes; every
+//!   step additionally pays the setup delay β.
+//! * [`brute_force_time`] — the TCP arm: every message becomes a flow at
+//!   time 0 and the transport model sorts it out.
+
+use crate::engine::{Engine, RunResult, SimConfig};
+use crate::flow::Flow;
+use crate::network::NetworkSpec;
+use kpbs::{Instance, Schedule, TrafficMatrix};
+
+/// Outcome of executing one redistribution.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// End-to-end redistribution time in seconds (including barriers).
+    pub total_seconds: f64,
+    /// Duration of each communication step (empty for brute force).
+    pub step_seconds: Vec<f64>,
+    /// Number of synchronised steps (0 for brute force).
+    pub num_steps: usize,
+    /// Total time spent in setup/barriers.
+    pub barrier_seconds: f64,
+}
+
+/// Runs `schedule` over `spec`: for each step, the slices of its transfers
+/// become simultaneous flows; the step ends when the last one completes;
+/// `beta_seconds` is charged per step.
+///
+/// `inst` and `endpoints` must come from the same
+/// [`TrafficMatrix::to_instance`] call that produced the schedule, so that
+/// edge ids, endpoints and byte volumes line up.
+pub fn scheduled_time(
+    traffic: &TrafficMatrix,
+    inst: &Instance,
+    endpoints: &[(usize, usize)],
+    schedule: &Schedule,
+    spec: &NetworkSpec,
+    beta_seconds: f64,
+    config: &SimConfig,
+) -> ExecutionReport {
+    // Apportion each edge's bytes across its slices exactly, proportional to
+    // the slice durations.
+    let bytes: Vec<u64> = endpoints
+        .iter()
+        .map(|&(s, d)| traffic.get(s, d))
+        .collect();
+    let slices = schedule.byte_slices(inst, &bytes);
+
+    let engine = Engine::new(spec.clone(), config.clone());
+    let mut step_seconds = Vec::with_capacity(schedule.num_steps());
+    let mut total = 0.0f64;
+    for step in slices {
+        let flows: Vec<Flow> = step
+            .into_iter()
+            .map(|(e, b)| {
+                let (s, d) = endpoints[e.index()];
+                Flow::new(s, d, b as f64)
+            })
+            .collect();
+        let dur = if flows.is_empty() {
+            0.0
+        } else {
+            engine.run(&flows).makespan
+        };
+        step_seconds.push(dur);
+        total += beta_seconds + dur;
+    }
+    ExecutionReport {
+        total_seconds: total,
+        num_steps: step_seconds.len(),
+        barrier_seconds: beta_seconds * step_seconds.len() as f64,
+        step_seconds,
+    }
+}
+
+/// Runs the brute-force TCP arm: every non-zero message of `traffic` starts
+/// at time 0; the transport model in `config` governs sharing, losses and
+/// jitter. No barriers are paid.
+pub fn brute_force_time(
+    traffic: &TrafficMatrix,
+    spec: &NetworkSpec,
+    config: &SimConfig,
+) -> ExecutionReport {
+    let result = brute_force_run(traffic, spec, config);
+    ExecutionReport {
+        total_seconds: result.makespan,
+        step_seconds: Vec::new(),
+        num_steps: 0,
+        barrier_seconds: 0.0,
+    }
+}
+
+/// Executes an *adaptive* redistribution under a time-varying backbone
+/// (the paper's future-work scenario): before every step the scheduler
+/// observes the backbone capacity in force and re-plans the residual
+/// traffic with OGGP at the corresponding `k`, then runs that single step.
+///
+/// `per_transfer_mbps` is the NIC-shaped speed `t` of one transfer; the
+/// momentary parallelism is `k(t) = max(1, floor(capacity(t) / t))` clamped
+/// to the cluster sizes. Returns the execution report; each step is
+/// simulated on a network whose backbone is pinned at the capacity observed
+/// when the step started (steps are short relative to profile segments in
+/// the intended regime).
+pub fn adaptive_scheduled_time(
+    traffic: &TrafficMatrix,
+    spec: &NetworkSpec,
+    per_transfer_mbps: f64,
+    beta_seconds: f64,
+    config: &SimConfig,
+) -> ExecutionReport {
+    use bipartite::Graph;
+    use kpbs::oggp;
+
+    let n1 = traffic.senders();
+    let n2 = traffic.receivers();
+    // Residual bytes per message.
+    let mut residual: Vec<Vec<u64>> = (0..n1)
+        .map(|i| (0..n2).map(|j| traffic.get(i, j)).collect())
+        .collect();
+    let mut remaining: u64 = traffic.total_bytes();
+
+    let bytes_per_tick = per_transfer_mbps * 1e6 / 8.0 / 1_000.0; // ms ticks
+    let mut now = 0.0f64;
+    let mut step_seconds = Vec::new();
+
+    while remaining > 0 {
+        let cap = spec.backbone.at(now);
+        // Pin the step's network at the observed capacity.
+        let step_spec = NetworkSpec {
+            nic_out: spec.nic_out.clone(),
+            nic_in: spec.nic_in.clone(),
+            backbone: crate::network::CapacityProfile::Constant(cap),
+        };
+        let engine = Engine::new(step_spec, config.clone());
+        let k = ((cap / per_transfer_mbps).floor() as usize)
+            .clamp(1, n1.min(n2));
+        // Plan the residual with OGGP at the momentary k; weights in ticks.
+        let mut g = Graph::new(n1, n2);
+        let mut endpoints = Vec::new();
+        for (i, row) in residual.iter().enumerate() {
+            for (j, &b) in row.iter().enumerate() {
+                if b > 0 {
+                    let ticks = ((b as f64 / bytes_per_tick).ceil() as u64).max(1);
+                    g.add_edge(i, j, ticks);
+                    endpoints.push((i, j));
+                }
+            }
+        }
+        let inst = kpbs::Instance::new(g, k, 0);
+        let plan = oggp(&inst);
+        let first = plan.steps.first().expect("non-empty residual");
+
+        // Execute only the first step, then re-observe the backbone.
+        let mut flows = Vec::new();
+        for t in &first.transfers {
+            let (i, j) = endpoints[t.edge.index()];
+            let slice = ((t.amount as f64 * bytes_per_tick) as u64).min(residual[i][j]).max(1);
+            flows.push(Flow::new(i, j, slice as f64));
+            residual[i][j] -= slice;
+            remaining -= slice;
+        }
+        let dur = engine.run(&flows).makespan;
+        step_seconds.push(dur);
+        now += beta_seconds + dur;
+    }
+
+    ExecutionReport {
+        total_seconds: now,
+        num_steps: step_seconds.len(),
+        barrier_seconds: beta_seconds * step_seconds.len() as f64,
+        step_seconds,
+    }
+}
+
+/// Like [`brute_force_time`] but returning the full [`RunResult`] (per-flow
+/// completions, optional trace).
+pub fn brute_force_run(traffic: &TrafficMatrix, spec: &NetworkSpec, config: &SimConfig) -> RunResult {
+    let mut flows = Vec::with_capacity(traffic.message_count());
+    for s in 0..traffic.senders() {
+        for d in 0..traffic.receivers() {
+            let b = traffic.get(s, d);
+            if b > 0 {
+                flows.push(Flow::new(s, d, b as f64));
+            }
+        }
+    }
+    Engine::new(spec.clone(), config.clone()).run(&flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpModel;
+    use kpbs::traffic::TickScale;
+    use kpbs::{oggp, Platform};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn testbed_workload(k: usize, seed: u64, hi_mb: u64) -> (TrafficMatrix, Platform) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let traffic = TrafficMatrix::uniform_mb(&mut rng, 10, 10, 10, hi_mb);
+        (traffic, Platform::testbed(k))
+    }
+
+    #[test]
+    fn scheduled_execution_matches_analytic_cost() {
+        // With an ideal transport and one flow per NIC per step, each step's
+        // simulated duration equals its longest slice at NIC speed, i.e. the
+        // analytic schedule cost (up to tick rounding).
+        let (traffic, platform) = testbed_workload(5, 42, 30);
+        let scale = TickScale::MILLIS;
+        let beta = 0.05;
+        let (inst, endpoints) = traffic.to_instance(&platform, beta, scale);
+        let schedule = oggp(&inst);
+        schedule.validate(&inst).unwrap();
+        let spec = NetworkSpec::from_platform(&platform);
+        let report = scheduled_time(
+            &traffic,
+            &inst,
+            &endpoints,
+            &schedule,
+            &spec,
+            beta,
+            &SimConfig::default(),
+        );
+        let analytic = scale.to_seconds(schedule.cost());
+        let rel = (report.total_seconds - analytic).abs() / analytic;
+        assert!(
+            rel < 0.02,
+            "simulated {} vs analytic {} (rel {rel})",
+            report.total_seconds,
+            analytic
+        );
+        assert_eq!(report.num_steps, schedule.num_steps());
+    }
+
+    #[test]
+    fn brute_force_with_ideal_tcp_equals_volume_over_backbone() {
+        // Ideal fluid transport: the backbone is the only binding
+        // constraint of the saturated testbed, so the makespan is close to
+        // total volume / backbone (equal shares drain messages together,
+        // freeing capacity for the rest).
+        let (traffic, platform) = testbed_workload(3, 7, 20);
+        let spec = NetworkSpec::from_platform(&platform);
+        let report = brute_force_time(&traffic, &spec, &SimConfig::default());
+        let volume_bytes = traffic.total_bytes() as f64;
+        let floor = volume_bytes / (100.0 * 1e6 / 8.0);
+        assert!(report.total_seconds >= floor * 0.999);
+        assert!(
+            report.total_seconds <= floor * 1.25,
+            "brute {} vs floor {floor}",
+            report.total_seconds
+        );
+    }
+
+    #[test]
+    fn scheduled_beats_lossy_brute_force() {
+        // The paper's headline: with the calibrated TCP model, GGP/OGGP
+        // scheduling outperforms brute force, more so for larger k.
+        let mut improvements = Vec::new();
+        for k in [3, 7] {
+            let (traffic, platform) = testbed_workload(k, 11, 50);
+            let scale = TickScale::MILLIS;
+            let beta = 0.05;
+            let (inst, endpoints) = traffic.to_instance(&platform, beta, scale);
+            let schedule = oggp(&inst);
+            let spec = NetworkSpec::from_platform(&platform);
+            // Both arms run over the same lossy transport.
+            let lossy = SimConfig {
+                tcp: TcpModel::default(),
+                seed: 5,
+                record_trace: false,
+            };
+            let sched = scheduled_time(
+                &traffic, &inst, &endpoints, &schedule, &spec, beta, &lossy,
+            );
+            let brute = brute_force_time(&traffic, &spec, &lossy);
+            let improvement = 1.0 - sched.total_seconds / brute.total_seconds;
+            assert!(
+                improvement > 0.02,
+                "k={k}: scheduled {} not better than brute {}",
+                sched.total_seconds,
+                brute.total_seconds
+            );
+            improvements.push(improvement);
+        }
+        assert!(
+            improvements[1] > improvements[0],
+            "gain should grow with k: {improvements:?}"
+        );
+    }
+
+    #[test]
+    fn brute_force_nondeterministic_scheduled_deterministic() {
+        let (traffic, platform) = testbed_workload(3, 13, 30);
+        let spec = NetworkSpec::from_platform(&platform);
+        let lossy = |seed| SimConfig {
+            tcp: TcpModel::default(),
+            seed,
+            record_trace: false,
+        };
+        let b1 = brute_force_time(&traffic, &spec, &lossy(1)).total_seconds;
+        let b2 = brute_force_time(&traffic, &spec, &lossy(2)).total_seconds;
+        assert_ne!(b1, b2);
+
+        let scale = TickScale::MILLIS;
+        let (inst, endpoints) = traffic.to_instance(&platform, 0.05, scale);
+        let schedule = oggp(&inst);
+        let s1 = scheduled_time(&traffic, &inst, &endpoints, &schedule, &spec, 0.05, &lossy(1));
+        let s2 = scheduled_time(&traffic, &inst, &endpoints, &schedule, &spec, 0.05, &lossy(2));
+        assert_eq!(
+            s1.total_seconds, s2.total_seconds,
+            "scheduled steps share no constraint, so jitter never applies"
+        );
+    }
+
+    #[test]
+    fn adaptive_executor_under_varying_backbone() {
+        use crate::network::CapacityProfile;
+        // 4x4 nodes, NICs 25 Mbit/s; backbone drops from 100 (k = 4) to 25
+        // (k = 1) at t = 2 s, recovers at 20 s.
+        let mut traffic = TrafficMatrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                traffic.set(i, j, 2_000_000 + (i * 4 + j) as u64 * 500_000);
+            }
+        }
+        let spec = NetworkSpec {
+            nic_out: vec![25.0; 4],
+            nic_in: vec![25.0; 4],
+            backbone: CapacityProfile::Piecewise(vec![
+                (0.0, 100.0),
+                (2.0, 25.0),
+                (20.0, 100.0),
+            ]),
+        };
+        let r = adaptive_scheduled_time(&traffic, &spec, 25.0, 0.02, &SimConfig::default());
+        assert!(r.num_steps > 0);
+        assert!(r.total_seconds > 0.0);
+        // Sanity window: total volume at full parallelism (100 Mbit/s
+        // aggregate) would take volume/12.5e6 s; fully serialised at
+        // 25 Mbit/s would take volume/3.125e6 s.
+        let vol = traffic.total_bytes() as f64;
+        assert!(r.total_seconds >= vol / 12.5e6 * 0.9, "too fast: {}", r.total_seconds);
+        assert!(
+            r.total_seconds <= vol / 3.125e6 * 1.5,
+            "too slow: {}",
+            r.total_seconds
+        );
+    }
+
+    #[test]
+    fn adaptive_executor_constant_backbone_matches_static() {
+        // With a constant backbone the adaptive executor should be in the
+        // same ballpark as the static OGGP execution.
+        let (traffic, platform) = testbed_workload(4, 23, 20);
+        let spec = NetworkSpec::from_platform(&platform);
+        let r = adaptive_scheduled_time(
+            &traffic,
+            &spec,
+            platform.transfer_speed(),
+            0.0,
+            &SimConfig::default(),
+        );
+        let scale = TickScale::MILLIS;
+        let (inst, endpoints) = traffic.to_instance(&platform, 0.0, scale);
+        let schedule = oggp(&inst);
+        let s = scheduled_time(
+            &traffic,
+            &inst,
+            &endpoints,
+            &schedule,
+            &spec,
+            0.0,
+            &SimConfig::default(),
+        );
+        let rel = (r.total_seconds - s.total_seconds).abs() / s.total_seconds;
+        assert!(
+            rel < 0.15,
+            "adaptive {} vs static {}",
+            r.total_seconds,
+            s.total_seconds
+        );
+    }
+
+    #[test]
+    fn barrier_accounting() {
+        let (traffic, platform) = testbed_workload(5, 17, 20);
+        let scale = TickScale::MILLIS;
+        let (inst, endpoints) = traffic.to_instance(&platform, 0.1, scale);
+        let schedule = oggp(&inst);
+        let spec = NetworkSpec::from_platform(&platform);
+        let r = scheduled_time(
+            &traffic,
+            &inst,
+            &endpoints,
+            &schedule,
+            &spec,
+            0.1,
+            &SimConfig::default(),
+        );
+        assert!((r.barrier_seconds - 0.1 * r.num_steps as f64).abs() < 1e-9);
+        let steps_sum: f64 = r.step_seconds.iter().sum();
+        assert!((r.total_seconds - (steps_sum + r.barrier_seconds)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,214 @@
+//! Max–min fair bandwidth allocation by progressive filling.
+//!
+//! Constraints: for each sender `i`, `Σ_{f: src=i} r_f ≤ out[i]`; for each
+//! receiver `j`, `Σ_{f: dst=j} r_f ≤ in[j]`; and `Σ_f r_f ≤ backbone`.
+//! Progressive filling raises every unfrozen flow's rate at the same speed;
+//! when a constraint saturates, all flows crossing it freeze. The result is
+//! the unique max–min fair allocation, which is also Pareto-optimal: at
+//! least one constraint of every flow is tight.
+
+/// Relative tolerance for saturation tests.
+const EPS: f64 = 1e-9;
+
+/// Computes the max–min fair rates for `flows` (pairs `(src, dst)`), given
+/// per-sender caps `out`, per-receiver caps `in_`, and the `backbone` cap.
+/// All capacities and the returned rates share one arbitrary unit.
+///
+/// # Panics
+///
+/// Panics if a flow references an out-of-range node or any capacity is
+/// non-positive.
+pub fn max_min_rates(flows: &[(usize, usize)], out: &[f64], in_: &[f64], backbone: f64) -> Vec<f64> {
+    assert!(backbone > 0.0, "backbone capacity must be positive");
+    for &(s, d) in flows {
+        assert!(s < out.len(), "sender {s} out of range");
+        assert!(d < in_.len(), "receiver {d} out of range");
+    }
+    assert!(out.iter().chain(in_).all(|&c| c > 0.0));
+
+    let n = flows.len();
+    let mut rates = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+    let mut remaining = n;
+
+    // Residual capacity of each constraint.
+    let mut out_res = out.to_vec();
+    let mut in_res = in_.to_vec();
+    let mut bb_res = backbone;
+
+    while remaining > 0 {
+        // Active flow count per constraint.
+        let mut out_act = vec![0usize; out.len()];
+        let mut in_act = vec![0usize; in_.len()];
+        let mut bb_act = 0usize;
+        for (f, &(s, d)) in flows.iter().enumerate() {
+            if !frozen[f] {
+                out_act[s] += 1;
+                in_act[d] += 1;
+                bb_act += 1;
+            }
+        }
+        // The common increment is limited by the tightest constraint.
+        let mut inc = f64::INFINITY;
+        for (s, &a) in out_act.iter().enumerate() {
+            if a > 0 {
+                inc = inc.min(out_res[s] / a as f64);
+            }
+        }
+        for (d, &a) in in_act.iter().enumerate() {
+            if a > 0 {
+                inc = inc.min(in_res[d] / a as f64);
+            }
+        }
+        inc = inc.min(bb_res / bb_act as f64);
+        debug_assert!(inc.is_finite() && inc >= 0.0);
+
+        // Raise all unfrozen flows and charge the constraints.
+        for (f, &(s, d)) in flows.iter().enumerate() {
+            if !frozen[f] {
+                rates[f] += inc;
+                out_res[s] -= inc;
+                in_res[d] -= inc;
+                bb_res -= inc;
+            }
+        }
+
+        // Freeze flows crossing a saturated constraint.
+        let bb_tight = bb_res <= EPS * backbone;
+        let mut any_frozen = false;
+        for (f, &(s, d)) in flows.iter().enumerate() {
+            if frozen[f] {
+                continue;
+            }
+            let tight = bb_tight
+                || out_res[s] <= EPS * out[s]
+                || in_res[d] <= EPS * in_[d];
+            if tight {
+                frozen[f] = true;
+                remaining -= 1;
+                any_frozen = true;
+            }
+        }
+        debug_assert!(any_frozen, "progressive filling must make progress");
+        if !any_frozen {
+            break; // defensive: avoid an infinite loop under float weirdness
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-6 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn empty_flows() {
+        let r = max_min_rates(&[], &[10.0], &[10.0], 10.0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn single_flow_takes_minimum() {
+        let r = max_min_rates(&[(0, 0)], &[10.0], &[100.0], 50.0);
+        assert!(close(r[0], 10.0));
+        let r = max_min_rates(&[(0, 0)], &[100.0], &[10.0], 50.0);
+        assert!(close(r[0], 10.0));
+        let r = max_min_rates(&[(0, 0)], &[100.0], &[100.0], 50.0);
+        assert!(close(r[0], 50.0));
+    }
+
+    #[test]
+    fn backbone_shared_equally() {
+        // 4 flows on distinct NICs of 100, backbone 100 → 25 each.
+        let flows = [(0, 0), (1, 1), (2, 2), (3, 3)];
+        let r = max_min_rates(&flows, &[100.0; 4], &[100.0; 4], 100.0);
+        for &x in &r {
+            assert!(close(x, 25.0));
+        }
+    }
+
+    #[test]
+    fn sender_nic_shared() {
+        // 2 flows from the same sender (cap 10) to distinct fat receivers.
+        let flows = [(0, 0), (0, 1)];
+        let r = max_min_rates(&flows, &[10.0], &[100.0, 100.0], 1000.0);
+        assert!(close(r[0], 5.0));
+        assert!(close(r[1], 5.0));
+    }
+
+    #[test]
+    fn asymmetric_bottlenecks() {
+        // Flow 0 bottlenecked at its thin receiver (5), flow 1 then gets the
+        // rest of the shared sender NIC (20 − 5 = 15).
+        let flows = [(0, 0), (0, 1)];
+        let r = max_min_rates(&flows, &[20.0], &[5.0, 100.0], 1000.0);
+        assert!(close(r[0], 5.0), "r0 = {}", r[0]);
+        assert!(close(r[1], 15.0), "r1 = {}", r[1]);
+    }
+
+    #[test]
+    fn allocation_feasible_and_pareto() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(31);
+        for _ in 0..200 {
+            let ns = rng.gen_range(1..6);
+            let nr = rng.gen_range(1..6);
+            let out: Vec<f64> = (0..ns).map(|_| rng.gen_range(1.0..100.0)).collect();
+            let in_: Vec<f64> = (0..nr).map(|_| rng.gen_range(1.0..100.0)).collect();
+            let backbone = rng.gen_range(1.0..300.0);
+            let nf = rng.gen_range(1..12);
+            let flows: Vec<(usize, usize)> = (0..nf)
+                .map(|_| (rng.gen_range(0..ns), rng.gen_range(0..nr)))
+                .collect();
+            let r = max_min_rates(&flows, &out, &in_, backbone);
+
+            // Feasibility.
+            let slack = 1e-6;
+            let mut out_sum = vec![0.0; ns];
+            let mut in_sum = vec![0.0; nr];
+            let mut total = 0.0;
+            for (f, &(s, d)) in flows.iter().enumerate() {
+                assert!(r[f] > 0.0, "every flow gets a positive rate");
+                out_sum[s] += r[f];
+                in_sum[d] += r[f];
+                total += r[f];
+            }
+            for s in 0..ns {
+                assert!(out_sum[s] <= out[s] * (1.0 + slack));
+            }
+            for d in 0..nr {
+                assert!(in_sum[d] <= in_[d] * (1.0 + slack));
+            }
+            assert!(total <= backbone * (1.0 + slack));
+
+            // Pareto: every flow crosses at least one (nearly) tight
+            // constraint.
+            for &(s, d) in &flows {
+                let tight = out_sum[s] >= out[s] * (1.0 - 1e-6)
+                    || in_sum[d] >= in_[d] * (1.0 - 1e-6)
+                    || total >= backbone * (1.0 - 1e-6);
+                assert!(tight, "flow ({s},{d}) could still grow");
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_testbed_rates() {
+        // The paper's k = 5 testbed: NICs 20 Mbit/s, backbone 100; all 100
+        // pairs at once → backbone is the bottleneck at 1 Mbit/s per flow.
+        let mut flows = Vec::new();
+        for s in 0..10 {
+            for d in 0..10 {
+                flows.push((s, d));
+            }
+        }
+        let r = max_min_rates(&flows, &[20.0; 10], &[20.0; 10], 100.0);
+        for &x in &r {
+            assert!(close(x, 1.0), "rate {x}");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Network capacity specification.
+//!
+//! All bandwidths are in Mbit/s (like the paper's platform descriptions);
+//! data volumes are bytes and times are seconds. Conversion helpers live on
+//! [`NetworkSpec`].
+
+use kpbs::Platform;
+use serde::{Deserialize, Serialize};
+
+/// Bits per byte × Mbit scaling: bytes/s per Mbit/s.
+pub const BYTES_PER_S_PER_MBPS: f64 = 1e6 / 8.0;
+
+/// A (possibly time-varying) backbone capacity in Mbit/s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CapacityProfile {
+    /// Constant capacity.
+    Constant(f64),
+    /// Piecewise-constant: `(start_time_seconds, capacity)` segments, sorted
+    /// by start time, first segment starting at 0.
+    Piecewise(Vec<(f64, f64)>),
+}
+
+impl CapacityProfile {
+    /// Capacity in force at time `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        match self {
+            CapacityProfile::Constant(c) => *c,
+            CapacityProfile::Piecewise(segs) => {
+                let mut cap = segs.first().map(|s| s.1).unwrap_or(0.0);
+                for &(start, c) in segs {
+                    if start <= t {
+                        cap = c;
+                    } else {
+                        break;
+                    }
+                }
+                cap
+            }
+        }
+    }
+
+    /// The next time strictly after `t` at which the capacity changes, if
+    /// any.
+    pub fn next_change_after(&self, t: f64) -> Option<f64> {
+        match self {
+            CapacityProfile::Constant(_) => None,
+            CapacityProfile::Piecewise(segs) => {
+                segs.iter().map(|&(s, _)| s).find(|&s| s > t)
+            }
+        }
+    }
+
+    /// Validates monotone segment starts and positive capacities.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            CapacityProfile::Constant(c) => {
+                if *c > 0.0 {
+                    Ok(())
+                } else {
+                    Err("backbone capacity must be positive".into())
+                }
+            }
+            CapacityProfile::Piecewise(segs) => {
+                if segs.is_empty() {
+                    return Err("piecewise profile needs at least one segment".into());
+                }
+                if segs[0].0 != 0.0 {
+                    return Err("first segment must start at time 0".into());
+                }
+                for w in segs.windows(2) {
+                    if w[1].0 <= w[0].0 {
+                        return Err("segment starts must strictly increase".into());
+                    }
+                }
+                if segs.iter().any(|&(_, c)| c <= 0.0) {
+                    return Err("capacities must be positive".into());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A two-cluster network: per-sender egress caps, per-receiver ingress caps,
+/// and a shared backbone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Egress capacity of each sender NIC, Mbit/s.
+    pub nic_out: Vec<f64>,
+    /// Ingress capacity of each receiver NIC, Mbit/s.
+    pub nic_in: Vec<f64>,
+    /// Backbone capacity.
+    pub backbone: CapacityProfile,
+}
+
+impl NetworkSpec {
+    /// Uniform NICs on both sides with a constant backbone.
+    pub fn uniform(senders: usize, receivers: usize, out_mbps: f64, in_mbps: f64, backbone_mbps: f64) -> Self {
+        NetworkSpec {
+            nic_out: vec![out_mbps; senders],
+            nic_in: vec![in_mbps; receivers],
+            backbone: CapacityProfile::Constant(backbone_mbps),
+        }
+    }
+
+    /// The network corresponding to a [`Platform`] description.
+    pub fn from_platform(p: &Platform) -> Self {
+        NetworkSpec::uniform(p.n1, p.n2, p.t1, p.t2, p.backbone)
+    }
+
+    /// The paper's Section 5.2 testbed for a given `k`: 10+10 nodes,
+    /// `rshaper`-limited NICs at `100/k` Mbit/s, 100 Mbit/s interconnect.
+    pub fn testbed(k: usize) -> Self {
+        NetworkSpec::from_platform(&Platform::testbed(k))
+    }
+
+    /// Number of sender nodes.
+    pub fn senders(&self) -> usize {
+        self.nic_out.len()
+    }
+
+    /// Number of receiver nodes.
+    pub fn receivers(&self) -> usize {
+        self.nic_in.len()
+    }
+
+    /// Validates node counts and capacities.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nic_out.is_empty() || self.nic_in.is_empty() {
+            return Err("both clusters need at least one node".into());
+        }
+        if self.nic_out.iter().chain(&self.nic_in).any(|&c| c <= 0.0) {
+            return Err("NIC capacities must be positive".into());
+        }
+        self.backbone.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_profile() {
+        let p = CapacityProfile::Constant(100.0);
+        assert_eq!(p.at(0.0), 100.0);
+        assert_eq!(p.at(1e9), 100.0);
+        assert_eq!(p.next_change_after(5.0), None);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn piecewise_profile() {
+        let p = CapacityProfile::Piecewise(vec![(0.0, 100.0), (10.0, 50.0), (20.0, 80.0)]);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.at(0.0), 100.0);
+        assert_eq!(p.at(9.999), 100.0);
+        assert_eq!(p.at(10.0), 50.0);
+        assert_eq!(p.at(25.0), 80.0);
+        assert_eq!(p.next_change_after(0.0), Some(10.0));
+        assert_eq!(p.next_change_after(10.0), Some(20.0));
+        assert_eq!(p.next_change_after(20.0), None);
+    }
+
+    #[test]
+    fn invalid_profiles() {
+        assert!(CapacityProfile::Constant(0.0).validate().is_err());
+        assert!(CapacityProfile::Piecewise(vec![]).validate().is_err());
+        assert!(CapacityProfile::Piecewise(vec![(1.0, 5.0)]).validate().is_err());
+        assert!(
+            CapacityProfile::Piecewise(vec![(0.0, 5.0), (0.0, 6.0)])
+                .validate()
+                .is_err()
+        );
+        assert!(
+            CapacityProfile::Piecewise(vec![(0.0, 5.0), (1.0, -2.0)])
+                .validate()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn testbed_spec() {
+        let s = NetworkSpec::testbed(5);
+        assert_eq!(s.senders(), 10);
+        assert_eq!(s.receivers(), 10);
+        assert!((s.nic_out[0] - 20.0).abs() < 1e-9);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_spec() {
+        let s = NetworkSpec::uniform(0, 2, 1.0, 1.0, 1.0);
+        assert!(s.validate().is_err());
+        let s = NetworkSpec::uniform(2, 2, -1.0, 1.0, 1.0);
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Adaptive re-planning when the backbone throughput varies — one of the
+//! paper's stated future-work directions (Section 6: "study the problem when
+//! the throughput of the backbone varies dynamically"). The multi-step
+//! structure makes this natural: after each synchronised step the scheduler
+//! observes the current `k` and re-plans the residual graph.
+
+use crate::oggp::oggp;
+use crate::problem::Instance;
+use crate::schedule::{Schedule, Step};
+use bipartite::{Graph, Weight};
+
+/// Supplies the parallelism budget `k` in force when step number `step`
+/// (0-based) starts. Typically derived from a backbone-throughput forecast.
+pub trait KProfile {
+    /// `k` for the given step index; must be ≥ 1.
+    fn k_at(&self, step: usize) -> usize;
+}
+
+/// A constant `k` (degenerates to plain OGGP).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantK(pub usize);
+
+impl KProfile for ConstantK {
+    fn k_at(&self, _step: usize) -> usize {
+        self.0
+    }
+}
+
+/// A cyclic sequence of `k` values (e.g. alternating congestion phases).
+#[derive(Debug, Clone)]
+pub struct CyclicK(pub Vec<usize>);
+
+impl KProfile for CyclicK {
+    fn k_at(&self, step: usize) -> usize {
+        self.0[step % self.0.len()]
+    }
+}
+
+/// Schedules `graph` with setup delay `beta` under a time-varying `k`:
+/// at each step, re-plan the residual graph with OGGP under the current
+/// `k` and execute only the first step of that plan.
+///
+/// The result satisfies, for every step `i`, the width bound `k_at(i)`
+/// (clamped to the side sizes), covers the whole graph, and respects the
+/// 1-port model — verify with [`validate_adaptive`].
+pub fn adaptive_schedule<P: KProfile>(graph: &Graph, beta: Weight, profile: &P) -> Schedule {
+    let mut residual = graph.clone();
+    let mut out = Schedule::new(beta);
+    let mut step_idx = 0usize;
+    while !residual.is_empty() {
+        let k = profile
+            .k_at(step_idx)
+            .clamp(1, residual.left_count().min(residual.right_count()));
+        let inst = Instance::new(residual.clone(), k, beta);
+        let plan = oggp(&inst);
+        let first = plan
+            .steps
+            .into_iter()
+            .next()
+            .expect("non-empty residual yields at least one step");
+        for t in &first.transfers {
+            residual.decrease_weight(t.edge, t.amount);
+        }
+        out.steps.push(first);
+        step_idx += 1;
+    }
+    out
+}
+
+/// Checks an adaptive schedule: per-step width within `k_at(i)`, 1-port, and
+/// exact coverage of `graph`.
+pub fn validate_adaptive<P: KProfile>(
+    graph: &Graph,
+    schedule: &Schedule,
+    profile: &P,
+) -> Result<(), String> {
+    let mut carried: Vec<Weight> =
+        vec![0; graph.edge_ids().map(|e| e.index() + 1).max().unwrap_or(0)];
+    for (i, step) in schedule.steps.iter().enumerate() {
+        let k = profile
+            .k_at(i)
+            .clamp(1, graph.left_count().min(graph.right_count()));
+        if step.transfers.is_empty() {
+            return Err(format!("step {i} empty"));
+        }
+        if step.transfers.len() > k {
+            return Err(format!(
+                "step {i} width {} exceeds k = {k}",
+                step.transfers.len()
+            ));
+        }
+        let mut lu = vec![false; graph.left_count()];
+        let mut ru = vec![false; graph.right_count()];
+        for t in &step.transfers {
+            let (l, r) = (graph.left_of(t.edge), graph.right_of(t.edge));
+            if lu[l] || ru[r] {
+                return Err(format!("step {i} violates 1-port"));
+            }
+            lu[l] = true;
+            ru[r] = true;
+            carried[t.edge.index()] += t.amount;
+        }
+    }
+    for e in graph.edge_ids() {
+        if carried[e.index()] != graph.weight(e) {
+            return Err(format!(
+                "edge {} carried {} of {}",
+                e.0,
+                carried[e.index()],
+                graph.weight(e)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Cost of ignoring the variation: plan once with the *initial* `k` and pay
+/// every step at the profile's width bound anyway (steps wider than the
+/// momentary `k` are split greedily). Used by the `dynamic_backbone` example
+/// to show the benefit of re-planning.
+pub fn oblivious_schedule<P: KProfile>(graph: &Graph, beta: Weight, profile: &P) -> Schedule {
+    let k0 = profile
+        .k_at(0)
+        .clamp(1, graph.left_count().min(graph.right_count()));
+    let inst = Instance::new(graph.clone(), k0, beta);
+    let plan = oggp(&inst);
+    // Split any step wider than the momentary k into chunks.
+    let mut out = Schedule::new(beta);
+    let mut idx = 0usize;
+    for step in plan.steps {
+        let mut rest = step.transfers.as_slice();
+        while !rest.is_empty() {
+            let k = profile
+                .k_at(idx)
+                .clamp(1, graph.left_count().min(graph.right_count()));
+            let take = rest.len().min(k);
+            out.steps.push(Step {
+                transfers: rest[..take].to_vec(),
+            });
+            rest = &rest[take..];
+            idx += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bipartite::generate::{complete_graph, random_graph, GraphParams};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn constant_profile_matches_oggp_validity() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = complete_graph(&mut rng, 4, 4, (1, 9));
+        let s = adaptive_schedule(&g, 1, &ConstantK(2));
+        validate_adaptive(&g, &s, &ConstantK(2)).unwrap();
+    }
+
+    #[test]
+    fn cyclic_profile_respected() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = complete_graph(&mut rng, 5, 5, (1, 6));
+        let profile = CyclicK(vec![1, 3, 2]);
+        let s = adaptive_schedule(&g, 1, &profile);
+        validate_adaptive(&g, &s, &profile).unwrap();
+        // Step widths actually vary with the profile.
+        for (i, st) in s.steps.iter().enumerate() {
+            assert!(st.width() <= profile.k_at(i));
+        }
+    }
+
+    #[test]
+    fn adaptive_beats_or_ties_oblivious_under_shrinkage() {
+        // k drops from 4 to 1 after the first step: the oblivious plan
+        // built for k = 4 fragments badly.
+        let mut rng = SmallRng::seed_from_u64(10);
+        let g = complete_graph(&mut rng, 4, 4, (3, 9));
+        let profile = CyclicK(vec![4, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2]);
+        let adaptive = adaptive_schedule(&g, 1, &profile);
+        let oblivious = oblivious_schedule(&g, 1, &profile);
+        validate_adaptive(&g, &adaptive, &profile).unwrap();
+        validate_adaptive(&g, &oblivious, &profile).unwrap();
+        assert!(adaptive.cost() <= oblivious.cost());
+    }
+
+    #[test]
+    fn random_graphs_adaptive_valid() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let params = GraphParams {
+            max_nodes_per_side: 6,
+            max_edges: 20,
+            weight_range: (1, 10),
+        };
+        for seed in 0..30 {
+            let g = random_graph(&mut rng, &params);
+            let profile = CyclicK(vec![1 + seed % 3, 2, 1]);
+            let s = adaptive_schedule(&g, 1, &profile);
+            validate_adaptive(&g, &s, &profile).unwrap();
+        }
+    }
+}

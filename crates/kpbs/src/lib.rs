@@ -1,0 +1,74 @@
+//! K-Preemptive Bipartite Scheduling (K-PBS).
+//!
+//! This crate implements the contribution of Jeannot & Wagner, *Two Fast and
+//! Efficient Message Scheduling Algorithms for Data Redistribution through a
+//! Backbone* (IPDPS 2004): scheduling an arbitrary redistribution pattern
+//! between two clusters interconnected by a backbone that admits at most `k`
+//! simultaneous transfers, under the 1-port model, with a per-step setup
+//! delay `β`, minimising `Σ_i (β + W(M_i))`.
+//!
+//! The two headline algorithms are:
+//!
+//! * [`ggp`] — the Generic Graph Peeling 2-approximation (Section 4.2),
+//! * [`oggp`] — the Optimised GGP (Section 4.3), identical peeling but each
+//!   step's matching maximises its minimum edge weight.
+//!
+//! Supporting pieces: [`wrgp`] (the weight-regular peeling kernel, Fig. 3),
+//! [`regularize`] (Section 4.2.2 graph augmentation), [`normalize`]
+//! (β-normalisation), [`lower_bound`] (the Cohen–Jeannot–Padoy bound used as
+//! the denominator of the paper's *evaluation ratio*), [`exact`] (an optimal
+//! branch-and-bound solver for tiny instances), [`baselines`], and the
+//! future-work extensions [`adaptive`] (time-varying `k`) and [`relax`]
+//! (barrier weakening).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bipartite::Graph;
+//! use kpbs::{Instance, ggp, oggp, lower_bound};
+//!
+//! // 2 senders, 2 receivers, 3 messages; at most k = 1 transfer at a time,
+//! // setup delay β = 1 tick.
+//! let mut g = Graph::new(2, 2);
+//! g.add_edge(0, 0, 4);
+//! g.add_edge(0, 1, 2);
+//! g.add_edge(1, 1, 3);
+//! let inst = Instance::new(g, 1, 1);
+//!
+//! let s = oggp::oggp(&inst);
+//! s.validate(&inst).unwrap();
+//! assert!(s.cost() >= lower_bound::lower_bound(&inst));
+//! assert!(ggp::ggp(&inst).validate(&inst).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod baselines;
+pub mod coloring;
+pub mod exact;
+pub mod ggp;
+pub mod instances;
+pub mod lower_bound;
+pub mod normalize;
+pub mod oggp;
+pub mod online;
+pub mod platform;
+pub mod prelocal;
+pub mod problem;
+pub mod regularize;
+pub mod relax;
+pub mod schedule;
+pub mod stats;
+pub mod traffic;
+pub mod validate;
+pub mod wdm;
+pub mod wrgp;
+
+pub use ggp::ggp;
+pub use lower_bound::lower_bound;
+pub use oggp::oggp;
+pub use platform::Platform;
+pub use problem::Instance;
+pub use schedule::{Schedule, Step, Transfer};
+pub use traffic::TrafficMatrix;

@@ -1,0 +1,162 @@
+//! The Cohen–Jeannot–Padoy lower bound on the optimal K-PBS cost
+//! (references [7, 6] of the paper), used as the denominator of the paper's
+//! *evaluation ratio* throughout Section 5.1.
+//!
+//! Two independent lower bounds compose additively:
+//!
+//! * **transmission**: every schedule transmits for at least
+//!   `max(W(G), ⌈P(G)/k⌉)` ticks — the busiest node keeps its single port
+//!   busy for `W(G)`, and `k` parallel channels move at most `k` ticks of
+//!   volume per tick;
+//! * **setup**: every schedule has at least `max(⌈m/k⌉, Δ(G))` steps — each
+//!   step covers at most `k` distinct edges and at most one edge per node —
+//!   and each step pays `β`.
+
+use crate::problem::Instance;
+use bipartite::properties;
+use bipartite::Weight;
+
+/// Lower bound on the number of steps of any feasible schedule.
+pub fn min_steps(inst: &Instance) -> u64 {
+    let g = &inst.graph;
+    if g.is_empty() {
+        return 0;
+    }
+    let k = inst.effective_k() as u64;
+    let m = g.edge_count() as u64;
+    let delta = properties::max_degree(g) as u64;
+    m.div_ceil(k).max(delta)
+}
+
+/// Lower bound on the total transmission time (excluding setups) of any
+/// feasible schedule.
+pub fn min_transmission(inst: &Instance) -> Weight {
+    let g = &inst.graph;
+    if g.is_empty() {
+        return 0;
+    }
+    let k = inst.effective_k() as Weight;
+    let p = properties::total_weight(g);
+    let w = properties::max_node_weight(g);
+    w.max(p.div_ceil(k))
+}
+
+/// The weaker per-node bound `max_s (w(s) + β·Δ(s))`: the busiest node must
+/// run each of its `Δ(s)` transfers in a distinct step (1-port) and be busy
+/// `w(s)` in total. Always dominated by [`lower_bound`], which may combine
+/// the heaviest node with a *different* highest-degree node; kept for
+/// documentation and as a cross-check in tests.
+pub fn per_node_bound(inst: &Instance) -> Weight {
+    let g = &inst.graph;
+    let left = (0..g.left_count())
+        .map(|l| g.node_weight_left(l) + inst.beta * g.degree_left(l) as Weight);
+    let right = (0..g.right_count())
+        .map(|r| g.node_weight_right(r) + inst.beta * g.degree_right(r) as Weight);
+    left.chain(right).max().unwrap_or(0)
+}
+
+/// The full lower bound `max(W(G), ⌈P/k⌉) + β·max(⌈m/k⌉, Δ(G))` in ticks.
+///
+/// Any feasible schedule costs at least this much, so
+/// `cost / lower_bound ≥ 1` and, by Theorem 1, GGP and OGGP stay below
+/// `2 × optimal` (though the *ratio to the bound* can exceed 2 only when the
+/// bound is loose — the paper's simulations never observed more than 1.8).
+pub fn lower_bound(inst: &Instance) -> Weight {
+    min_transmission(inst) + inst.beta * min_steps(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bipartite::Graph;
+
+    #[test]
+    fn empty_instance_zero_bound() {
+        let inst = Instance::new(Graph::new(2, 2), 3, 5);
+        assert_eq!(lower_bound(&inst), 0);
+        assert_eq!(min_steps(&inst), 0);
+    }
+
+    #[test]
+    fn single_edge_bound_is_exact() {
+        let mut g = Graph::new(1, 1);
+        g.add_edge(0, 0, 10);
+        let inst = Instance::new(g, 1, 3);
+        // One step of duration 10 plus one setup: optimum is 13.
+        assert_eq!(lower_bound(&inst), 13);
+    }
+
+    #[test]
+    fn degree_drives_step_count() {
+        // Star with 4 edges out of left 0: Δ = 4 even though m/k = 2.
+        let mut g = Graph::new(1, 4);
+        for r in 0..4 {
+            g.add_edge(0, r, 1);
+        }
+        let inst = Instance::new(g, 2, 1);
+        assert_eq!(min_steps(&inst), 4);
+        // W(G) = 4 (node 0 sends all four), P/k with k = 1 (clamped to left
+        // side size 1!) is 4.
+        assert_eq!(inst.effective_k(), 1);
+        assert_eq!(min_transmission(&inst), 4);
+        assert_eq!(lower_bound(&inst), 8);
+    }
+
+    #[test]
+    fn volume_drives_transmission() {
+        // 4x4, 16 unit edges, k = 2: P/k = 8 > W = 4.
+        let mut g = Graph::new(4, 4);
+        for l in 0..4 {
+            for r in 0..4 {
+                g.add_edge(l, r, 1);
+            }
+        }
+        let inst = Instance::new(g, 2, 0);
+        assert_eq!(min_transmission(&inst), 8);
+        assert_eq!(min_steps(&inst), 8);
+        assert_eq!(lower_bound(&inst), 8);
+    }
+
+    #[test]
+    fn node_weight_drives_transmission() {
+        // Heavy sender: W(G) = 100 dominates P/k = 34.
+        let mut g = Graph::new(2, 3);
+        g.add_edge(0, 0, 50);
+        g.add_edge(0, 1, 50);
+        g.add_edge(1, 2, 1);
+        let inst = Instance::new(g, 3, 0);
+        assert_eq!(inst.effective_k(), 2);
+        assert_eq!(min_transmission(&inst), 100);
+    }
+
+    #[test]
+    fn per_node_bound_dominated_by_full_bound() {
+        use bipartite::generate::{random_graph, GraphParams};
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(44);
+        let params = GraphParams {
+            max_nodes_per_side: 10,
+            max_edges: 50,
+            weight_range: (1, 25),
+        };
+        for _ in 0..200 {
+            let g = random_graph(&mut rng, &params);
+            let k = rng.gen_range(1..=g.left_count().min(g.right_count()));
+            let inst = Instance::new(g, k, rng.gen_range(0..5));
+            assert!(per_node_bound(&inst) <= lower_bound(&inst));
+        }
+    }
+
+    #[test]
+    fn ceil_division_in_bounds() {
+        // P = 5, k = 2 -> ceil = 3; m = 5, k = 2 -> ceil = 3 steps.
+        let mut g = Graph::new(5, 5);
+        for i in 0..5 {
+            g.add_edge(i, i, 1);
+        }
+        let inst = Instance::new(g, 2, 1);
+        assert_eq!(min_transmission(&inst), 3);
+        assert_eq!(min_steps(&inst), 3);
+        assert_eq!(lower_bound(&inst), 6);
+    }
+}

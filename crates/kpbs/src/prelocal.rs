@@ -1,0 +1,345 @@
+//! Local pre-redistribution — the paper's first future-work direction
+//! (Section 6): "achieving a local pre-redistribution in case a high-speed
+//! local network is available. This would allow to aggregate small
+//! communications together, or on the opposite to dispatch communications
+//! to all nodes in the cluster."
+//!
+//! Two rewriting passes over the communication graph, each with explicit
+//! cost accounting for the local phase:
+//!
+//! * [`aggregate`] — per receiver, messages smaller than a threshold are
+//!   gathered at a *proxy* sender over the local network, then cross the
+//!   backbone as one message. Trades local gather time for fewer backbone
+//!   steps (β) and lower degree.
+//! * [`dispatch`] — whole messages are moved off overloaded senders onto
+//!   lightly-loaded ones, lowering `W(G)` on the sender side (useful when
+//!   one node holds most of the data).
+//!
+//! Both passes assume the intra-cluster network is a crossbar `speedup`
+//! times faster than a backbone channel, with the 1-port rule applying
+//! locally too (a node receives local data serially). The local phase cost
+//! is therefore the maximum, over nodes, of the local traffic in or out of
+//! that node, divided by the speedup.
+
+use crate::problem::Instance;
+use bipartite::{Graph, Weight};
+
+/// Configuration of the local pre-redistribution passes.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalConfig {
+    /// Messages strictly smaller than this many ticks are aggregation
+    /// candidates.
+    pub small_threshold: Weight,
+    /// How many times faster a local channel is than a backbone channel.
+    pub local_speedup: f64,
+}
+
+impl Default for LocalConfig {
+    fn default() -> Self {
+        LocalConfig {
+            small_threshold: 4,
+            local_speedup: 10.0,
+        }
+    }
+}
+
+/// Result of a pre-redistribution pass.
+#[derive(Debug, Clone)]
+pub struct PrePlan {
+    /// The rewritten backbone instance.
+    pub instance: Instance,
+    /// Ticks spent in the local phase (already divided by the speedup,
+    /// rounded up; phases across distinct node pairs overlap, so this is
+    /// the per-node maximum).
+    pub local_cost: Weight,
+}
+
+impl PrePlan {
+    /// Total cost when scheduled with OGGP: local phase + backbone phase.
+    pub fn total_cost(&self) -> Weight {
+        self.local_cost + crate::oggp::oggp(&self.instance).cost()
+    }
+}
+
+/// Aggregation pass: for every receiver with at least two small incoming
+/// messages, gather them at the sender holding the largest of them (whose
+/// own bytes never move locally) and merge into one backbone message.
+///
+/// ```
+/// use bipartite::Graph;
+/// use kpbs::{Instance, prelocal};
+///
+/// // Four 1-tick messages to receiver 0; β = 5 dominates them.
+/// let mut g = Graph::new(4, 1);
+/// for s in 0..4 { g.add_edge(s, 0, 1); }
+/// let inst = Instance::new(g, 1, 5);
+/// let pre = prelocal::aggregate(&inst, &prelocal::LocalConfig::default());
+/// assert_eq!(pre.instance.graph.edge_count(), 1); // one merged message
+/// assert!(pre.total_cost() < kpbs::oggp(&inst).cost());
+/// ```
+// `j` indexes `merged[s][j]` for varying `s`; iterating rows is not simpler.
+#[allow(clippy::needless_range_loop)]
+pub fn aggregate(inst: &Instance, cfg: &LocalConfig) -> PrePlan {
+    assert!(cfg.local_speedup >= 1.0, "a slower local net never helps");
+    let g = &inst.graph;
+    let n1 = g.left_count();
+    let n2 = g.right_count();
+
+    // merged[s][j] = backbone ticks from s to j after rewriting.
+    let mut merged = vec![vec![0u64; n2]; n1];
+    // local_in[s] = ticks gathered INTO proxy s over the local network.
+    let mut local_in = vec![0u64; n1];
+    let mut local_out = vec![0u64; n1];
+
+    for j in 0..n2 {
+        let mut small: Vec<(usize, Weight)> = Vec::new();
+        for e in g.edges_of_right(j) {
+            let (s, w) = (g.left_of(e), g.weight(e));
+            if w < cfg.small_threshold {
+                small.push((s, w));
+            } else {
+                merged[s][j] += w;
+            }
+        }
+        if small.len() >= 2 {
+            // Proxy: holder of the largest small message.
+            let &(proxy, _) = small
+                .iter()
+                .max_by_key(|&&(_, w)| w)
+                .expect("non-empty small set");
+            for &(s, w) in &small {
+                merged[proxy][j] += w;
+                if s != proxy {
+                    local_in[proxy] += w;
+                    local_out[s] += w;
+                }
+            }
+        } else {
+            for &(s, w) in &small {
+                merged[s][j] += w;
+            }
+        }
+    }
+
+    build_preplan(inst, merged, &local_in, &local_out, cfg)
+}
+
+/// Dispatch pass: while some sender's outgoing weight exceeds the average
+/// by more than the largest single message, move whole messages to the
+/// least-loaded sender (greedy load balancing), paying the local copy.
+pub fn dispatch(inst: &Instance, cfg: &LocalConfig) -> PrePlan {
+    assert!(cfg.local_speedup >= 1.0);
+    let g = &inst.graph;
+    let n1 = g.left_count();
+    let n2 = g.right_count();
+
+    let mut merged = vec![vec![0u64; n2]; n1];
+    // Messages as a mutable pool: (current holder, receiver, ticks).
+    let mut pool: Vec<(usize, usize, Weight)> =
+        g.edges().map(|(_, s, j, w)| (s, j, w)).collect();
+    let mut load: Vec<Weight> = vec![0; n1];
+    for &(s, _, w) in &pool {
+        load[s] += w;
+    }
+    let mut local_in = vec![0u64; n1];
+    let mut local_out = vec![0u64; n1];
+
+    while let Some((max_s, &max_load)) = load.iter().enumerate().max_by_key(|&(_, &l)| l) {
+        let (min_s, &min_load) = load
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &l)| l)
+            .expect("non-empty");
+        // Smallest message of the overloaded sender that still helps.
+        let candidate = pool
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(s, _, _))| s == max_s)
+            .min_by_key(|&(_, &(_, _, w))| w)
+            .map(|(i, &(_, _, w))| (i, w));
+        let Some((idx, w)) = candidate else { break };
+        // Move only while it strictly reduces the maximum load.
+        if max_load <= min_load + w {
+            break;
+        }
+        pool[idx].0 = min_s;
+        load[max_s] -= w;
+        load[min_s] += w;
+        local_out[max_s] += w;
+        local_in[min_s] += w;
+    }
+
+    for &(s, j, w) in &pool {
+        merged[s][j] += w;
+    }
+    build_preplan(inst, merged, &local_in, &local_out, cfg)
+}
+
+fn build_preplan(
+    inst: &Instance,
+    merged: Vec<Vec<u64>>,
+    local_in: &[u64],
+    local_out: &[u64],
+    cfg: &LocalConfig,
+) -> PrePlan {
+    let n2 = inst.graph.right_count();
+    let mut g = Graph::new(merged.len(), n2);
+    for (s, row) in merged.iter().enumerate() {
+        for (j, &w) in row.iter().enumerate() {
+            if w > 0 {
+                g.add_edge(s, j, w);
+            }
+        }
+    }
+    // Local phase: per-node serial in/out, overlapping across nodes.
+    let busiest = local_in
+        .iter()
+        .chain(local_out)
+        .copied()
+        .max()
+        .unwrap_or(0);
+    let local_cost = if busiest == 0 {
+        0
+    } else {
+        ((busiest as f64 / cfg.local_speedup).ceil() as Weight).max(1)
+    };
+    PrePlan {
+        instance: Instance::new(g, inst.k, inst.beta),
+        local_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oggp::oggp;
+    use bipartite::properties;
+
+    fn many_small_to_one() -> Instance {
+        // 6 senders each with a 1-tick message to receiver 0; β = 5 makes
+        // the per-step setup dominate.
+        let mut g = Graph::new(6, 2);
+        for s in 0..6 {
+            g.add_edge(s, 0, 1);
+        }
+        g.add_edge(0, 1, 10);
+        Instance::new(g, 2, 5)
+    }
+
+    #[test]
+    fn aggregation_merges_small_messages() {
+        let inst = many_small_to_one();
+        let cfg = LocalConfig {
+            small_threshold: 4,
+            local_speedup: 10.0,
+        };
+        let pre = aggregate(&inst, &cfg);
+        // All six 1-tick messages merge into one 6-tick backbone message
+        // (the proxy is whichever sender held a largest small message).
+        assert_eq!(pre.instance.graph.edge_count(), 2);
+        assert_eq!(properties::max_node_weight(&pre.instance.graph), 10); // sender 0's big message
+        assert!(pre.local_cost >= 1);
+        // Five 1-tick gathers over a 10x local net -> 1 tick.
+        assert_eq!(pre.local_cost, 1);
+    }
+
+    #[test]
+    fn aggregation_beneficial_when_beta_dominates() {
+        let inst = many_small_to_one();
+        let direct = oggp(&inst).cost();
+        let pre = aggregate(&inst, &LocalConfig::default());
+        assert!(
+            pre.total_cost() < direct,
+            "aggregated {} should beat direct {}",
+            pre.total_cost(),
+            direct
+        );
+    }
+
+    #[test]
+    fn aggregation_noop_when_messages_large() {
+        let mut g = Graph::new(3, 3);
+        g.add_edge(0, 0, 100);
+        g.add_edge(1, 1, 90);
+        g.add_edge(2, 0, 80);
+        let inst = Instance::new(g, 2, 1);
+        let pre = aggregate(&inst, &LocalConfig::default());
+        assert_eq!(pre.local_cost, 0);
+        assert_eq!(pre.instance.graph.edge_count(), 3);
+        assert_eq!(
+            pre.total_cost(),
+            oggp(&inst).cost(),
+            "no rewriting, no cost change"
+        );
+    }
+
+    #[test]
+    fn aggregation_preserves_volume() {
+        let inst = many_small_to_one();
+        let pre = aggregate(&inst, &LocalConfig::default());
+        assert_eq!(
+            properties::total_weight(&pre.instance.graph),
+            inst.total_weight()
+        );
+    }
+
+    #[test]
+    fn dispatch_lowers_sender_bottleneck() {
+        // One sender holds everything: W(G) = 12; others idle.
+        let mut g = Graph::new(3, 3);
+        g.add_edge(0, 0, 4);
+        g.add_edge(0, 1, 4);
+        g.add_edge(0, 2, 4);
+        let inst = Instance::new(g, 3, 0);
+        let pre = dispatch(&inst, &LocalConfig::default());
+        let w_before = properties::max_node_weight(&inst.graph);
+        let w_after = properties::max_node_weight(&pre.instance.graph);
+        assert!(w_after < w_before, "{w_after} !< {w_before}");
+        assert_eq!(
+            properties::total_weight(&pre.instance.graph),
+            inst.total_weight()
+        );
+        // With β = 0 the schedule cost equals max(W, ceil(P/k)): dispatch
+        // brings it down from 12 towards ceil(12/3) = 4 (+ local copies).
+        assert!(pre.total_cost() < oggp(&inst).cost() + pre.local_cost);
+    }
+
+    #[test]
+    fn dispatch_noop_on_balanced_load() {
+        let mut g = Graph::new(2, 2);
+        g.add_edge(0, 0, 5);
+        g.add_edge(1, 1, 5);
+        let inst = Instance::new(g, 2, 1);
+        let pre = dispatch(&inst, &LocalConfig::default());
+        assert_eq!(pre.local_cost, 0);
+        assert_eq!(pre.total_cost(), oggp(&inst).cost());
+    }
+
+    #[test]
+    fn passes_keep_schedules_feasible() {
+        use bipartite::generate::{random_graph, GraphParams};
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(41);
+        let params = GraphParams {
+            max_nodes_per_side: 8,
+            max_edges: 40,
+            weight_range: (1, 12),
+        };
+        for _ in 0..50 {
+            let g = random_graph(&mut rng, &params);
+            let k = rng.gen_range(1..=g.left_count().min(g.right_count()));
+            let inst = Instance::new(g, k, rng.gen_range(0..4));
+            for pre in [
+                aggregate(&inst, &LocalConfig::default()),
+                dispatch(&inst, &LocalConfig::default()),
+            ] {
+                let s = oggp(&pre.instance);
+                s.validate(&pre.instance).unwrap();
+                assert_eq!(
+                    properties::total_weight(&pre.instance.graph),
+                    inst.total_weight()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The K-PBS problem instance.
+
+use bipartite::{Graph, Weight};
+
+/// A K-PBS instance: the communication graph `G`, the maximum number of
+/// simultaneous communications `k`, and the per-step setup delay `β`
+/// (Section 2.2 of the paper). All durations are integer ticks.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Weighted bipartite communication graph; edge weights are transfer
+    /// durations in ticks.
+    pub graph: Graph,
+    /// Maximum number of simultaneous communications per step. Values larger
+    /// than what the 1-port model permits are clamped by
+    /// [`Instance::effective_k`].
+    pub k: usize,
+    /// Setup delay charged once per communication step, in ticks.
+    pub beta: Weight,
+}
+
+impl Instance {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`: at least one communication per step is required
+    /// for any non-empty redistribution to terminate.
+    pub fn new(graph: Graph, k: usize, beta: Weight) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Instance { graph, k, beta }
+    }
+
+    /// The `k` actually usable by a schedule: the 1-port model caps
+    /// parallelism at `min(|V1|, |V2|)` regardless of the backbone
+    /// (Section 2.4: when `k = min(n1, n2)` the backbone stops being a
+    /// bottleneck).
+    pub fn effective_k(&self) -> usize {
+        self.k
+            .min(self.graph.left_count().max(1))
+            .min(self.graph.right_count().max(1))
+            .max(1)
+    }
+
+    /// Total communication volume `P(G)` in ticks.
+    pub fn total_weight(&self) -> Weight {
+        bipartite::properties::total_weight(&self.graph)
+    }
+
+    /// True when there is nothing to transfer.
+    pub fn is_trivial(&self) -> bool {
+        self.graph.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_k_clamps_to_sides() {
+        let mut g = Graph::new(3, 5);
+        g.add_edge(0, 0, 1);
+        let inst = Instance::new(g, 100, 1);
+        assert_eq!(inst.effective_k(), 3);
+    }
+
+    #[test]
+    fn effective_k_keeps_small_k() {
+        let mut g = Graph::new(10, 10);
+        g.add_edge(0, 0, 1);
+        let inst = Instance::new(g, 4, 0);
+        assert_eq!(inst.effective_k(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        Instance::new(Graph::new(1, 1), 0, 1);
+    }
+
+    #[test]
+    fn trivial_instance() {
+        let inst = Instance::new(Graph::new(2, 2), 1, 1);
+        assert!(inst.is_trivial());
+        assert_eq!(inst.total_weight(), 0);
+        // Even with zero-sized sides, effective_k stays >= 1.
+        let inst2 = Instance::new(Graph::new(0, 0), 3, 1);
+        assert_eq!(inst2.effective_k(), 1);
+    }
+}

@@ -1,0 +1,372 @@
+//! Building weight-regular graphs (Section 4.2.2 of the paper).
+//!
+//! Any bipartite graph `G` is embedded into a weight-regular graph `J` such
+//! that every perfect matching of `J` contains at most `k` edges of `G`.
+//! Two kinds of synthetic material are added:
+//!
+//! * **filler** edges, each joining a fresh left node to a fresh right node,
+//!   padding the total weight `P` so that `R = P'/k` is an integer with
+//!   `R ≥ W(G)`. All filler edges weigh `W(G)` except possibly the last
+//!   (the remainder). This is "case 2" of the paper.
+//! * **pad** edges, connecting original (or filler) nodes to fresh *pad*
+//!   nodes on the opposite side, raising every node's weight `w(s)` to
+//!   exactly `R`. `|V2'|−k` pad nodes join the left side and `|V1'|−k` the
+//!   right side; pad edges never join two pad nodes. This is "case 1", and
+//!   Proposition 1 then guarantees every perfect matching of `J` has exactly
+//!   `k` edges of the filler-augmented graph, hence at most `k` real edges.
+
+use bipartite::{properties, EdgeId, Graph, Weight};
+
+/// Where an edge of the regularised graph came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// A real communication; payload is the edge id in the source graph.
+    Real(EdgeId),
+    /// Weight filler between two fresh nodes (case 2).
+    Filler,
+    /// Padding from an original/filler node to a pad node (case 1).
+    Pad,
+}
+
+/// A weight-regular embedding of a source graph.
+#[derive(Debug, Clone)]
+pub struct Regularized {
+    /// The weight-regular graph `J`. Its first edges mirror the live edges
+    /// of the source graph in id order.
+    pub graph: Graph,
+    /// Kind of each edge of `graph`, indexed by edge id.
+    pub kinds: Vec<EdgeKind>,
+    /// The parallelism bound the construction was built for.
+    pub k: usize,
+    /// The common node weight `R = P(J)/k · k / |V|`… concretely, every node
+    /// of `graph` has `w(s) == regular_weight`.
+    pub regular_weight: Weight,
+}
+
+impl Regularized {
+    /// Kind of edge `e` of the regularised graph.
+    pub fn kind(&self, e: EdgeId) -> EdgeKind {
+        self.kinds[e.index()]
+    }
+
+    /// The original edge behind `e`, if `e` is real.
+    pub fn origin(&self, e: EdgeId) -> Option<EdgeId> {
+        match self.kinds[e.index()] {
+            EdgeKind::Real(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+/// Embeds `src` (all weights ≥ 1) into a weight-regular graph for
+/// parallelism `k ≥ 1`, per Section 4.2.2.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k` exceeds either side of `src` (callers clamp via
+/// [`crate::Instance::effective_k`]).
+pub fn regularize(src: &Graph, k: usize) -> Regularized {
+    assert!(k >= 1, "k must be at least 1");
+    if src.is_empty() {
+        return Regularized {
+            graph: Graph::new(0, 0),
+            kinds: Vec::new(),
+            k,
+            regular_weight: 0,
+        };
+    }
+    assert!(
+        k <= src.left_count() && k <= src.right_count(),
+        "k = {k} exceeds a side of the graph ({} x {})",
+        src.left_count(),
+        src.right_count()
+    );
+
+    let w_max = properties::max_node_weight(src);
+    let p = properties::total_weight(src);
+    let kw = k as Weight;
+
+    // --- Case 2: pad total weight so R = P'/k is integral and >= W(G). ---
+    // Checked arithmetic: k·W and k·⌈P/k⌉ are the only products that can
+    // overflow for adversarial tick scales.
+    let (target_p, r) = if p < kw.checked_mul(w_max).expect("k * W(G) overflows u64 ticks") {
+        (kw * w_max, w_max)
+    } else {
+        let r = p.div_ceil(kw);
+        (
+            kw.checked_mul(r).expect("k * ceil(P/k) overflows u64 ticks"),
+            r,
+        )
+    };
+    let mut filler_total = target_p - p;
+
+    let mut graph = Graph::new(src.left_count(), src.right_count());
+    let mut kinds: Vec<EdgeKind> = Vec::with_capacity(src.edge_count());
+    for (id, l, rr, w) in src.edges() {
+        graph.add_edge(l, rr, w);
+        kinds.push(EdgeKind::Real(id));
+    }
+    while filler_total > 0 {
+        let chunk = filler_total.min(w_max);
+        let l = graph.add_left_node();
+        let rr = graph.add_right_node();
+        graph.add_edge(l, rr, chunk);
+        kinds.push(EdgeKind::Filler);
+        filler_total -= chunk;
+    }
+
+    // --- Case 1: raise every node's weight to exactly R with pad nodes. ---
+    let n1 = graph.left_count();
+    let n2 = graph.right_count();
+    // Deficits of existing nodes (computed before pad nodes are created).
+    let left_deficit: Vec<Weight> = (0..n1).map(|l| r - graph.node_weight_left(l)).collect();
+    let right_deficit: Vec<Weight> = (0..n2).map(|j| r - graph.node_weight_right(j)).collect();
+
+    // n2 - k pad nodes join the left side, absorbing the right deficits;
+    // n1 - k pad nodes join the right side, absorbing the left deficits.
+    pour(
+        &mut graph,
+        &mut kinds,
+        left_deficit,
+        n1 - k,
+        r,
+        PourSide::DeficitOnLeft,
+    );
+    pour(
+        &mut graph,
+        &mut kinds,
+        right_deficit,
+        n2 - k,
+        r,
+        PourSide::DeficitOnRight,
+    );
+
+    debug_assert_eq!(properties::regular_weight(&graph), Some(r));
+    debug_assert_eq!(graph.left_count(), graph.right_count());
+    Regularized {
+        graph,
+        kinds,
+        k,
+        regular_weight: r,
+    }
+}
+
+enum PourSide {
+    /// Deficit sits on left nodes; pad nodes are appended to the right side.
+    DeficitOnLeft,
+    /// Deficit sits on right nodes; pad nodes are appended to the left side.
+    DeficitOnRight,
+}
+
+/// First-fit pouring: route each node's deficit into pad nodes of capacity
+/// `r` on the opposite side, creating one edge per (node, pad) contact.
+fn pour(
+    graph: &mut Graph,
+    kinds: &mut Vec<EdgeKind>,
+    deficits: Vec<Weight>,
+    pad_count: usize,
+    r: Weight,
+    side: PourSide,
+) {
+    let total: Weight = deficits.iter().sum();
+    debug_assert_eq!(
+        total,
+        pad_count as Weight * r,
+        "deficits must exactly fill the pad nodes"
+    );
+    if pad_count == 0 {
+        return;
+    }
+    let mut pads: Vec<usize> = Vec::with_capacity(pad_count);
+    for _ in 0..pad_count {
+        pads.push(match side {
+            PourSide::DeficitOnLeft => graph.add_right_node(),
+            PourSide::DeficitOnRight => graph.add_left_node(),
+        });
+    }
+    let mut pad_idx = 0;
+    let mut pad_room = r;
+    for (node, mut need) in deficits.into_iter().enumerate() {
+        while need > 0 {
+            if pad_room == 0 {
+                pad_idx += 1;
+                pad_room = r;
+            }
+            let amount = need.min(pad_room);
+            match side {
+                PourSide::DeficitOnLeft => graph.add_edge(node, pads[pad_idx], amount),
+                PourSide::DeficitOnRight => graph.add_edge(pads[pad_idx], node, amount),
+            };
+            kinds.push(EdgeKind::Pad);
+            need -= amount;
+            pad_room -= amount;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bipartite::hopcroft_karp;
+
+    fn check_invariants(src: &Graph, k: usize, reg: &Regularized) {
+        // Weight-regular with equal sides.
+        assert_eq!(
+            properties::regular_weight(&reg.graph),
+            Some(reg.regular_weight)
+        );
+        assert_eq!(reg.graph.left_count(), reg.graph.right_count());
+        // Proposition 1: a perfect matching exists and carries at most k
+        // real edges (exactly k edges of the filler-augmented graph).
+        let m = hopcroft_karp::maximum_matching(&reg.graph);
+        assert!(m.is_perfect(&reg.graph), "perfect matching must exist");
+        let real = m
+            .edges()
+            .iter()
+            .filter(|&&e| matches!(reg.kind(e), EdgeKind::Real(_)))
+            .count();
+        let non_pad = m
+            .edges()
+            .iter()
+            .filter(|&&e| !matches!(reg.kind(e), EdgeKind::Pad))
+            .count();
+        assert_eq!(non_pad, k, "exactly k non-pad edges per perfect matching");
+        assert!(real <= k);
+        // Real edges mirror the source.
+        for e in reg.graph.edge_ids() {
+            if let Some(o) = reg.origin(e) {
+                assert_eq!(reg.graph.weight(e), src.weight(o));
+                assert_eq!(reg.graph.left_of(e), src.left_of(o));
+                assert_eq!(reg.graph.right_of(e), src.right_of(o));
+            }
+        }
+        // R >= W(G): no original node exceeds the regular weight.
+        assert!(reg.regular_weight >= properties::max_node_weight(src));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(3, 3);
+        let reg = regularize(&g, 2);
+        assert_eq!(reg.graph.node_count(), 0);
+        assert_eq!(reg.regular_weight, 0);
+    }
+
+    #[test]
+    fn already_regular_k_equals_n() {
+        // 2x2 regular graph with node weight 5, k = 2: P = 10 = k·W, no
+        // filler, no pads.
+        let mut g = Graph::new(2, 2);
+        g.add_edge(0, 0, 3);
+        g.add_edge(0, 1, 2);
+        g.add_edge(1, 0, 2);
+        g.add_edge(1, 1, 3);
+        let reg = regularize(&g, 2);
+        assert_eq!(reg.graph.node_count(), 4);
+        assert_eq!(reg.graph.edge_count(), 4);
+        assert_eq!(reg.regular_weight, 5);
+        check_invariants(&g, 2, &reg);
+    }
+
+    #[test]
+    fn heavy_node_forces_filler() {
+        // W = 10 > P/k = 11/2 -> filler up to P' = 20, R = 10.
+        let mut g = Graph::new(2, 2);
+        g.add_edge(0, 0, 10);
+        g.add_edge(1, 1, 1);
+        let reg = regularize(&g, 2);
+        assert_eq!(reg.regular_weight, 10);
+        assert_eq!(properties::total_weight(&reg.graph) % 10, 0);
+        check_invariants(&g, 2, &reg);
+    }
+
+    #[test]
+    fn indivisible_total_forces_remainder_filler() {
+        // P = 5, k = 2, W = 2 <= ceil(P/k): filler of 1 to reach P' = 6.
+        let mut g = Graph::new(3, 3);
+        g.add_edge(0, 0, 2);
+        g.add_edge(1, 1, 2);
+        g.add_edge(2, 2, 1);
+        let reg = regularize(&g, 2);
+        assert_eq!(reg.regular_weight, 3);
+        check_invariants(&g, 2, &reg);
+    }
+
+    #[test]
+    fn filler_chunks_never_exceed_w() {
+        // Large deficit relative to W: many filler edges, each <= W(G).
+        let mut g = Graph::new(4, 4);
+        g.add_edge(0, 0, 3);
+        g.add_edge(1, 1, 3);
+        g.add_edge(2, 2, 3);
+        g.add_edge(3, 3, 1);
+        // P = 10, k = 4, W = 3: kW = 12 > P -> filler 2 (single chunk <= 3).
+        let reg = regularize(&g, 4);
+        let w = properties::max_node_weight(&g);
+        for e in reg.graph.edge_ids() {
+            if matches!(reg.kind(e), EdgeKind::Filler) {
+                assert!(reg.graph.weight(e) <= w);
+            }
+        }
+        check_invariants(&g, 4, &reg);
+    }
+
+    #[test]
+    fn k_one_sequentialises() {
+        let mut g = Graph::new(2, 2);
+        g.add_edge(0, 0, 4);
+        g.add_edge(1, 1, 6);
+        let reg = regularize(&g, 1);
+        // R = P = 10 with k = 1.
+        assert_eq!(reg.regular_weight, 10);
+        check_invariants(&g, 1, &reg);
+    }
+
+    #[test]
+    fn pad_edges_never_join_two_pads() {
+        let mut g = Graph::new(3, 2);
+        g.add_edge(0, 0, 5);
+        g.add_edge(1, 1, 2);
+        g.add_edge(2, 0, 1);
+        let reg = regularize(&g, 2);
+        let orig_left = 3 + reg
+            .kinds
+            .iter()
+            .filter(|k| matches!(k, EdgeKind::Filler))
+            .count();
+        // Every pad edge touches at most one node beyond the original+filler
+        // range on each side.
+        for e in reg.graph.edge_ids() {
+            if matches!(reg.kind(e), EdgeKind::Pad) {
+                let l_is_pad = reg.graph.left_of(e) >= orig_left;
+                let r_is_pad = reg.graph.right_of(e)
+                    >= 2 + reg
+                        .kinds
+                        .iter()
+                        .filter(|k| matches!(k, EdgeKind::Filler))
+                        .count();
+                assert!(!(l_is_pad && r_is_pad), "pad edge joins two pad nodes");
+            }
+        }
+        check_invariants(&g, 2, &reg);
+    }
+
+    #[test]
+    fn random_graphs_invariants() {
+        use bipartite::generate::{random_graph, GraphParams};
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(2024);
+        let params = GraphParams {
+            max_nodes_per_side: 8,
+            max_edges: 30,
+            weight_range: (1, 15),
+        };
+        for _ in 0..300 {
+            let g = random_graph(&mut rng, &params);
+            let kmax = g.left_count().min(g.right_count());
+            let k = rng.gen_range(1..=kmax);
+            let reg = regularize(&g, k);
+            check_invariants(&g, k, &reg);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Traffic matrices and their conversion into K-PBS instances.
+//!
+//! The application hands the scheduler a traffic matrix `M = (m_ij)` of
+//! *bytes* to move from sender `i` to receiver `j` (Section 2.1). Dividing
+//! by the per-transfer speed `t` gives the communication matrix
+//! `C = (c_ij = m_ij / t)` of *durations*, which is the weighted bipartite
+//! graph the algorithms schedule. Durations are discretised to integer ticks
+//! by a [`TickScale`].
+
+use crate::platform::Platform;
+use crate::problem::Instance;
+use bipartite::{Graph, Weight};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Conversion between wall-clock seconds and scheduler ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TickScale {
+    /// Number of ticks per second. Higher values discretise more finely;
+    /// rounding (always up) costs at most one tick per message.
+    pub ticks_per_second: f64,
+}
+
+impl TickScale {
+    /// A millisecond-resolution scale, ample for the paper's workloads.
+    pub const MILLIS: TickScale = TickScale {
+        ticks_per_second: 1_000.0,
+    };
+
+    /// Converts a duration in seconds to ticks, rounding up (a non-zero
+    /// duration never becomes zero ticks).
+    pub fn to_ticks(&self, seconds: f64) -> Weight {
+        assert!(seconds >= 0.0 && seconds.is_finite());
+        if seconds == 0.0 {
+            return 0;
+        }
+        (seconds * self.ticks_per_second).ceil().max(1.0) as Weight
+    }
+
+    /// Converts ticks back to seconds.
+    pub fn to_seconds(&self, ticks: Weight) -> f64 {
+        ticks as f64 / self.ticks_per_second
+    }
+}
+
+/// A dense traffic matrix in bytes, row-major (`n1` senders × `n2`
+/// receivers).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    n1: usize,
+    n2: usize,
+    bytes: Vec<u64>,
+}
+
+impl TrafficMatrix {
+    /// An all-zero matrix.
+    pub fn zeros(n1: usize, n2: usize) -> Self {
+        TrafficMatrix {
+            n1,
+            n2,
+            bytes: vec![0; n1 * n2],
+        }
+    }
+
+    /// Builds a matrix from a row-major byte vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != n1 * n2`.
+    pub fn from_rows(n1: usize, n2: usize, bytes: Vec<u64>) -> Self {
+        assert_eq!(bytes.len(), n1 * n2, "dimension mismatch");
+        TrafficMatrix { n1, n2, bytes }
+    }
+
+    /// Number of senders.
+    pub fn senders(&self) -> usize {
+        self.n1
+    }
+
+    /// Number of receivers.
+    pub fn receivers(&self) -> usize {
+        self.n2
+    }
+
+    /// Bytes from sender `i` to receiver `j`.
+    pub fn get(&self, i: usize, j: usize) -> u64 {
+        self.bytes[i * self.n2 + j]
+    }
+
+    /// Sets the bytes from sender `i` to receiver `j`.
+    pub fn set(&mut self, i: usize, j: usize, bytes: u64) {
+        self.bytes[i * self.n2 + j] = bytes;
+    }
+
+    /// Total bytes to move.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Number of non-zero messages.
+    pub fn message_count(&self) -> usize {
+        self.bytes.iter().filter(|&&b| b > 0).count()
+    }
+
+    /// The workload of the paper's real-world experiments (Section 5.2):
+    /// every pair communicates, sizes uniform in `[lo_mb, hi_mb]` MB.
+    pub fn uniform_mb<R: Rng + ?Sized>(
+        rng: &mut R,
+        n1: usize,
+        n2: usize,
+        lo_mb: u64,
+        hi_mb: u64,
+    ) -> Self {
+        assert!(lo_mb >= 1 && lo_mb <= hi_mb);
+        let mut m = TrafficMatrix::zeros(n1, n2);
+        for i in 0..n1 {
+            for j in 0..n2 {
+                m.set(i, j, rng.gen_range(lo_mb..=hi_mb) * 1_000_000);
+            }
+        }
+        m
+    }
+
+    /// Converts the matrix into a K-PBS instance on `platform` with setup
+    /// delay `beta_seconds`, discretised by `scale`.
+    ///
+    /// Each non-zero message becomes an edge whose weight is its transfer
+    /// duration at the platform's per-transfer speed `t = min(t1, t2)`.
+    /// Returns the instance together with the `(sender, receiver)` behind
+    /// each edge id (edge ids are dense, in row-major message order).
+    pub fn to_instance(
+        &self,
+        platform: &Platform,
+        beta_seconds: f64,
+        scale: TickScale,
+    ) -> (Instance, Vec<(usize, usize)>) {
+        assert_eq!(self.n1, platform.n1, "sender count mismatch");
+        assert_eq!(self.n2, platform.n2, "receiver count mismatch");
+        let speed_bytes_per_s = platform.transfer_speed() * 1e6 / 8.0;
+        let mut g = Graph::new(self.n1, self.n2);
+        let mut endpoints = Vec::with_capacity(self.message_count());
+        for i in 0..self.n1 {
+            for j in 0..self.n2 {
+                let b = self.get(i, j);
+                if b > 0 {
+                    let seconds = b as f64 / speed_bytes_per_s;
+                    g.add_edge(i, j, scale.to_ticks(seconds));
+                    endpoints.push((i, j));
+                }
+            }
+        }
+        let beta = scale.to_ticks(beta_seconds);
+        (Instance::new(g, platform.k(), beta), endpoints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn tick_scale_round_trip() {
+        let s = TickScale::MILLIS;
+        assert_eq!(s.to_ticks(1.5), 1500);
+        assert_eq!(s.to_ticks(0.0), 0);
+        // Tiny but non-zero durations round up to one tick.
+        assert_eq!(s.to_ticks(1e-9), 1);
+        assert!((s.to_seconds(2500) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_accessors() {
+        let mut m = TrafficMatrix::zeros(2, 3);
+        m.set(1, 2, 42);
+        m.set(0, 0, 8);
+        assert_eq!(m.get(1, 2), 42);
+        assert_eq!(m.total_bytes(), 50);
+        assert_eq!(m.message_count(), 2);
+        assert_eq!(m.senders(), 2);
+        assert_eq!(m.receivers(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn bad_dimensions_rejected() {
+        TrafficMatrix::from_rows(2, 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn uniform_workload_in_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let m = TrafficMatrix::uniform_mb(&mut rng, 10, 10, 10, 50);
+        assert_eq!(m.message_count(), 100);
+        for i in 0..10 {
+            for j in 0..10 {
+                let mb = m.get(i, j) / 1_000_000;
+                assert!((10..=50).contains(&mb));
+            }
+        }
+    }
+
+    #[test]
+    fn to_instance_durations() {
+        // 100 Mbit/s NICs both sides, backbone 100 → k = 1, t = 100 Mbit/s =
+        // 12.5 MB/s. A 25 MB message lasts 2 s = 2000 ms ticks.
+        let p = Platform::new(1, 1, 100.0, 100.0, 100.0);
+        let mut m = TrafficMatrix::zeros(1, 1);
+        m.set(0, 0, 25_000_000);
+        let (inst, endpoints) = m.to_instance(&p, 0.05, TickScale::MILLIS);
+        assert_eq!(inst.graph.edge_count(), 1);
+        let w = inst.graph.edges().next().unwrap().3;
+        assert_eq!(w, 2000);
+        assert_eq!(inst.beta, 50);
+        assert_eq!(inst.k, 1);
+        assert_eq!(endpoints, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn zero_messages_skipped() {
+        let p = Platform::new(2, 2, 100.0, 100.0, 200.0);
+        let mut m = TrafficMatrix::zeros(2, 2);
+        m.set(0, 1, 1_000_000);
+        let (inst, endpoints) = m.to_instance(&p, 0.0, TickScale::MILLIS);
+        assert_eq!(inst.graph.edge_count(), 1);
+        assert_eq!(endpoints, vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the scheduler pipeline's internal stages:
+//! normalisation, regularisation, peeling, and the alternative schedulers.
+
+use bipartite::{properties, Graph};
+use kpbs::adaptive::{adaptive_schedule, validate_adaptive, CyclicK};
+use kpbs::coloring::{coloring_schedule, schedule_with_slot};
+use kpbs::normalize::normalize;
+use kpbs::regularize::{regularize, EdgeKind};
+use kpbs::relax::{relax_k, relax_unbounded};
+use kpbs::{ggp, lower_bound, oggp, Instance};
+use proptest::prelude::*;
+
+fn instance_strategy(
+    max_side: usize,
+    max_edges: usize,
+    max_w: u64,
+    max_beta: u64,
+) -> impl Strategy<Value = Instance> {
+    (1..=max_side, 1..=max_side)
+        .prop_flat_map(move |(nl, nr)| {
+            let edges = proptest::collection::vec(
+                (0..nl, 0..nr, 1..=max_w),
+                1..=max_edges,
+            );
+            (Just((nl, nr)), edges, 1..=nl.min(nr), 0..=max_beta)
+        })
+        .prop_map(|((nl, nr), edges, k, beta)| {
+            let mut g = Graph::new(nl, nr);
+            for (l, r, w) in edges {
+                g.add_edge(l, r, w);
+            }
+            Instance::new(g, k, beta)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn normalization_rounds_up_and_bounds(inst in instance_strategy(8, 25, 40, 6)) {
+        let n = normalize(&inst);
+        let unit = if inst.beta > 0 { inst.beta } else { 1 };
+        prop_assert_eq!(n.unit, unit);
+        for e in inst.graph.edge_ids() {
+            let w = inst.graph.weight(e);
+            let wn = n.graph.weight(e);
+            prop_assert!(wn >= 1);
+            prop_assert!(wn * unit >= w, "normalised slot must cover the weight");
+            prop_assert!(wn * unit < w + unit, "rounding adds less than one unit");
+        }
+    }
+
+    #[test]
+    fn regularize_invariants(inst in instance_strategy(8, 25, 30, 0)) {
+        let k = inst.effective_k();
+        let reg = regularize(&inst.graph, k);
+        // Weight-regular, equal sides.
+        prop_assert_eq!(
+            properties::regular_weight(&reg.graph),
+            Some(reg.regular_weight)
+        );
+        prop_assert_eq!(reg.graph.left_count(), reg.graph.right_count());
+        // R = max(W, ceil(P/k)).
+        let w = properties::max_node_weight(&inst.graph);
+        let p = properties::total_weight(&inst.graph);
+        prop_assert_eq!(
+            reg.regular_weight,
+            w.max(p.div_ceil(k as u64))
+        );
+        // Total synthetic weight accounting: P(J) = R * (|V1| + |V2| - k)
+        // ... per side: sum over left nodes = R * |left| and P(J) counts it
+        // once.
+        let side = reg.graph.left_count() as u64;
+        prop_assert_eq!(properties::total_weight(&reg.graph), reg.regular_weight * side);
+        // Real edges are preserved verbatim.
+        let mut real = 0;
+        for e in reg.graph.edge_ids() {
+            if let EdgeKind::Real(o) = reg.kind(e) {
+                real += 1;
+                prop_assert_eq!(reg.graph.weight(e), inst.graph.weight(o));
+            }
+        }
+        prop_assert_eq!(real, inst.graph.edge_count());
+    }
+
+    #[test]
+    fn coloring_schedule_feasible(inst in instance_strategy(7, 20, 25, 4)) {
+        let s = coloring_schedule(&inst);
+        prop_assert!(s.validate(&inst).is_ok());
+        prop_assert!(s.cost() >= lower_bound(&inst));
+    }
+
+    #[test]
+    fn fixed_slot_feasible_any_slot(inst in instance_strategy(6, 15, 20, 3), d in 1u64..30) {
+        let s = schedule_with_slot(&inst, d);
+        prop_assert!(s.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn relaxation_faster_than_barriers(inst in instance_strategy(8, 25, 25, 4)) {
+        let s = oggp(&inst);
+        let k = inst.effective_k();
+        let bounded = relax_k(&s, &inst.graph, k);
+        let unbounded = relax_unbounded(&s, &inst.graph);
+        prop_assert!(bounded.makespan <= s.cost());
+        prop_assert!(unbounded.makespan <= bounded.makespan);
+        prop_assert!(bounded.peak_concurrency <= k);
+    }
+
+    #[test]
+    fn adaptive_valid_under_any_profile(
+        inst in instance_strategy(6, 15, 20, 2),
+        profile in proptest::collection::vec(1usize..6, 1..5),
+    ) {
+        let p = CyclicK(profile);
+        let s = adaptive_schedule(&inst.graph, inst.beta, &p);
+        prop_assert!(validate_adaptive(&inst.graph, &s, &p).is_ok());
+    }
+
+    #[test]
+    fn schedulers_agree_on_volume(inst in instance_strategy(7, 20, 25, 3)) {
+        let total = inst.total_weight();
+        prop_assert_eq!(ggp(&inst).volume(), total);
+        prop_assert_eq!(oggp(&inst).volume(), total);
+        prop_assert_eq!(coloring_schedule(&inst).volume(), total);
+    }
+
+    #[test]
+    fn cost_monotone_in_beta(inst in instance_strategy(7, 20, 25, 0)) {
+        // Raising β can only raise the (analytic) cost of the OGGP result.
+        let cheap = oggp(&Instance::new(inst.graph.clone(), inst.k, 0)).cost();
+        let costly = oggp(&Instance::new(inst.graph.clone(), inst.k, 10)).cost();
+        prop_assert!(costly >= cheap);
+    }
+}

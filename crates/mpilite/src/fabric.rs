@@ -1,0 +1,160 @@
+//! The shared network fabric: every byte a rank sends is charged against
+//! three token buckets — its own NIC, the destination NIC, and the backbone
+//! — chunk by chunk, reproducing the paper's `rshaper`-limited Ethernet.
+
+use crate::shaper::TokenBucket;
+
+/// Fabric bandwidth configuration. Bandwidths in bytes/s (tests scale these
+/// up so transfers complete in milliseconds).
+#[derive(Debug, Clone, Copy)]
+pub struct FabricConfig {
+    /// Egress rate of each sender NIC.
+    pub out_bytes_per_s: f64,
+    /// Ingress rate of each receiver NIC.
+    pub in_bytes_per_s: f64,
+    /// Backbone rate shared by all transfers.
+    pub backbone_bytes_per_s: f64,
+    /// Chunk size for shaping (the "packet" granularity).
+    pub chunk_bytes: usize,
+}
+
+impl FabricConfig {
+    /// The paper's testbed for parallelism `k`, scaled by `speedup` so a
+    /// simulated "100 Mbit/s" moves `speedup × 12.5 MB/s` (tests typically
+    /// use large speedups to finish fast).
+    pub fn testbed(k: usize, speedup: f64) -> Self {
+        assert!(k >= 1);
+        let nic = 100.0 / k as f64 * 1e6 / 8.0 * speedup;
+        FabricConfig {
+            out_bytes_per_s: nic,
+            in_bytes_per_s: nic,
+            backbone_bytes_per_s: 100.0 * 1e6 / 8.0 * speedup,
+            chunk_bytes: 16 * 1024,
+        }
+    }
+}
+
+/// The instantiated fabric: one bucket per NIC plus the backbone bucket.
+pub struct Fabric {
+    out: Vec<TokenBucket>,
+    in_: Vec<TokenBucket>,
+    backbone: TokenBucket,
+    chunk: usize,
+}
+
+impl Fabric {
+    /// Builds the fabric for `senders` × `receivers` nodes.
+    pub fn new(senders: usize, receivers: usize, cfg: &FabricConfig) -> Self {
+        assert!(cfg.chunk_bytes > 0);
+        let burst = |rate: f64| (rate * 0.005).max(cfg.chunk_bytes as f64);
+        Fabric {
+            out: (0..senders)
+                .map(|_| TokenBucket::new(cfg.out_bytes_per_s, burst(cfg.out_bytes_per_s)))
+                .collect(),
+            in_: (0..receivers)
+                .map(|_| TokenBucket::new(cfg.in_bytes_per_s, burst(cfg.in_bytes_per_s)))
+                .collect(),
+            backbone: TokenBucket::new(
+                cfg.backbone_bytes_per_s,
+                burst(cfg.backbone_bytes_per_s),
+            ),
+            chunk: cfg.chunk_bytes,
+        }
+    }
+
+    /// Blocks the calling thread while `bytes` are shaped through sender
+    /// `src`'s NIC, the backbone, and receiver `dst`'s NIC.
+    pub fn transmit(&self, src: usize, dst: usize, bytes: usize) {
+        let mut left = bytes;
+        while left > 0 {
+            let n = left.min(self.chunk);
+            self.out[src].acquire(n);
+            self.backbone.acquire(n);
+            self.in_[dst].acquire(n);
+            left -= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn single_transfer_paced_by_slowest_bucket() {
+        // Sender NIC 10 MB/s is the bottleneck (backbone 100 MB/s).
+        let cfg = FabricConfig {
+            out_bytes_per_s: 10e6,
+            in_bytes_per_s: 100e6,
+            backbone_bytes_per_s: 100e6,
+            chunk_bytes: 4096,
+        };
+        let f = Fabric::new(1, 1, &cfg);
+        let t0 = Instant::now();
+        f.transmit(0, 0, 1_000_000); // ≈ 0.1 s at 10 MB/s
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(dt > 0.06, "too fast: {dt}");
+        assert!(dt < 0.5, "too slow: {dt}");
+    }
+
+    #[test]
+    fn parallel_transfers_share_backbone() {
+        // Two disjoint pairs, NICs 100 MB/s, backbone 10 MB/s: 1 MB + 1 MB
+        // through a 10 MB/s backbone ≈ 0.2 s (sequential pacing of the
+        // shared bucket).
+        let cfg = FabricConfig {
+            out_bytes_per_s: 100e6,
+            in_bytes_per_s: 100e6,
+            backbone_bytes_per_s: 10e6,
+            chunk_bytes: 4096,
+        };
+        let f = Arc::new(Fabric::new(2, 2, &cfg));
+        let t0 = Instant::now();
+        let hs: Vec<_> = (0..2)
+            .map(|i| {
+                let f = f.clone();
+                std::thread::spawn(move || f.transmit(i, i, 1_000_000))
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(dt > 0.12, "backbone not enforced: {dt}");
+        assert!(dt < 0.8, "too slow: {dt}");
+    }
+
+    #[test]
+    fn distinct_nics_do_not_interfere() {
+        // Two disjoint pairs with a fat backbone run in parallel: 1 MB each
+        // at 10 MB/s NICs ≈ 0.1 s total, not 0.2.
+        let cfg = FabricConfig {
+            out_bytes_per_s: 10e6,
+            in_bytes_per_s: 10e6,
+            backbone_bytes_per_s: 1000e6,
+            chunk_bytes: 4096,
+        };
+        let f = Arc::new(Fabric::new(2, 2, &cfg));
+        let t0 = Instant::now();
+        let hs: Vec<_> = (0..2)
+            .map(|i| {
+                let f = f.clone();
+                std::thread::spawn(move || f.transmit(i, i, 1_000_000))
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(dt < 0.25, "pairs should not serialise: {dt}");
+    }
+
+    #[test]
+    fn testbed_config_scales() {
+        let c = FabricConfig::testbed(5, 2.0);
+        assert!((c.out_bytes_per_s - 20.0 / 8.0 * 1e6 * 2.0).abs() < 1.0);
+        assert!((c.backbone_bytes_per_s - 100.0 / 8.0 * 1e6 * 2.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Dynamic backbone throughput — the paper's future-work scenario
+//! (Section 6): the backbone's available bandwidth changes while the
+//! redistribution runs (say, a concurrent bulk transfer comes and goes), so
+//! the admissible parallelism `k` varies per step. The multi-step structure
+//! lets the scheduler re-plan the residual graph between steps.
+//!
+//! ```sh
+//! cargo run --example dynamic_backbone
+//! ```
+
+use bipartite::generate::complete_graph;
+use rand::{rngs::SmallRng, SeedableRng};
+use redistribute::kpbs::adaptive::{adaptive_schedule, oblivious_schedule, validate_adaptive, CyclicK};
+use redistribute::kpbs::{self, Instance};
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let g = complete_graph(&mut rng, 6, 6, (5, 30));
+    let beta = 1;
+
+    // The backbone starts idle (k = 6), then a long-lived external transfer
+    // squeezes it down to one admissible flow (k = 1) before partially
+    // recovering (k = 3): the plan built for k = 6 is badly shaped for the
+    // congested phase.
+    let profile = CyclicK(vec![6, 1, 1, 1, 1, 1, 1, 1, 3, 3, 3, 3]);
+    println!("k profile (cyclic): {:?}", profile.0);
+
+    let adaptive = adaptive_schedule(&g, beta, &profile);
+    validate_adaptive(&g, &adaptive, &profile).expect("adaptive plan feasible");
+    let oblivious = oblivious_schedule(&g, beta, &profile);
+    validate_adaptive(&g, &oblivious, &profile).expect("oblivious plan feasible");
+
+    println!(
+        "adaptive re-planning : {:>3} steps, cost {:>5}",
+        adaptive.num_steps(),
+        adaptive.cost()
+    );
+    println!(
+        "oblivious (plan once): {:>3} steps, cost {:>5}",
+        oblivious.num_steps(),
+        oblivious.cost()
+    );
+    println!(
+        "re-planning saves {:.1}%",
+        (1.0 - adaptive.cost() as f64 / oblivious.cost() as f64) * 100.0
+    );
+
+    // Reference points: static OGGP plans for the best and worst fixed k.
+    for k in [1, 6] {
+        let inst = Instance::new(g.clone(), k, beta);
+        let s = kpbs::oggp(&inst);
+        println!(
+            "static OGGP with fixed k = {k}: {:>3} steps, cost {:>5} (only valid if the backbone held still)",
+            s.num_steps(),
+            s.cost()
+        );
+    }
+}

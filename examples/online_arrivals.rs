@@ -1,0 +1,78 @@
+//! Online redistribution — the paper's future-work scenario where "the
+//! redistribution pattern is not fully known in advance": messages are
+//! revealed while earlier ones are already moving, and the scheduler folds
+//! them into the residual plan between steps.
+//!
+//! ```sh
+//! cargo run --example online_arrivals
+//! ```
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use redistribute::kpbs::online::{online_vs_offline, ArrivingMessage, OnlineScheduler};
+
+fn main() {
+    // A burst of messages known upfront plus stragglers arriving while the
+    // transfer runs.
+    let mut rng = SmallRng::seed_from_u64(6);
+    let (n1, n2, k, beta) = (6, 6, 3, 2);
+    let mut messages = Vec::new();
+    for _ in 0..10 {
+        messages.push(ArrivingMessage {
+            release: 0,
+            src: rng.gen_range(0..n1),
+            dst: rng.gen_range(0..n2),
+            ticks: rng.gen_range(5..25),
+        });
+    }
+    for r in 1..6 {
+        messages.push(ArrivingMessage {
+            release: r,
+            src: rng.gen_range(0..n1),
+            dst: rng.gen_range(0..n2),
+            ticks: rng.gen_range(1..10),
+        });
+    }
+
+    println!(
+        "{} messages, {} of them arriving online; k = {k}, beta = {beta}\n",
+        messages.len(),
+        messages.iter().filter(|m| m.release > 0).count()
+    );
+
+    // Step-by-step view.
+    let mut sched = OnlineScheduler::new(n1, n2, k, beta);
+    let mut revealed = 0usize;
+    let mut step = 0usize;
+    loop {
+        for (i, m) in messages.iter().enumerate() {
+            if m.release == step {
+                sched.add_message(i, m.src, m.dst, m.ticks);
+                revealed += 1;
+            }
+        }
+        match sched.next_step() {
+            Some(transfers) => {
+                let parts: Vec<String> = transfers
+                    .iter()
+                    .map(|&(msg, amount)| format!("m{msg}:{amount}"))
+                    .collect();
+                println!(
+                    "step {step:>2} ({revealed:>2} msgs known, {:>4} ticks pending): {}",
+                    sched.pending(),
+                    parts.join(" ")
+                );
+            }
+            None if revealed == messages.len() => break,
+            None => {}
+        }
+        step += 1;
+    }
+
+    let report = online_vs_offline(n1, n2, k, beta, &messages);
+    println!(
+        "\nonline cost {} vs clairvoyant offline {} -> regret {:.3}",
+        report.online_cost,
+        report.offline_cost,
+        report.regret()
+    );
+}

@@ -1,0 +1,81 @@
+//! Quickstart: schedule a redistribution between two small clusters and
+//! inspect the result.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use redistribute::kpbs::{Platform, TrafficMatrix};
+use redistribute::{Algorithm, Planner};
+
+fn main() {
+    // Two clusters of 4 nodes each, 100 Mbit/s NICs, a 200 Mbit/s backbone:
+    // at most k = 2 simultaneous transfers avoid congestion.
+    let platform = Platform::new(4, 4, 100.0, 100.0, 200.0);
+    println!(
+        "platform: {}x{} nodes, t = {} Mbit/s, k = {}",
+        platform.n1,
+        platform.n2,
+        platform.transfer_speed(),
+        platform.k()
+    );
+
+    // The application's redistribution pattern, in bytes.
+    let mut traffic = TrafficMatrix::zeros(4, 4);
+    traffic.set(0, 0, 25_000_000);
+    traffic.set(0, 2, 10_000_000);
+    traffic.set(1, 1, 40_000_000);
+    traffic.set(2, 3, 15_000_000);
+    traffic.set(3, 0, 5_000_000);
+    traffic.set(3, 3, 20_000_000);
+    println!(
+        "traffic: {} messages, {:.1} MB total",
+        traffic.message_count(),
+        traffic.total_bytes() as f64 / 1e6
+    );
+
+    for algo in [Algorithm::Oggp, Algorithm::Ggp, Algorithm::Sequential] {
+        let plan = Planner::new(algo).plan(&traffic, &platform);
+        plan.schedule
+            .validate(&plan.instance)
+            .expect("planner output must be feasible");
+        println!(
+            "{:>10?}: {:>2} steps, cost {:>6.2} s, lower bound {:>6.2} s, ratio {:.4}",
+            algo,
+            plan.schedule.num_steps(),
+            plan.cost_seconds(),
+            plan.lower_bound_seconds(),
+            plan.evaluation_ratio()
+        );
+    }
+
+    // Show the OGGP schedule step by step.
+    let plan = Planner::new(Algorithm::Oggp).plan(&traffic, &platform);
+    println!("\nOGGP schedule (β = {} s):", plan.beta_seconds);
+    for (i, step) in plan.schedule.steps.iter().enumerate() {
+        let slices: Vec<String> = step
+            .transfers
+            .iter()
+            .map(|t| {
+                let (s, d) = plan.endpoints[t.edge.index()];
+                format!("{s}->{d} ({:.2}s)", plan.scale.to_seconds(t.amount))
+            })
+            .collect();
+        println!(
+            "  step {:>2}: duration {:>6.2} s | {}",
+            i,
+            plan.scale.to_seconds(step.duration()),
+            slices.join(", ")
+        );
+    }
+
+    println!("\nGantt ('#' transmitting, '.' idle within the step):");
+    print!("{}", plan.schedule.gantt(60));
+
+    // And simulate it on the platform's network.
+    let report = plan.simulate_ideal();
+    println!(
+        "\nsimulated execution: {:.2} s across {} steps ({:.2} s of barriers)",
+        report.total_seconds, report.num_steps, report.barrier_seconds
+    );
+}

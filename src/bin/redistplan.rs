@@ -1,0 +1,129 @@
+//! `redistplan` — plan a data redistribution from the command line.
+//!
+//! ```sh
+//! redistplan --matrix traffic.csv --t1 100 --t2 100 --backbone 300 \
+//!            [--beta 0.05] [--algo oggp|ggp|list|greedy|sequential] \
+//!            [--gantt] [--simulate] [--compare]
+//! ```
+//!
+//! The CSV holds one row per sender with per-receiver byte counts
+//! (`k`/`M`/`G` suffixes allowed, `#` comments skipped). Without `--matrix`
+//! a small demo workload is used.
+
+use redistribute::cli::{opt_flag, opt_value, parse_matrix_csv};
+use redistribute::kpbs::{Platform, TrafficMatrix};
+use redistribute::{Algorithm, Planner};
+
+fn algo_from(name: &str) -> Option<Algorithm> {
+    match name {
+        "ggp" => Some(Algorithm::Ggp),
+        "oggp" => Some(Algorithm::Oggp),
+        "sequential" => Some(Algorithm::Sequential),
+        "list" => Some(Algorithm::List),
+        "greedy" => Some(Algorithm::Greedy),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if opt_flag(&args, "help") {
+        println!(
+            "redistplan — plan a data redistribution from the command line\n\
+             \n\
+             usage: redistplan --matrix traffic.csv --t1 100 --t2 100 --backbone 300\n\
+             \x20                [--beta 0.05] [--algo oggp|ggp|list|greedy|sequential]\n\
+             \x20                [--gantt] [--simulate] [--compare]\n\
+             \n\
+             The CSV holds one row per sender with per-receiver byte counts\n\
+             (k/M/G suffixes allowed, '#' comments skipped). Without --matrix a\n\
+             small demo workload is used."
+        );
+        return;
+    }
+
+    let traffic: TrafficMatrix = match opt_value(&args, "matrix") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+            parse_matrix_csv(&text).unwrap_or_else(|e| die(&e))
+        }
+        None => {
+            eprintln!("(no --matrix given; using a 4x4 demo workload)");
+            let mut t = TrafficMatrix::zeros(4, 4);
+            for i in 0..4 {
+                for j in 0..4 {
+                    t.set(i, j, 5_000_000 + (i * 4 + j) as u64 * 2_000_000);
+                }
+            }
+            t
+        }
+    };
+
+    let t1: f64 = opt_value(&args, "t1").map_or(100.0, |v| v.parse().unwrap_or_else(|_| die("bad --t1")));
+    let t2: f64 = opt_value(&args, "t2").map_or(100.0, |v| v.parse().unwrap_or_else(|_| die("bad --t2")));
+    let backbone: f64 = opt_value(&args, "backbone")
+        .map_or(t1.max(t2), |v| v.parse().unwrap_or_else(|_| die("bad --backbone")));
+    let beta: f64 = opt_value(&args, "beta").map_or(0.05, |v| v.parse().unwrap_or_else(|_| die("bad --beta")));
+    let algo = opt_value(&args, "algo")
+        .map(|v| algo_from(v).unwrap_or_else(|| die("unknown --algo")))
+        .unwrap_or(Algorithm::Oggp);
+
+    let platform = Platform::new(traffic.senders(), traffic.receivers(), t1, t2, backbone);
+    println!(
+        "platform: {}x{} nodes, t = {:.1} Mbit/s, k = {}; traffic: {} messages, {:.1} MB",
+        platform.n1,
+        platform.n2,
+        platform.transfer_speed(),
+        platform.k(),
+        traffic.message_count(),
+        traffic.total_bytes() as f64 / 1e6
+    );
+
+    let plan = Planner::new(algo).with_beta(beta).plan(&traffic, &platform);
+    plan.schedule
+        .validate(&plan.instance)
+        .unwrap_or_else(|e| die(&format!("internal error: invalid schedule: {e}")));
+    println!(
+        "{algo:?}: {} steps, cost {:.2} s, lower bound {:.2} s, ratio {:.4}",
+        plan.schedule.num_steps(),
+        plan.cost_seconds(),
+        plan.lower_bound_seconds(),
+        plan.evaluation_ratio()
+    );
+
+    if opt_flag(&args, "gantt") {
+        println!("\n{}", plan.schedule.gantt(72));
+    }
+    if opt_flag(&args, "simulate") {
+        let r = plan.simulate_ideal();
+        println!(
+            "simulated on the platform network: {:.2} s over {} steps ({:.2} s barriers)",
+            r.total_seconds, r.num_steps, r.barrier_seconds
+        );
+    }
+    if opt_flag(&args, "compare") {
+        println!("\nall algorithms:");
+        for a in [
+            Algorithm::Oggp,
+            Algorithm::Ggp,
+            Algorithm::List,
+            Algorithm::Greedy,
+            Algorithm::Sequential,
+        ] {
+            let p = Planner::new(a).with_beta(beta).plan(&traffic, &platform);
+            println!(
+                "  {:>10?}: {:>3} steps, {:>8.2} s (ratio {:.4})",
+                a,
+                p.schedule.num_steps(),
+                p.cost_seconds(),
+                p.evaluation_ratio()
+            );
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("redistplan: {msg}");
+    std::process::exit(2);
+}

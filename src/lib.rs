@@ -1,0 +1,285 @@
+//! # redistribute — message scheduling for data redistribution through a backbone
+//!
+//! A production-oriented implementation of Jeannot & Wagner, *Two Fast and
+//! Efficient Message Scheduling Algorithms for Data Redistribution through a
+//! Backbone* (IPDPS 2004): the **K-PBS** scheduling problem, its **GGP** and
+//! **OGGP** 2-approximation algorithms, and everything needed to evaluate
+//! them — a bipartite-graph library, a fluid network simulator, and an
+//! MPI-like threaded runtime.
+//!
+//! The constituent crates are re-exported:
+//!
+//! * [`bipartite`] — graphs, matchings (maximum-cardinality, bottleneck),
+//! * [`kpbs`] — the schedulers, bounds, baselines and extensions,
+//! * [`flowsim`] — the discrete-event network simulator,
+//! * [`mpilite`] — the threaded message-passing runtime.
+//!
+//! The [`Planner`]/[`Plan`] pair on this crate is the "fully working
+//! redistribution library" of the paper's conclusion: hand it a traffic
+//! matrix and a platform description, get a feasible schedule, inspect its
+//! cost against the lower bound, then run it — simulated or threaded.
+//!
+//! ```
+//! use redistribute::{Algorithm, Planner};
+//! use redistribute::kpbs::{Platform, TrafficMatrix};
+//!
+//! let platform = Platform::new(4, 4, 100.0, 100.0, 200.0); // k = 2
+//! let mut traffic = TrafficMatrix::zeros(4, 4);
+//! traffic.set(0, 0, 20_000_000);
+//! traffic.set(0, 3, 5_000_000);
+//! traffic.set(2, 1, 12_000_000);
+//!
+//! let plan = Planner::new(Algorithm::Oggp).plan(&traffic, &platform);
+//! assert!(plan.evaluation_ratio() < 2.0);
+//! let report = plan.simulate_ideal();
+//! assert!(report.total_seconds > 0.0);
+//! ```
+
+pub use bipartite;
+pub use flowsim;
+pub use kpbs;
+pub use mpilite;
+
+pub mod cli;
+
+use flowsim::{ExecutionReport, NetworkSpec, SimConfig};
+use kpbs::traffic::TickScale;
+use kpbs::{Instance, Platform, Schedule, TrafficMatrix};
+
+/// The scheduling algorithms a [`Planner`] can use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Generic Graph Peeling (Section 4.2 of the paper).
+    Ggp,
+    /// Optimised Generic Graph Peeling (Section 4.3) — the default.
+    Oggp,
+    /// One message per step (strawman).
+    Sequential,
+    /// Non-preemptive heaviest-first list scheduling.
+    List,
+    /// Preemptive greedy peeling without regularisation (ablation).
+    Greedy,
+}
+
+/// Builds [`Plan`]s from traffic matrices.
+#[derive(Debug, Clone, Copy)]
+pub struct Planner {
+    algorithm: Algorithm,
+    beta_seconds: f64,
+    scale: TickScale,
+}
+
+impl Planner {
+    /// A planner with the given algorithm, a 50 ms setup delay and
+    /// millisecond tick resolution.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Planner {
+            algorithm,
+            beta_seconds: 0.05,
+            scale: TickScale::MILLIS,
+        }
+    }
+
+    /// Overrides the per-step setup delay β (seconds).
+    pub fn with_beta(mut self, beta_seconds: f64) -> Self {
+        assert!(beta_seconds >= 0.0);
+        self.beta_seconds = beta_seconds;
+        self
+    }
+
+    /// Overrides the tick resolution.
+    pub fn with_scale(mut self, scale: TickScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Schedules `traffic` on `platform`.
+    pub fn plan(&self, traffic: &TrafficMatrix, platform: &Platform) -> Plan {
+        let (instance, endpoints) = traffic.to_instance(platform, self.beta_seconds, self.scale);
+        let schedule = match self.algorithm {
+            Algorithm::Ggp => kpbs::ggp(&instance),
+            Algorithm::Oggp => kpbs::oggp(&instance),
+            Algorithm::Sequential => kpbs::baselines::sequential(&instance),
+            Algorithm::List => kpbs::baselines::nonpreemptive_list(&instance),
+            Algorithm::Greedy => kpbs::baselines::preemptive_greedy(&instance),
+        };
+        debug_assert!(schedule.validate(&instance).is_ok());
+        Plan {
+            traffic: traffic.clone(),
+            platform: *platform,
+            instance,
+            endpoints,
+            schedule,
+            beta_seconds: self.beta_seconds,
+            scale: self.scale,
+        }
+    }
+}
+
+/// A planned redistribution: the schedule plus everything needed to execute
+/// or evaluate it.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The traffic matrix the plan was built for.
+    pub traffic: TrafficMatrix,
+    /// The platform description.
+    pub platform: Platform,
+    /// The K-PBS instance (graph in ticks, k, β).
+    pub instance: Instance,
+    /// `(sender, receiver)` behind each edge id.
+    pub endpoints: Vec<(usize, usize)>,
+    /// The schedule.
+    pub schedule: Schedule,
+    /// β in seconds.
+    pub beta_seconds: f64,
+    /// Tick resolution.
+    pub scale: TickScale,
+}
+
+impl Plan {
+    /// Analytic cost of the schedule in seconds, `Σ (β + step duration)`.
+    pub fn cost_seconds(&self) -> f64 {
+        self.scale.to_seconds(self.schedule.cost())
+    }
+
+    /// The Cohen–Jeannot–Padoy lower bound in seconds.
+    pub fn lower_bound_seconds(&self) -> f64 {
+        self.scale.to_seconds(kpbs::lower_bound(&self.instance))
+    }
+
+    /// The paper's evaluation ratio: cost / lower bound (1.0 for an empty
+    /// plan).
+    pub fn evaluation_ratio(&self) -> f64 {
+        let lb = self.lower_bound_seconds();
+        if lb == 0.0 {
+            1.0
+        } else {
+            self.cost_seconds() / lb
+        }
+    }
+
+    /// Simulates the plan on the platform's network with an ideal fluid
+    /// transport.
+    pub fn simulate_ideal(&self) -> ExecutionReport {
+        self.simulate(&NetworkSpec::from_platform(&self.platform), &SimConfig::default())
+    }
+
+    /// Simulates the plan on an arbitrary network and transport model.
+    pub fn simulate(&self, spec: &NetworkSpec, config: &SimConfig) -> ExecutionReport {
+        flowsim::scheduled_time(
+            &self.traffic,
+            &self.instance,
+            &self.endpoints,
+            &self.schedule,
+            spec,
+            self.beta_seconds,
+            config,
+        )
+    }
+
+    /// ASCII Gantt chart of the schedule (see [`Schedule::gantt`]).
+    pub fn gantt(&self) -> String {
+        self.schedule.gantt(72)
+    }
+
+    /// Estimated makespan if the global barriers were weakened into
+    /// per-node dependencies (the paper's §2.1 post-processing), in seconds.
+    pub fn relaxed_estimate_seconds(&self) -> f64 {
+        let r = kpbs::relax::relax_k(
+            &self.schedule,
+            &self.instance.graph,
+            self.instance.effective_k(),
+        );
+        self.scale.to_seconds(r.makespan)
+    }
+
+    /// Executes the plan on the threaded MPI-like runtime, moving real
+    /// bytes; returns the measured wall-clock report.
+    pub fn execute_threaded(&self, fabric: mpilite::FabricConfig) -> mpilite::RunnerReport {
+        mpilite::run_schedule(
+            &self.traffic,
+            &self.instance,
+            &self.endpoints,
+            &self.schedule,
+            fabric,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_traffic() -> (TrafficMatrix, Platform) {
+        let platform = Platform::new(3, 3, 100.0, 100.0, 200.0);
+        let mut t = TrafficMatrix::zeros(3, 3);
+        t.set(0, 0, 10_000_000);
+        t.set(0, 1, 4_000_000);
+        t.set(1, 1, 8_000_000);
+        t.set(2, 2, 6_000_000);
+        (t, platform)
+    }
+
+    #[test]
+    fn all_algorithms_produce_valid_plans() {
+        let (t, p) = demo_traffic();
+        for algo in [
+            Algorithm::Ggp,
+            Algorithm::Oggp,
+            Algorithm::Sequential,
+            Algorithm::List,
+            Algorithm::Greedy,
+        ] {
+            let plan = Planner::new(algo).plan(&t, &p);
+            plan.schedule
+                .validate(&plan.instance)
+                .unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+            assert!(plan.evaluation_ratio() >= 1.0 - 1e-9, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn oggp_not_worse_than_sequential() {
+        let (t, p) = demo_traffic();
+        let oggp = Planner::new(Algorithm::Oggp).plan(&t, &p);
+        let seq = Planner::new(Algorithm::Sequential).plan(&t, &p);
+        assert!(oggp.cost_seconds() <= seq.cost_seconds());
+    }
+
+    #[test]
+    fn beta_zero_supported() {
+        let (t, p) = demo_traffic();
+        let plan = Planner::new(Algorithm::Oggp).with_beta(0.0).plan(&t, &p);
+        assert!(plan.schedule.validate(&plan.instance).is_ok());
+    }
+
+    #[test]
+    fn simulation_close_to_analytic_cost() {
+        let (t, p) = demo_traffic();
+        let plan = Planner::new(Algorithm::Oggp).plan(&t, &p);
+        let sim = plan.simulate_ideal();
+        let analytic = plan.cost_seconds();
+        let rel = (sim.total_seconds - analytic).abs() / analytic;
+        assert!(rel < 0.02, "sim {} vs analytic {analytic}", sim.total_seconds);
+    }
+
+    #[test]
+    fn plan_sugar() {
+        let (t, p) = demo_traffic();
+        let plan = Planner::new(Algorithm::Oggp).plan(&t, &p);
+        let g = plan.gantt();
+        assert!(g.contains('#'), "gantt renders transmissions:\n{g}");
+        let relaxed = plan.relaxed_estimate_seconds();
+        assert!(relaxed > 0.0);
+        assert!(relaxed <= plan.cost_seconds() + 1e-9);
+    }
+
+    #[test]
+    fn empty_traffic_trivial_plan() {
+        let p = Platform::new(2, 2, 100.0, 100.0, 200.0);
+        let t = TrafficMatrix::zeros(2, 2);
+        let plan = Planner::new(Algorithm::Oggp).plan(&t, &p);
+        assert_eq!(plan.schedule.num_steps(), 0);
+        assert_eq!(plan.evaluation_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end integration: traffic matrix → platform → schedule →
+//! execution, across all three execution paths (analytic cost, fluid
+//! simulation, threaded runtime).
+
+use redistribute::flowsim::{NetworkSpec, SimConfig};
+use redistribute::kpbs::{Platform, TrafficMatrix};
+use redistribute::mpilite::FabricConfig;
+use redistribute::{Algorithm, Planner};
+
+fn workload() -> (TrafficMatrix, Platform) {
+    let platform = Platform::new(5, 5, 100.0, 100.0, 300.0); // k = 3
+    let mut t = TrafficMatrix::zeros(5, 5);
+    let mut v = 1_000_000u64;
+    for i in 0..5 {
+        for j in 0..5 {
+            if (i + j) % 2 == 0 {
+                t.set(i, j, v);
+                v = v % 7_000_000 + 1_300_000;
+            }
+        }
+    }
+    (t, platform)
+}
+
+#[test]
+fn plan_simulate_execute_agree() {
+    let (traffic, platform) = workload();
+    let plan = Planner::new(Algorithm::Oggp).plan(&traffic, &platform);
+    plan.schedule.validate(&plan.instance).unwrap();
+
+    // Analytic cost vs ideal fluid simulation: within tick rounding.
+    let sim = plan.simulate_ideal();
+    let analytic = plan.cost_seconds();
+    let rel = (sim.total_seconds - analytic).abs() / analytic;
+    assert!(rel < 0.02, "sim {} vs analytic {analytic}", sim.total_seconds);
+
+    // Threaded runtime: every byte delivered and verified.
+    let fabric = FabricConfig {
+        out_bytes_per_s: 2e9,
+        in_bytes_per_s: 2e9,
+        backbone_bytes_per_s: 6e9,
+        chunk_bytes: 64 * 1024,
+    };
+    let run = plan.execute_threaded(fabric);
+    assert_eq!(run.bytes_moved, traffic.total_bytes());
+    assert_eq!(run.steps, plan.schedule.num_steps());
+}
+
+#[test]
+fn every_algorithm_end_to_end() {
+    let (traffic, platform) = workload();
+    let spec = NetworkSpec::from_platform(&platform);
+    for algo in [
+        Algorithm::Ggp,
+        Algorithm::Oggp,
+        Algorithm::Sequential,
+        Algorithm::List,
+        Algorithm::Greedy,
+    ] {
+        let plan = Planner::new(algo).plan(&traffic, &platform);
+        plan.schedule
+            .validate(&plan.instance)
+            .unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+        let sim = plan.simulate(&spec, &SimConfig::default());
+        assert!(sim.total_seconds > 0.0, "{algo:?}");
+        // Simulated time never beats the lower bound (barriers included in
+        // both sides of the comparison).
+        assert!(
+            sim.total_seconds >= plan.lower_bound_seconds() * 0.999,
+            "{algo:?}: sim {} below bound {}",
+            sim.total_seconds,
+            plan.lower_bound_seconds()
+        );
+    }
+}
+
+#[test]
+fn schedulers_dominate_sequential_strawman() {
+    let (traffic, platform) = workload();
+    let seq = Planner::new(Algorithm::Sequential).plan(&traffic, &platform);
+    for algo in [Algorithm::Ggp, Algorithm::Oggp, Algorithm::List] {
+        let plan = Planner::new(algo).plan(&traffic, &platform);
+        assert!(
+            plan.cost_seconds() <= seq.cost_seconds() * 1.001,
+            "{algo:?} worse than fully sequential"
+        );
+    }
+}
+
+#[test]
+fn planner_options_respected() {
+    let (traffic, platform) = workload();
+    let p0 = Planner::new(Algorithm::Oggp).with_beta(0.0).plan(&traffic, &platform);
+    let p1 = Planner::new(Algorithm::Oggp).with_beta(0.5).plan(&traffic, &platform);
+    assert_eq!(p0.instance.beta, 0);
+    assert_eq!(p1.instance.beta, 500); // ms ticks
+    // A large β discourages preemption: no more slices than edges + steps.
+    assert!(p1.schedule.num_steps() <= p0.schedule.num_steps().max(p0.instance.graph.edge_count()));
+}
+
+#[test]
+fn asymmetric_clusters_supported() {
+    // 8 senders, 3 receivers, mismatched NIC speeds.
+    let platform = Platform::new(8, 3, 10.0, 100.0, 40.0); // t = 10, k = 3 (receiver-capped)
+    assert_eq!(platform.k(), 3);
+    let mut t = TrafficMatrix::zeros(8, 3);
+    for i in 0..8 {
+        t.set(i, i % 3, 500_000 + i as u64 * 100_000);
+    }
+    let plan = Planner::new(Algorithm::Oggp).plan(&t, &platform);
+    plan.schedule.validate(&plan.instance).unwrap();
+    assert!(plan.evaluation_ratio() < 2.0);
+    let sim = plan.simulate_ideal();
+    assert!(sim.total_seconds > 0.0);
+}

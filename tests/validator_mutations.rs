@@ -1,0 +1,149 @@
+//! Mutation tests of the schedule validator: take valid OGGP schedules and
+//! corrupt them in every way the feasibility conditions forbid — the
+//! validator must catch each one. This guards the guard: every other test
+//! in the suite trusts `validate` to be airtight.
+
+use bipartite::generate::{random_graph, GraphParams};
+use kpbs::schedule::{Step, Transfer};
+use kpbs::{oggp, Instance};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+fn workloads(seed: u64, count: usize) -> Vec<Instance> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let params = GraphParams {
+        max_nodes_per_side: 8,
+        max_edges: 30,
+        weight_range: (2, 15),
+    };
+    (0..count)
+        .map(|_| {
+            let g = random_graph(&mut rng, &params);
+            let k = rng.gen_range(1..=g.left_count().min(g.right_count()));
+            Instance::new(g, k, rng.gen_range(0..3))
+        })
+        .collect()
+}
+
+#[test]
+fn inflating_any_amount_is_caught() {
+    for inst in workloads(1, 20) {
+        let mut s = oggp(&inst);
+        assert!(s.validate(&inst).is_ok());
+        s.steps[0].transfers[0].amount += 1;
+        assert!(s.validate(&inst).is_err(), "over-coverage must be caught");
+    }
+}
+
+#[test]
+fn deflating_any_amount_is_caught() {
+    for inst in workloads(2, 20) {
+        let mut s = oggp(&inst);
+        let t = &mut s.steps[0].transfers[0];
+        if t.amount > 1 {
+            t.amount -= 1;
+            assert!(s.validate(&inst).is_err(), "under-coverage must be caught");
+        } else {
+            // Removing the only tick of a slice is under-coverage too.
+            t.amount = 0;
+            assert!(s.validate(&inst).is_err(), "zero amounts must be caught");
+        }
+    }
+}
+
+#[test]
+fn dropping_a_step_is_caught() {
+    for inst in workloads(3, 20) {
+        let mut s = oggp(&inst);
+        if s.num_steps() < 2 {
+            continue;
+        }
+        s.steps.pop();
+        assert!(s.validate(&inst).is_err(), "missing coverage must be caught");
+    }
+}
+
+#[test]
+fn duplicating_a_transfer_in_a_step_is_caught() {
+    for inst in workloads(4, 20) {
+        let mut s = oggp(&inst);
+        let dup = s.steps[0].transfers[0];
+        s.steps[0].transfers.push(dup);
+        // Same edge twice in one step shares both endpoints: 1-port (or, if
+        // k is also exceeded, width) must fire.
+        assert!(s.validate(&inst).is_err(), "duplicate transfer must be caught");
+    }
+}
+
+#[test]
+fn widening_a_step_beyond_k_is_caught() {
+    for inst in workloads(5, 30) {
+        let k = inst.effective_k();
+        let mut s = oggp(&inst);
+        // Build an artificial step wider than k out of existing slices (only
+        // possible when some step already has k transfers and another step
+        // has a transfer with disjoint endpoints).
+        let Some(full_idx) = s.steps.iter().position(|st| st.width() == k) else {
+            continue;
+        };
+        let g = &inst.graph;
+        let full: Vec<_> = s.steps[full_idx]
+            .transfers
+            .iter()
+            .map(|t| (g.left_of(t.edge), g.right_of(t.edge)))
+            .collect();
+        let mut donor: Option<(usize, usize)> = None;
+        for (si, st) in s.steps.iter().enumerate() {
+            if si == full_idx {
+                continue;
+            }
+            for (ti, t) in st.transfers.iter().enumerate() {
+                let (l, r) = (g.left_of(t.edge), g.right_of(t.edge));
+                if full.iter().all(|&(fl, fr)| fl != l && fr != r) {
+                    donor = Some((si, ti));
+                    break;
+                }
+            }
+            if donor.is_some() {
+                break;
+            }
+        }
+        let Some((si, ti)) = donor else { continue };
+        let moved = s.steps[si].transfers.remove(ti);
+        s.steps[full_idx].transfers.push(moved);
+        if s.steps[si].transfers.is_empty() {
+            s.steps[si] = Step {
+                transfers: vec![moved],
+            }; // avoid the EmptyStep error masking the width error
+            s.steps[full_idx].transfers.pop();
+            continue;
+        }
+        assert!(
+            s.validate(&inst).is_err(),
+            "step wider than k = {k} must be caught"
+        );
+    }
+}
+
+#[test]
+fn foreign_edge_is_caught() {
+    for inst in workloads(6, 10) {
+        let mut s = oggp(&inst);
+        let bogus = bipartite::EdgeId(10_000);
+        s.steps[0].transfers.push(Transfer {
+            edge: bogus,
+            amount: 1,
+        });
+        assert!(s.validate(&inst).is_err(), "unknown edges must be caught");
+    }
+}
+
+#[test]
+fn reordering_steps_is_harmless() {
+    // Control mutation: step order does not affect feasibility (the model
+    // has no precedence between slices beyond coverage).
+    for inst in workloads(7, 20) {
+        let mut s = oggp(&inst);
+        s.steps.reverse();
+        assert!(s.validate(&inst).is_ok(), "reversal must stay feasible");
+    }
+}
