@@ -86,9 +86,7 @@ fn bench_exact_solver(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{m}e_w{wmax}")),
             &inst,
-            |b, inst| {
-                b.iter(|| black_box(exact::optimal_cost(inst, exact::Limits::default())))
-            },
+            |b, inst| b.iter(|| black_box(exact::optimal_cost(inst, exact::Limits::default()))),
         );
     }
     group.finish();
@@ -102,9 +100,7 @@ fn bench_pipeline_stages(c: &mut Criterion) {
     group.bench_function("regularize", |b| {
         b.iter(|| black_box(regularize::regularize(&g, k)))
     });
-    group.bench_function("lower_bound", |b| {
-        b.iter(|| black_box(lower_bound(&inst)))
-    });
+    group.bench_function("lower_bound", |b| b.iter(|| black_box(lower_bound(&inst))));
     group.finish();
 }
 

@@ -1,0 +1,47 @@
+//! Cold vs incremental peeling on Figure-8-style large-weight instances
+//! (dense graphs, n >= 32, weights U[1, 10000], beta = 1).
+//!
+//! The `*_cold` entries run the from-scratch oracle pipeline (one fresh
+//! matching computation per peel); the `*_incremental` entries run the
+//! production entry points backed by `bipartite::MatchingEngine`. OGGP's
+//! two variants produce byte-identical schedules, so the ratio is a pure
+//! engine speedup. See also `cargo run --release -p bench --bin
+//! peel_speedup` for the machine-readable version.
+
+use bipartite::generate::complete_graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpbs::ggp::{ggp, schedule_with};
+use kpbs::oggp::{oggp, oggp_reference};
+use kpbs::wrgp::AnyPerfect;
+use kpbs::Instance;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn fig08_instance(n: usize, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let g = complete_graph(&mut rng, n, n, (1, 10_000));
+    Instance::new(g, n, 1)
+}
+
+fn bench_peeling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("peeling");
+    group.sample_size(10);
+    for &n in &[32usize, 40] {
+        let inst = fig08_instance(n, 0xf1608);
+        group.bench_with_input(BenchmarkId::new("oggp_cold", n), &inst, |b, inst| {
+            b.iter(|| oggp_reference(inst))
+        });
+        group.bench_with_input(BenchmarkId::new("oggp_incremental", n), &inst, |b, inst| {
+            b.iter(|| oggp(inst))
+        });
+        group.bench_with_input(BenchmarkId::new("ggp_cold", n), &inst, |b, inst| {
+            b.iter(|| schedule_with(inst, &AnyPerfect))
+        });
+        group.bench_with_input(BenchmarkId::new("ggp_incremental", n), &inst, |b, inst| {
+            b.iter(|| ggp(inst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_peeling);
+criterion_main!(benches);

@@ -15,8 +15,8 @@
 
 use bench::{arg_or, f2, f4, row};
 use bipartite::generate::{random_graph, GraphParams};
-use kpbs::stats::RatioStats;
 use kpbs::ggp::ggp_seeded;
+use kpbs::stats::RatioStats;
 use kpbs::{baselines, coloring, ggp, lower_bound, oggp, Instance};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 

@@ -43,8 +43,7 @@ fn main() {
         };
         brute.push(brute_force_time(&traffic, &spec, &cfg).total_seconds);
         sched.push(
-            scheduled_time(&traffic, &inst, &endpoints, &schedule, &spec, 0.05, &cfg)
-                .total_seconds,
+            scheduled_time(&traffic, &inst, &endpoints, &schedule, &spec, 0.05, &cfg).total_seconds,
         );
     }
 
@@ -72,6 +71,9 @@ fn main() {
         format!("{smax:.2}"),
         format!("{:.1}%", (smax - smin) / smean * 100.0),
     ]);
-    assert_eq!(smin, smax, "scheduled arm must be bit-for-bit deterministic");
+    assert_eq!(
+        smin, smax,
+        "scheduled arm must be bit-for-bit deterministic"
+    );
     println!("\nscheduled arm: identical across all seeds (deterministic), as the paper observed");
 }

@@ -36,18 +36,36 @@ fn main() {
         steps: vec![
             Step {
                 transfers: vec![
-                    Transfer { edge: e0, amount: 5 },
-                    Transfer { edge: e1, amount: 4 },
-                    Transfer { edge: e4, amount: 4 },
+                    Transfer {
+                        edge: e0,
+                        amount: 5,
+                    },
+                    Transfer {
+                        edge: e1,
+                        amount: 4,
+                    },
+                    Transfer {
+                        edge: e4,
+                        amount: 4,
+                    },
                 ],
             },
             Step {
-                transfers: vec![Transfer { edge: e2, amount: 3 }],
+                transfers: vec![Transfer {
+                    edge: e2,
+                    amount: 3,
+                }],
             },
             Step {
                 transfers: vec![
-                    Transfer { edge: e1, amount: 4 },
-                    Transfer { edge: e3, amount: 4 },
+                    Transfer {
+                        edge: e1,
+                        amount: 4,
+                    },
+                    Transfer {
+                        edge: e3,
+                        amount: 4,
+                    },
                 ],
             },
         ],

@@ -24,7 +24,11 @@ fn figure(k: usize, seeds: u64, beta: f64, csv: bool) {
     if csv {
         println!("k,n_mb,brute_s,ggp_s,oggp_s,ggp_gain_pct,oggp_gain_pct,ggp_steps,oggp_steps");
     } else {
-        println!("\nFigure {}: testbed with k = {k} (NICs {:.1} Mbit/s)", if k == 3 { "10" } else { "11" }, platform.t1);
+        println!(
+            "\nFigure {}: testbed with k = {k} (NICs {:.1} Mbit/s)",
+            if k == 3 { "10" } else { "11" },
+            platform.t1
+        );
         row(&[
             "n (MB)".into(),
             "brute (s)".into(),
@@ -60,8 +64,10 @@ fn figure(k: usize, seeds: u64, beta: f64, csv: bool) {
             seed: 0,
             record_trace: false,
         };
-        let tg = scheduled_time(&traffic, &inst, &endpoints, &sg, &spec, beta, &lossy).total_seconds;
-        let to = scheduled_time(&traffic, &inst, &endpoints, &so, &spec, beta, &lossy).total_seconds;
+        let tg =
+            scheduled_time(&traffic, &inst, &endpoints, &sg, &spec, beta, &lossy).total_seconds;
+        let to =
+            scheduled_time(&traffic, &inst, &endpoints, &so, &spec, beta, &lossy).total_seconds;
 
         let gain = |t: f64| (1.0 - t / brute) * 100.0;
         if csv {

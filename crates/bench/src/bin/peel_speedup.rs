@@ -1,0 +1,168 @@
+//! Cold vs incremental peeling wall-time comparison, machine readable.
+//!
+//! Runs the from-scratch oracle pipeline and the incremental-engine
+//! pipeline on Figure-8-style large-weight instances (dense, n >= 32,
+//! weights U[1, 10000], beta = 1), checks the OGGP schedules are
+//! identical, and writes `BENCH_peeling.json` with instances, wall times,
+//! speedups and peel counts. The checked-in copy at the repository root is
+//! regenerated with:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin peel_speedup
+//! ```
+//!
+//! Options: `--reps N` timing repetitions (default 7), `--out PATH` output
+//! file (default `BENCH_peeling.json`).
+
+use bench::{arg_or, row};
+use bipartite::generate::complete_graph;
+use bipartite::Graph;
+use kpbs::ggp::{ggp, schedule_with};
+use kpbs::normalize::normalize;
+use kpbs::oggp::{oggp, oggp_reference};
+use kpbs::regularize::regularize;
+use kpbs::wrgp::{peel_all_incremental, IncrementalMaxMin};
+use kpbs::{Instance, Schedule};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::time::Instant;
+
+/// Best-of-`reps` wall time in milliseconds, plus the (deterministic)
+/// schedule the closure produces.
+fn time_ms<F: FnMut() -> Schedule>(mut f: F, reps: usize) -> (f64, Schedule) {
+    let mut out = f(); // warm-up, also the reported schedule
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
+
+struct Case {
+    name: &'static str,
+    inst: Instance,
+}
+
+fn cases() -> Vec<Case> {
+    let mut rng = SmallRng::seed_from_u64(0xf1608);
+    let mut v = Vec::new();
+    for &n in &[32usize, 40] {
+        let g = complete_graph(&mut rng, n, n, (1, 10_000));
+        v.push(Case {
+            name: if n == 32 {
+                "complete_n32"
+            } else {
+                "complete_n40"
+            },
+            inst: Instance::new(g, n, 1),
+        });
+    }
+    // Fig. 8 campaign shape: up to 400 edges over 32 + 32 nodes.
+    let mut g = Graph::new(32, 32);
+    for _ in 0..400 {
+        g.add_edge(
+            rng.gen_range(0..32),
+            rng.gen_range(0..32),
+            rng.gen_range(1..=10_000),
+        );
+    }
+    v.push(Case {
+        name: "dense_n32_m400",
+        inst: Instance::new(g, 16, 1),
+    });
+    v
+}
+
+/// Number of WRGP peels for this instance (before synthetic-only steps are
+/// dropped from the schedule).
+fn peel_count(inst: &Instance) -> usize {
+    let norm = normalize(inst);
+    let reg = regularize(&norm.graph, inst.effective_k());
+    let mut work = reg.graph.clone();
+    peel_all_incremental(&mut work, &mut IncrementalMaxMin::new()).len()
+}
+
+fn main() {
+    let reps: usize = arg_or("reps", 7);
+    let out_path: String = arg_or("out", "BENCH_peeling.json".to_string());
+
+    let mut entries = Vec::new();
+    row(&[
+        "case".into(),
+        "algo".into(),
+        "cold ms".into(),
+        "incr ms".into(),
+        "speedup".into(),
+    ]);
+    for case in cases() {
+        let inst = &case.inst;
+        let (oggp_cold_ms, oggp_cold) = time_ms(|| oggp_reference(inst), reps);
+        let (oggp_incr_ms, oggp_incr) = time_ms(|| oggp(inst), reps);
+        assert_eq!(
+            oggp_cold, oggp_incr,
+            "incremental OGGP must reproduce the oracle schedule exactly"
+        );
+        let (ggp_cold_ms, ggp_cold) =
+            time_ms(|| schedule_with(inst, &kpbs::wrgp::AnyPerfect), reps);
+        let (ggp_incr_ms, ggp_incr) = time_ms(|| ggp(inst), reps);
+        ggp_cold.validate(inst).expect("cold GGP schedule valid");
+        ggp_incr
+            .validate(inst)
+            .expect("incremental GGP schedule valid");
+        let peels = peel_count(inst);
+        let oggp_speedup = oggp_cold_ms / oggp_incr_ms;
+        let ggp_speedup = ggp_cold_ms / ggp_incr_ms;
+        row(&[
+            case.name.into(),
+            "oggp".into(),
+            format!("{oggp_cold_ms:.2}"),
+            format!("{oggp_incr_ms:.2}"),
+            format!("{oggp_speedup:.2}x"),
+        ]);
+        row(&[
+            case.name.into(),
+            "ggp".into(),
+            format!("{ggp_cold_ms:.2}"),
+            format!("{ggp_incr_ms:.2}"),
+            format!("{ggp_speedup:.2}x"),
+        ]);
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"left\": {}, \"right\": {}, \"edges\": {}, \"k\": {}, \"beta\": {},\n",
+                "      \"weight_range\": [1, 10000],\n",
+                "      \"peels\": {},\n",
+                "      \"oggp\": {{ \"cold_ms\": {:.4}, \"incremental_ms\": {:.4}, ",
+                "\"speedup\": {:.3}, \"steps\": {}, \"cost\": {}, \"identical\": true }},\n",
+                "      \"ggp\": {{ \"cold_ms\": {:.4}, \"incremental_ms\": {:.4}, ",
+                "\"speedup\": {:.3}, \"steps\": {}, \"cost\": {} }}\n",
+                "    }}"
+            ),
+            case.name,
+            inst.graph.left_count(),
+            inst.graph.right_count(),
+            inst.graph.edge_count(),
+            inst.k,
+            inst.beta,
+            peels,
+            oggp_cold_ms,
+            oggp_incr_ms,
+            oggp_speedup,
+            oggp_incr.num_steps(),
+            oggp_incr.cost(),
+            ggp_cold_ms,
+            ggp_incr_ms,
+            ggp_speedup,
+            ggp_incr.num_steps(),
+            ggp_incr.cost(),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"campaign\": \"fig08_large_weights\",\n  \"timing\": \"best of {reps} runs, ms\",\n  \"instances\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write output file");
+    println!("wrote {out_path}");
+}

@@ -39,11 +39,7 @@ fn main() {
     }
 
     println!("\nRandom-graph campaign (Fig 7 workload, {trials} trials/point):");
-    row(&[
-        "k".into(),
-        "avg GGP/OGGP step ratio".into(),
-        "max".into(),
-    ]);
+    row(&["k".into(), "avg GGP/OGGP step ratio".into(), "max".into()]);
     for k in [1, 2, 4, 8, 16] {
         let cfg = CampaignConfig {
             trials,
@@ -55,10 +51,6 @@ fn main() {
             seed: 90 + k as u64,
         };
         let r = run_campaign(&cfg);
-        row(&[
-            k.to_string(),
-            f2(r.step_ratio.mean),
-            f2(r.step_ratio.max),
-        ]);
+        row(&[k.to_string(), f2(r.step_ratio.mean), f2(r.step_ratio.max)]);
     }
 }

@@ -49,15 +49,16 @@ fn main() {
 
         let (inst, endpoints) = traffic.to_instance(&platform, 0.05, TickScale::MILLIS);
         let schedule = oggp(&inst);
-        let sched = scheduled_time(
-            &traffic, &inst, &endpoints, &schedule, &spec, 0.05, &cfg,
-        );
+        let sched = scheduled_time(&traffic, &inst, &endpoints, &schedule, &spec, 0.05, &cfg);
         row(&[
             k.to_string(),
             format!("{:.1}%", util * 100.0),
             format!("{:.1}", brute.makespan),
             format!("{:.1}", sched.total_seconds),
-            format!("{:.1}%", (1.0 - sched.total_seconds / brute.makespan) * 100.0),
+            format!(
+                "{:.1}%",
+                (1.0 - sched.total_seconds / brute.makespan) * 100.0
+            ),
         ]);
     }
     println!(

@@ -36,7 +36,11 @@ use crate::matching::Matching;
 /// assert_eq!(m.min_weight(&g), Some(4));
 /// ```
 pub fn max_min_matching(g: &Graph) -> Matching {
-    let target = hopcroft_karp::maximum_matching(g).len();
+    // The initial maximum matching is both the cardinality witness and the
+    // seed of the first threshold probe: each probe then only has to repair
+    // the carried matching, not rebuild it.
+    let witness = hopcroft_karp::maximum_matching(g);
+    let target = witness.len();
     if target == 0 {
         return Matching::new();
     }
@@ -46,13 +50,17 @@ pub fn max_min_matching(g: &Graph) -> Matching {
     let mut weights: Vec<Weight> = g.edges().map(|(_, _, _, w)| w).collect();
     weights.sort_unstable();
     weights.dedup();
+    // Carry the latest full-cardinality matching from probe to probe; its
+    // edges passing the next probe's filter stay a valid matching there.
+    let mut carry = witness;
     let (mut lo, mut hi) = (0usize, weights.len() - 1); // invariant: lo feasible
     while lo < hi {
         let mid = (lo + hi).div_ceil(2);
         let t = weights[mid];
-        let size = hopcroft_karp::maximum_matching_where(g, |e| g.weight(e) >= t).len();
-        if size == target {
+        let probe = hopcroft_karp::maximum_matching_where_seeded(g, |e| g.weight(e) >= t, &carry);
+        if probe.len() == target {
             lo = mid;
+            carry = probe;
         } else {
             hi = mid - 1;
         }

@@ -22,7 +22,9 @@ pub struct EdgeColoring {
 impl EdgeColoring {
     /// The edges of one colour class (a matching).
     pub fn class(&self, g: &Graph, c: usize) -> Vec<EdgeId> {
-        g.edge_ids().filter(|e| self.color[e.index()] == c).collect()
+        g.edge_ids()
+            .filter(|e| self.color[e.index()] == c)
+            .collect()
     }
 
     /// Verifies properness against `g`.
@@ -39,7 +41,8 @@ impl EdgeColoring {
                 ru[r] = true;
             }
         }
-        g.edge_ids().all(|e| self.color[e.index()] < self.num_colors)
+        g.edge_ids()
+            .all(|e| self.color[e.index()] < self.num_colors)
     }
 }
 
@@ -76,9 +79,7 @@ pub fn konig_coloring(g: &Graph) -> EdgeColoring {
     for e in g.edge_ids() {
         let (u, v) = (g.left_of(e), g.right_of(e));
         // A colour free at both endpoints: assign directly.
-        if let Some(c) =
-            (0..delta).find(|&c| at_left[u][c] == NONE && at_right[v][c] == NONE)
-        {
+        if let Some(c) = (0..delta).find(|&c| at_left[u][c] == NONE && at_right[v][c] == NONE) {
             color[e.index()] = c;
             at_left[u][c] = e.index();
             at_right[v][c] = e.index();

@@ -1,0 +1,574 @@
+//! Incremental peeling engine: matching state and scratch buffers reused
+//! across the peels of one WRGP run.
+//!
+//! Every from-scratch matching routine in this crate allocates its
+//! adjacency lists, match arrays and BFS/DFS scratch per call; the WRGP
+//! loop of `kpbs` calls one of them once per peel, and a peel changes the
+//! graph only slightly (a uniform quantum subtracted from one matching, a
+//! few edges dying). [`MatchingEngine`] exploits that:
+//!
+//! * **Buffer recycling** — adjacency, match arrays, visited/dist/queue
+//!   scratch are allocated once per schedule and reused every peel.
+//! * **Matching reuse** — the previous peel's matching, minus its dead
+//!   edges, seeds the next peel's augmentation
+//!   ([`MatchingEngine::any_perfect_matching`]), so each peel only repairs
+//!   the few pairs it lost instead of rebuilding all of them.
+//! * **Warm threshold search** — for bottleneck (max–min) matchings the
+//!   previous peel's achieved bottleneck is an upper bound on the next
+//!   one (see below), so the descending threshold sweep starts there and
+//!   each probe augments the previous probe's matching
+//!   ([`MatchingEngine::max_min_matching`]).
+//! * **Order maintenance** — the heaviest-first edge order that both the
+//!   greedy seed and the threshold sweep need is kept sorted across peels
+//!   by an O(m) two-run merge instead of an O(m log m) re-sort: the peeled
+//!   edges all lose the *same* quantum, so they keep their relative order.
+//!
+//! # Seeded-augmentation invariant
+//!
+//! After [`MatchingEngine::observe_peel`] the engine's carried matching is
+//! exactly the previous returned matching restricted to edges still alive —
+//! a valid matching of the residual graph. Augmenting it to maximality
+//! (Berge) yields a maximum matching, so
+//! [`MatchingEngine::any_perfect_matching`] is equivalent, peel for peel,
+//! to `hopcroft_karp::maximum_matching_seeded(g, survivors)` computed from
+//! scratch — the differential tests in `kpbs` assert exactly that.
+//!
+//! # Warm bound for the bottleneck search
+//!
+//! Let `t*` be the max–min threshold of the graph before a peel and let the
+//! peel subtract quantum `q > 0` from each edge of one maximum-cardinality
+//! matching. As long as the maximum cardinality is unchanged (in WRGP it is
+//! always the side size), every maximum-cardinality matching `M` of the
+//! residual graph is also one of the pre-peel graph, and its pre-peel
+//! minimum is no smaller, so `min_new(M) <= min_old(M) <= t*`: the new
+//! threshold never exceeds the old one. The sweep therefore batch-inserts
+//! all edges of weight `>= t*_old` at once and only then descends one
+//! distinct weight at a time. When the cardinality did change (possible on
+//! irregular inputs), the engine falls back to the full descending sweep.
+//!
+//! The matching *returned* by [`MatchingEngine::max_min_matching`] is
+//! computed by the same deterministic filtered solve the from-scratch
+//! [`crate::bottleneck::max_min_matching`] ends with, so the two agree
+//! edge-for-edge, not just on the achieved bottleneck.
+
+use crate::graph::{EdgeId, Graph, Weight};
+use crate::hopcroft_karp::{gather, hk_augment_to_maximum, kuhn_augment};
+use crate::matching::Matching;
+use std::collections::VecDeque;
+
+const NIL: u32 = u32::MAX;
+
+/// Reusable matching engine for the WRGP peeling loop. See the module
+/// documentation for the invariants it maintains between peels.
+///
+/// Protocol: call [`begin`](MatchingEngine::begin) once per peeling run,
+/// then alternate one matching method with one
+/// [`observe_peel`](MatchingEngine::observe_peel) after the caller has
+/// subtracted the quantum from the graph.
+#[derive(Debug, Default)]
+pub struct MatchingEngine {
+    nl: usize,
+    nr: usize,
+    /// Carried matching (survivors of the last returned matching), or the
+    /// maximum-cardinality witness in max–min mode.
+    match_left: Vec<u32>,
+    match_right: Vec<u32>,
+    via_left: Vec<EdgeId>,
+    /// Kuhn/Hopcroft–Karp scratch.
+    visited: Vec<bool>,
+    dist: Vec<u32>,
+    queue: VecDeque<u32>,
+    /// Full-graph adjacency, rebuilt per peel in edge-id order (O(live)).
+    adj: Vec<Vec<(u32, EdgeId)>>,
+    /// Threshold-probe matching and adjacency (max–min mode).
+    probe_left: Vec<u32>,
+    probe_right: Vec<u32>,
+    probe_via: Vec<EdgeId>,
+    probe_adj: Vec<Vec<(u32, EdgeId)>>,
+    /// All live edges sorted by (weight desc, id asc); repaired by merge.
+    order: Vec<(EdgeId, Weight)>,
+    kept: Vec<(EdgeId, Weight)>,
+    changed: Vec<(EdgeId, Weight)>,
+    peeled_mark: Vec<bool>,
+    /// Warm-start state of the bottleneck search.
+    last_bottleneck: Option<Weight>,
+    last_target: usize,
+}
+
+impl MatchingEngine {
+    /// Creates an empty engine; [`begin`](MatchingEngine::begin) sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an engine already prepared for `g`.
+    pub fn for_graph(g: &Graph) -> Self {
+        let mut e = Self::new();
+        e.begin(g);
+        e
+    }
+
+    /// Prepares the engine for a peeling run over `g`: sizes every buffer
+    /// (keeping capacity from earlier runs), clears the carried matching and
+    /// sorts the live edges heaviest-first. O(m log m) once per run.
+    pub fn begin(&mut self, g: &Graph) {
+        self.nl = g.left_count();
+        self.nr = g.right_count();
+        self.match_left.clear();
+        self.match_left.resize(self.nl, NIL);
+        self.match_right.clear();
+        self.match_right.resize(self.nr, NIL);
+        self.via_left.clear();
+        self.via_left.resize(self.nl, EdgeId(0));
+        self.visited.clear();
+        self.visited.resize(self.nl, false);
+        self.dist.clear();
+        self.dist.resize(self.nl, 0);
+        self.probe_left.clear();
+        self.probe_left.resize(self.nl, NIL);
+        self.probe_right.clear();
+        self.probe_right.resize(self.nr, NIL);
+        self.probe_via.clear();
+        self.probe_via.resize(self.nl, EdgeId(0));
+        resize_adj(&mut self.adj, self.nl);
+        resize_adj(&mut self.probe_adj, self.nl);
+        self.peeled_mark.clear();
+        self.peeled_mark.resize(g.edge_id_bound(), false);
+        self.order.clear();
+        self.order.extend(g.edges().map(|(id, _, _, w)| (id, w)));
+        self.order
+            .sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        self.last_bottleneck = None;
+        self.last_target = usize::MAX;
+    }
+
+    /// Maximum-cardinality matching grown from the survivors of the last
+    /// returned matching (empty on the first call). Peel for peel this
+    /// equals `hopcroft_karp::maximum_matching_seeded(g, survivors)`.
+    pub fn any_perfect_matching(&mut self, g: &Graph) -> Matching {
+        debug_assert_eq!(g.left_count(), self.nl);
+        self.rebuild_adj(g);
+        self.kuhn_to_maximum();
+        gather(&self.match_left, &self.via_left)
+    }
+
+    /// Maximum-cardinality matching grown from a heaviest-first greedy seed,
+    /// identical to `wrgp::GreedySeeded`'s from-scratch computation but with
+    /// the seed derived from the maintained order (no per-peel sort) and all
+    /// scratch recycled.
+    pub fn greedy_seeded_matching(&mut self, g: &Graph) -> Matching {
+        debug_assert_eq!(g.left_count(), self.nl);
+        self.rebuild_adj(g);
+        let MatchingEngine {
+            order,
+            match_left,
+            match_right,
+            via_left,
+            ..
+        } = self;
+        match_left.fill(NIL);
+        match_right.fill(NIL);
+        for &(e, _) in order.iter() {
+            let (l, r) = (g.left_of(e), g.right_of(e));
+            if match_left[l] == NIL && match_right[r] == NIL {
+                match_left[l] = r as u32;
+                match_right[r] = l as u32;
+                via_left[l] = e;
+            }
+        }
+        self.kuhn_to_maximum();
+        gather(&self.match_left, &self.via_left)
+    }
+
+    /// Maximum-cardinality matching whose minimum edge weight is maximal,
+    /// equal edge-for-edge to [`crate::bottleneck::max_min_matching`] but
+    /// with the cardinality witness maintained incrementally and the
+    /// threshold found by a warm descending sweep instead of a cold binary
+    /// search.
+    pub fn max_min_matching(&mut self, g: &Graph) -> Matching {
+        debug_assert_eq!(g.left_count(), self.nl);
+        let target = self.witness_target(g);
+        if target == 0 {
+            self.last_bottleneck = None;
+            self.last_target = 0;
+            return Matching::new();
+        }
+        let warm = self.last_target == target;
+        let t_star = self.bottleneck_threshold(g, target, warm);
+        self.last_bottleneck = Some(t_star);
+        self.last_target = target;
+        self.canonical_matching(g, t_star)
+    }
+
+    /// Tells the engine one peel happened: the caller subtracted `quantum`
+    /// from every edge of `peeled` (removing the ones that reached zero).
+    /// Repairs the maintained heaviest-first order by an O(m) merge and
+    /// drops dead pairs from the carried matching.
+    pub fn observe_peel(&mut self, g: &Graph, peeled: &Matching, quantum: Weight) {
+        let MatchingEngine {
+            order,
+            kept,
+            changed,
+            peeled_mark,
+            ..
+        } = self;
+        for &e in peeled.edges() {
+            peeled_mark[e.index()] = true;
+        }
+        kept.clear();
+        changed.clear();
+        for &(e, w) in order.iter() {
+            if peeled_mark[e.index()] {
+                let nw = w - quantum;
+                debug_assert_eq!(nw, g.weight(e), "peel quantum not uniform");
+                debug_assert_eq!(nw > 0, g.is_alive(e));
+                if nw > 0 {
+                    changed.push((e, nw));
+                }
+            } else {
+                kept.push((e, w));
+            }
+        }
+        for &e in peeled.edges() {
+            peeled_mark[e.index()] = false;
+        }
+        // The changed run lost a uniform quantum, so it is still sorted by
+        // (weight desc, id asc); merge it back with the untouched run.
+        order.clear();
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < kept.len() && b < changed.len() {
+            let (ka, kb) = (kept[a], changed[b]);
+            if kb.1 > ka.1 || (kb.1 == ka.1 && kb.0 < ka.0) {
+                order.push(kb);
+                b += 1;
+            } else {
+                order.push(ka);
+                a += 1;
+            }
+        }
+        order.extend_from_slice(&kept[a..]);
+        order.extend_from_slice(&changed[b..]);
+
+        // Survivors of the carried matching stay; dead pairs leave.
+        let MatchingEngine {
+            match_left,
+            match_right,
+            via_left,
+            ..
+        } = self;
+        for l in 0..match_left.len() {
+            let r = match_left[l];
+            if r != NIL && !g.is_alive(via_left[l]) {
+                match_left[l] = NIL;
+                match_right[r as usize] = NIL;
+            }
+        }
+    }
+
+    /// Bottleneck achieved by the last [`max_min_matching`] call, if any.
+    ///
+    /// [`max_min_matching`]: MatchingEngine::max_min_matching
+    pub fn last_bottleneck(&self) -> Option<Weight> {
+        self.last_bottleneck
+    }
+
+    fn rebuild_adj(&mut self, g: &Graph) {
+        for a in &mut self.adj {
+            a.clear();
+        }
+        for (id, l, r, _) in g.edges() {
+            self.adj[l].push((r as u32, id));
+        }
+    }
+
+    /// The exact augmentation loop of `maximum_matching_seeded`: repeated
+    /// Kuhn passes over free left nodes, visited cleared after every
+    /// successful augmentation, until a full pass finds nothing.
+    fn kuhn_to_maximum(&mut self) {
+        let MatchingEngine {
+            nl,
+            adj,
+            match_left,
+            match_right,
+            via_left,
+            visited,
+            ..
+        } = self;
+        loop {
+            let mut augmented = false;
+            visited.fill(false);
+            for l in 0..*nl {
+                if match_left[l] == NIL
+                    && kuhn_augment(l, adj, match_left, match_right, via_left, visited)
+                {
+                    augmented = true;
+                    visited.fill(false);
+                }
+            }
+            if !augmented {
+                break;
+            }
+        }
+    }
+
+    /// Re-augments the carried witness to a maximum matching of `g` and
+    /// returns its cardinality. Dropping dead edges from a maximum matching
+    /// and augmenting until no path remains is again maximum (Berge), so
+    /// this equals `maximum_matching(g).len()` at a fraction of the work.
+    fn witness_target(&mut self, g: &Graph) -> usize {
+        self.rebuild_adj(g);
+        let MatchingEngine {
+            adj,
+            match_left,
+            match_right,
+            via_left,
+            dist,
+            queue,
+            ..
+        } = self;
+        hk_augment_to_maximum(adj, match_left, match_right, via_left, dist, queue);
+        match_left.iter().filter(|&&x| x != NIL).count()
+    }
+
+    /// Largest distinct weight `t` such that edges of weight `>= t` admit a
+    /// matching of size `target`, found by descending insertion (the paper's
+    /// Figure 6 order) with the probe matching carried across insertions.
+    /// When `warm` holds, all weights `>= last_bottleneck` are inserted as
+    /// one batch first — see the module docs for why that bound is sound.
+    fn bottleneck_threshold(&mut self, g: &Graph, target: usize, warm: bool) -> Weight {
+        let MatchingEngine {
+            order,
+            probe_adj,
+            probe_left,
+            probe_right,
+            probe_via,
+            dist,
+            queue,
+            last_bottleneck,
+            ..
+        } = self;
+        for a in probe_adj.iter_mut() {
+            a.clear();
+        }
+        probe_left.fill(NIL);
+        probe_right.fill(NIL);
+        let size = |probe_left: &[u32]| probe_left.iter().filter(|&&x| x != NIL).count();
+        let mut i = 0usize;
+        if warm {
+            if let Some(bound) = *last_bottleneck {
+                while i < order.len() && order[i].1 >= bound {
+                    let e = order[i].0;
+                    probe_adj[g.left_of(e)].push((g.right_of(e) as u32, e));
+                    i += 1;
+                }
+                if i > 0 {
+                    hk_augment_to_maximum(
+                        probe_adj,
+                        probe_left,
+                        probe_right,
+                        probe_via,
+                        dist,
+                        queue,
+                    );
+                    if size(probe_left) == target {
+                        return order[i - 1].1;
+                    }
+                }
+            }
+        }
+        while i < order.len() {
+            let w = order[i].1;
+            while i < order.len() && order[i].1 == w {
+                let e = order[i].0;
+                probe_adj[g.left_of(e)].push((g.right_of(e) as u32, e));
+                i += 1;
+            }
+            hk_augment_to_maximum(probe_adj, probe_left, probe_right, probe_via, dist, queue);
+            if size(probe_left) == target {
+                return w;
+            }
+        }
+        unreachable!("inserting every live edge reaches the maximum matching size")
+    }
+
+    /// The canonical threshold matching: a from-scratch filtered solve over
+    /// edges of weight `>= t`, byte-identical in traversal order to
+    /// `maximum_matching_where(g, |e| g.weight(e) >= t)` — only the buffers
+    /// are recycled.
+    fn canonical_matching(&mut self, g: &Graph, t: Weight) -> Matching {
+        let MatchingEngine {
+            probe_adj,
+            probe_left,
+            probe_right,
+            probe_via,
+            dist,
+            queue,
+            ..
+        } = self;
+        for a in probe_adj.iter_mut() {
+            a.clear();
+        }
+        for (id, l, r, w) in g.edges() {
+            if w >= t {
+                probe_adj[l].push((r as u32, id));
+            }
+        }
+        probe_left.fill(NIL);
+        probe_right.fill(NIL);
+        hk_augment_to_maximum(probe_adj, probe_left, probe_right, probe_via, dist, queue);
+        gather(probe_left, probe_via)
+    }
+}
+
+fn resize_adj(adj: &mut Vec<Vec<(u32, EdgeId)>>, n: usize) {
+    for a in adj.iter_mut() {
+        a.clear();
+    }
+    if adj.len() < n {
+        adj.resize_with(n, Vec::new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_graph, GraphParams};
+    use crate::{bottleneck, greedy, hopcroft_karp};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    /// Peels `g` to emptiness with `step`, calling `oracle` on the same
+    /// residual graph first and asserting exact agreement per peel.
+    fn drive<F, O>(mut g: Graph, mut step: F, mut oracle: O)
+    where
+        F: FnMut(&mut MatchingEngine, &Graph) -> Matching,
+        O: FnMut(&Graph, &Matching) -> Matching,
+    {
+        let mut engine = MatchingEngine::for_graph(&g);
+        let mut carried = Matching::new();
+        while !g.is_empty() {
+            let survivors = Matching::from_edges(
+                carried
+                    .edges()
+                    .iter()
+                    .copied()
+                    .filter(|&e| g.is_alive(e))
+                    .collect(),
+            );
+            let expect = oracle(&g, &survivors);
+            let got = step(&mut engine, &g);
+            assert_eq!(got.edges(), expect.edges(), "engine diverged from oracle");
+            let quantum = got
+                .min_weight(&g)
+                .expect("non-empty graph yields a matching");
+            for &e in got.edges() {
+                g.decrease_weight(e, quantum);
+            }
+            engine.observe_peel(&g, &got, quantum);
+            carried = got;
+        }
+    }
+
+    fn campaign(seed: u64) -> impl Iterator<Item = Graph> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let params = GraphParams {
+            max_nodes_per_side: 8,
+            max_edges: 40,
+            weight_range: (1, 25),
+        };
+        (0..60).map(move |_| random_graph(&mut rng, &params))
+    }
+
+    #[test]
+    fn any_perfect_equals_seeded_oracle_chain() {
+        for g in campaign(5) {
+            drive(
+                g,
+                |e, g| e.any_perfect_matching(g),
+                hopcroft_karp::maximum_matching_seeded,
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_seeded_equals_cold_greedy_per_peel() {
+        for g in campaign(6) {
+            drive(
+                g,
+                |e, g| e.greedy_seeded_matching(g),
+                |g, _| {
+                    let seed = greedy::maximal_matching_heaviest_first(g);
+                    hopcroft_karp::maximum_matching_seeded(g, &seed)
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn max_min_equals_cold_bottleneck_per_peel() {
+        for g in campaign(7) {
+            drive(
+                g,
+                |e, g| e.max_min_matching(g),
+                |g, _| bottleneck::max_min_matching(g),
+            );
+        }
+    }
+
+    #[test]
+    fn engine_reusable_across_runs() {
+        let mut engine = MatchingEngine::new();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let params = GraphParams {
+            max_nodes_per_side: 6,
+            max_edges: 24,
+            weight_range: (1, 12),
+        };
+        for _ in 0..20 {
+            let mut g = random_graph(&mut rng, &params);
+            engine.begin(&g);
+            while !g.is_empty() {
+                let expect = bottleneck::max_min_matching(&g);
+                let got = engine.max_min_matching(&g);
+                assert_eq!(got.edges(), expect.edges());
+                let quantum = got.min_weight(&g).unwrap();
+                for &e in got.edges() {
+                    g.decrease_weight(e, quantum);
+                }
+                engine.observe_peel(&g, &got, quantum);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_matchings() {
+        let g = Graph::new(3, 3);
+        let mut engine = MatchingEngine::for_graph(&g);
+        assert!(engine.any_perfect_matching(&g).is_empty());
+        assert!(engine.max_min_matching(&g).is_empty());
+        assert!(engine.greedy_seeded_matching(&g).is_empty());
+        assert_eq!(engine.last_bottleneck(), None);
+    }
+
+    #[test]
+    fn warm_bound_survives_cardinality_changes() {
+        // A graph engineered so the maximum cardinality drops between
+        // peels: the warm bound must be bypassed, not trusted. Left 1's
+        // only edge dies in the first peel, and the surviving heavy edge
+        // has a *larger* bottleneck than the first peel's.
+        let mut g = Graph::new(2, 2);
+        g.add_edge(0, 0, 100);
+        g.add_edge(1, 1, 1);
+        let mut engine = MatchingEngine::for_graph(&g);
+        let m1 = engine.max_min_matching(&g);
+        assert_eq!(m1.len(), 2);
+        assert_eq!(m1.min_weight(&g), Some(1));
+        for &e in m1.edges() {
+            g.decrease_weight(e, 1);
+        }
+        engine.observe_peel(&g, &m1, 1);
+        let m2 = engine.max_min_matching(&g);
+        assert_eq!(m2.len(), 1);
+        assert_eq!(m2.min_weight(&g), Some(99));
+        assert_eq!(engine.last_bottleneck(), Some(99));
+    }
+}

@@ -32,12 +32,27 @@ impl EdgeId {
     }
 }
 
+/// Sentinel for "no edge" in the intrusive live lists.
+const NIL: u32 = u32::MAX;
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct EdgeData {
     left: u32,
     right: u32,
     weight: Weight,
     alive: bool,
+    // Intrusive doubly-linked list links, valid only while `alive`. Each
+    // live edge sits on three lists: the global live list and the live
+    // lists of its two endpoints. All three are kept in ascending-id
+    // order (edges are appended at creation, in id order, and unlinking
+    // preserves relative order), so iteration order matches the old
+    // scan-and-filter implementation exactly.
+    prev_live: u32,
+    next_live: u32,
+    prev_at_left: u32,
+    next_at_left: u32,
+    prev_at_right: u32,
+    next_at_right: u32,
 }
 
 /// A weighted bipartite multigraph with tombstoned edge removal.
@@ -45,12 +60,29 @@ struct EdgeData {
 /// Parallel edges between the same `(left, right)` pair are allowed (the
 /// regularisation step of GGP can create them), and every query skips dead
 /// edges transparently.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Live edges are threaded through intrusive doubly-linked lists (one
+/// global, one per node), so edge iteration, adjacency iteration, and
+/// degrees cost O(live) / O(1) regardless of how many edges have been
+/// tombstoned — late WRGP peels no longer pay to skip dead edges.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Graph {
     edges: Vec<EdgeData>,
-    adj_left: Vec<Vec<EdgeId>>,
-    adj_right: Vec<Vec<EdgeId>>,
+    live_head: u32,
+    live_tail: u32,
+    left_head: Vec<u32>,
+    left_tail: Vec<u32>,
+    left_deg: Vec<u32>,
+    right_head: Vec<u32>,
+    right_tail: Vec<u32>,
+    right_deg: Vec<u32>,
     live_edges: usize,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new(0, 0)
+    }
 }
 
 impl Graph {
@@ -58,8 +90,14 @@ impl Graph {
     pub fn new(left: usize, right: usize) -> Self {
         Graph {
             edges: Vec::new(),
-            adj_left: vec![Vec::new(); left],
-            adj_right: vec![Vec::new(); right],
+            live_head: NIL,
+            live_tail: NIL,
+            left_head: vec![NIL; left],
+            left_tail: vec![NIL; left],
+            left_deg: vec![0; left],
+            right_head: vec![NIL; right],
+            right_tail: vec![NIL; right],
+            right_deg: vec![0; right],
             live_edges: 0,
         }
     }
@@ -67,13 +105,13 @@ impl Graph {
     /// Number of left-side nodes.
     #[inline]
     pub fn left_count(&self) -> usize {
-        self.adj_left.len()
+        self.left_head.len()
     }
 
     /// Number of right-side nodes.
     #[inline]
     pub fn right_count(&self) -> usize {
-        self.adj_right.len()
+        self.right_head.len()
     }
 
     /// Total number of nodes, `n = |V1| + |V2|`.
@@ -94,16 +132,28 @@ impl Graph {
         self.live_edges == 0
     }
 
+    /// One past the largest edge id ever allocated (dead or alive). Edge ids
+    /// are stable for the lifetime of the graph, so a `Vec` of this length
+    /// indexed by [`EdgeId::index`] covers every id the graph can produce.
+    #[inline]
+    pub fn edge_id_bound(&self) -> usize {
+        self.edges.len()
+    }
+
     /// Appends a new left-side node and returns its index.
     pub fn add_left_node(&mut self) -> usize {
-        self.adj_left.push(Vec::new());
-        self.adj_left.len() - 1
+        self.left_head.push(NIL);
+        self.left_tail.push(NIL);
+        self.left_deg.push(0);
+        self.left_head.len() - 1
     }
 
     /// Appends a new right-side node and returns its index.
     pub fn add_right_node(&mut self) -> usize {
-        self.adj_right.push(Vec::new());
-        self.adj_right.len() - 1
+        self.right_head.push(NIL);
+        self.right_tail.push(NIL);
+        self.right_deg.push(0);
+        self.right_head.len() - 1
     }
 
     /// Adds an edge of weight `weight` between left node `left` and right
@@ -115,17 +165,48 @@ impl Graph {
     /// communications do not exist in the model; use no edge instead).
     pub fn add_edge(&mut self, left: usize, right: usize, weight: Weight) -> EdgeId {
         assert!(left < self.left_count(), "left node {left} out of range");
-        assert!(right < self.right_count(), "right node {right} out of range");
+        assert!(
+            right < self.right_count(),
+            "right node {right} out of range"
+        );
         assert!(weight > 0, "edges must have positive weight");
-        let id = EdgeId(u32::try_from(self.edges.len()).expect("too many edges"));
+        let raw = u32::try_from(self.edges.len()).expect("too many edges");
+        assert!(raw != NIL, "edge id space exhausted");
+        let id = EdgeId(raw);
         self.edges.push(EdgeData {
             left: left as u32,
             right: right as u32,
             weight,
             alive: true,
+            prev_live: self.live_tail,
+            next_live: NIL,
+            prev_at_left: self.left_tail[left],
+            next_at_left: NIL,
+            prev_at_right: self.right_tail[right],
+            next_at_right: NIL,
         });
-        self.adj_left[left].push(id);
-        self.adj_right[right].push(id);
+        // Append to the tails: ids are created in ascending order, so
+        // tail-appends keep every live list id-sorted.
+        if self.live_tail == NIL {
+            self.live_head = raw;
+        } else {
+            self.edges[self.live_tail as usize].next_live = raw;
+        }
+        self.live_tail = raw;
+        if self.left_tail[left] == NIL {
+            self.left_head[left] = raw;
+        } else {
+            self.edges[self.left_tail[left] as usize].next_at_left = raw;
+        }
+        self.left_tail[left] = raw;
+        if self.right_tail[right] == NIL {
+            self.right_head[right] = raw;
+        } else {
+            self.edges[self.right_tail[right] as usize].next_at_right = raw;
+        }
+        self.right_tail[right] = raw;
+        self.left_deg[left] += 1;
+        self.right_deg[right] += 1;
         self.live_edges += 1;
         id
     }
@@ -191,58 +272,114 @@ impl Graph {
         }
     }
 
-    /// Tombstones edge `e`. Other edge ids remain valid.
+    /// Tombstones edge `e` in O(1). Other edge ids remain valid, and
+    /// `left_of` / `right_of` still answer for the removed edge.
     pub fn remove_edge(&mut self, e: EdgeId) {
-        let d = &mut self.edges[e.index()];
-        if d.alive {
-            d.alive = false;
-            d.weight = 0;
-            self.live_edges -= 1;
+        let i = e.index();
+        if !self.edges[i].alive {
+            return;
         }
+        self.edges[i].alive = false;
+        self.edges[i].weight = 0;
+        self.live_edges -= 1;
+
+        let d = &self.edges[i];
+        let (gp, gn) = (d.prev_live, d.next_live);
+        let (l, lp, ln) = (d.left as usize, d.prev_at_left, d.next_at_left);
+        let (r, rp, rn) = (d.right as usize, d.prev_at_right, d.next_at_right);
+
+        // Unlink from the global live list.
+        match gp {
+            NIL => self.live_head = gn,
+            p => self.edges[p as usize].next_live = gn,
+        }
+        match gn {
+            NIL => self.live_tail = gp,
+            n => self.edges[n as usize].prev_live = gp,
+        }
+        // Unlink from the left endpoint's list.
+        match lp {
+            NIL => self.left_head[l] = ln,
+            p => self.edges[p as usize].next_at_left = ln,
+        }
+        match ln {
+            NIL => self.left_tail[l] = lp,
+            n => self.edges[n as usize].prev_at_left = lp,
+        }
+        self.left_deg[l] -= 1;
+        // Unlink from the right endpoint's list.
+        match rp {
+            NIL => self.right_head[r] = rn,
+            p => self.edges[p as usize].next_at_right = rn,
+        }
+        match rn {
+            NIL => self.right_tail[r] = rp,
+            n => self.edges[n as usize].prev_at_right = rp,
+        }
+        self.right_deg[r] -= 1;
     }
 
-    /// Iterates over the ids of all live edges.
+    /// Iterates over the ids of all live edges in ascending id order.
+    ///
+    /// Cost is O(live edges): the walk follows the live list and never
+    /// touches tombstoned edges, however many have accumulated.
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        self.edges
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.alive)
-            .map(|(i, _)| EdgeId(i as u32))
+        let mut cur = self.live_head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let id = EdgeId(cur);
+            cur = self.edges[cur as usize].next_live;
+            Some(id)
+        })
     }
 
-    /// Iterates over `(EdgeId, left, right, weight)` for all live edges.
+    /// Iterates over `(EdgeId, left, right, weight)` for all live edges in
+    /// ascending id order. O(live edges), like [`edge_ids`](Graph::edge_ids).
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, usize, usize, Weight)> + '_ {
-        self.edges
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.alive)
-            .map(|(i, d)| (EdgeId(i as u32), d.left as usize, d.right as usize, d.weight))
+        self.edge_ids().map(|e| {
+            let d = &self.edges[e.index()];
+            (e, d.left as usize, d.right as usize, d.weight)
+        })
     }
 
-    /// Live edges adjacent to left node `l`.
+    /// Live edges adjacent to left node `l`, ascending by id. O(degree).
     pub fn edges_of_left(&self, l: usize) -> impl Iterator<Item = EdgeId> + '_ {
-        self.adj_left[l]
-            .iter()
-            .copied()
-            .filter(move |&e| self.is_alive(e))
+        let mut cur = self.left_head[l];
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let id = EdgeId(cur);
+            cur = self.edges[cur as usize].next_at_left;
+            Some(id)
+        })
     }
 
-    /// Live edges adjacent to right node `r`.
+    /// Live edges adjacent to right node `r`, ascending by id. O(degree).
     pub fn edges_of_right(&self, r: usize) -> impl Iterator<Item = EdgeId> + '_ {
-        self.adj_right[r]
-            .iter()
-            .copied()
-            .filter(move |&e| self.is_alive(e))
+        let mut cur = self.right_head[r];
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let id = EdgeId(cur);
+            cur = self.edges[cur as usize].next_at_right;
+            Some(id)
+        })
     }
 
-    /// Degree of left node `l` (live edges only).
+    /// Degree of left node `l` (live edges only). O(1).
+    #[inline]
     pub fn degree_left(&self, l: usize) -> usize {
-        self.edges_of_left(l).count()
+        self.left_deg[l] as usize
     }
 
-    /// Degree of right node `r` (live edges only).
+    /// Degree of right node `r` (live edges only). O(1).
+    #[inline]
     pub fn degree_right(&self, r: usize) -> usize {
-        self.edges_of_right(r).count()
+        self.right_deg[r] as usize
     }
 
     /// Sum of the weights of live edges adjacent to left node `l` — the
@@ -415,6 +552,50 @@ mod tests {
         assert_eq!(back, vec![e0, e2]);
         let weights: Vec<Weight> = c.edges().map(|(_, _, _, w)| w).collect();
         assert_eq!(weights, vec![1, 3]);
+    }
+
+    #[test]
+    fn live_lists_survive_interleaved_removal() {
+        // Remove head, middle, and tail edges of the same node's list and
+        // check every iterator stays id-sorted and consistent.
+        let mut g = Graph::new(2, 3);
+        let e0 = g.add_edge(0, 0, 1);
+        let e1 = g.add_edge(0, 1, 2);
+        let e2 = g.add_edge(0, 2, 3);
+        let e3 = g.add_edge(1, 0, 4);
+        let e4 = g.add_edge(0, 0, 5);
+
+        g.remove_edge(e1); // middle of left-0's list
+        assert_eq!(g.edges_of_left(0).collect::<Vec<_>>(), vec![e0, e2, e4]);
+        g.remove_edge(e0); // head
+        assert_eq!(g.edges_of_left(0).collect::<Vec<_>>(), vec![e2, e4]);
+        g.remove_edge(e4); // tail
+        assert_eq!(g.edges_of_left(0).collect::<Vec<_>>(), vec![e2]);
+        assert_eq!(g.edge_ids().collect::<Vec<_>>(), vec![e2, e3]);
+        assert_eq!(g.edges_of_right(0).collect::<Vec<_>>(), vec![e3]);
+        assert_eq!(g.degree_left(0), 1);
+        assert_eq!(g.degree_left(1), 1);
+        assert_eq!(g.degree_right(0), 1);
+        assert_eq!(g.degree_right(1), 0);
+        assert_eq!(g.edge_count(), 2);
+
+        // Growth after removals appends at the tails.
+        let e5 = g.add_edge(0, 1, 6);
+        assert_eq!(g.edges_of_left(0).collect::<Vec<_>>(), vec![e2, e5]);
+        assert_eq!(g.edge_ids().collect::<Vec<_>>(), vec![e2, e3, e5]);
+    }
+
+    #[test]
+    fn removed_edges_keep_endpoints() {
+        // Schedules hold EdgeIds of edges that have since been peeled to
+        // zero; their endpoints must stay queryable.
+        let mut g = Graph::new(2, 2);
+        let e = g.add_edge(1, 0, 3);
+        g.decrease_weight(e, 3);
+        assert!(!g.is_alive(e));
+        assert_eq!(g.left_of(e), 1);
+        assert_eq!(g.right_of(e), 0);
+        assert_eq!(g.weight(e), 0);
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub fn maximum_matching_seeded(g: &Graph, seed: &Matching) -> Matching {
     m
 }
 
-fn kuhn_augment(
+pub(crate) fn kuhn_augment(
     l: usize,
     adj: &[Vec<(u32, EdgeId)>],
     match_left: &mut [u32],
@@ -127,6 +127,55 @@ pub fn maximum_matching_where<F: FnMut(EdgeId) -> bool>(g: &Graph, mut keep: F) 
     solve(nl, nr, &adj)
 }
 
+/// Like [`maximum_matching_where`], but grown from the edges of `seed` that
+/// satisfy `keep`: those pairs are installed as the initial matching and
+/// Hopcroft–Karp phases augment from there. The result is still a
+/// maximum-cardinality matching of the filtered subgraph, but the work is
+/// proportional to the *missing* cardinality. The bottleneck threshold
+/// search uses this to carry each feasible probe's matching into the next
+/// probe instead of re-deriving it from nothing.
+pub fn maximum_matching_where_seeded<F: FnMut(EdgeId) -> bool>(
+    g: &Graph,
+    mut keep: F,
+    seed: &Matching,
+) -> Matching {
+    let nl = g.left_count();
+    let nr = g.right_count();
+    let mut adj: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new(); nl];
+    for (id, l, r, _) in g.edges() {
+        if keep(id) {
+            adj[l].push((r as u32, id));
+        }
+    }
+    let mut match_left: Vec<u32> = vec![NIL; nl];
+    let mut match_right: Vec<u32> = vec![NIL; nr];
+    let mut via_left: Vec<EdgeId> = vec![EdgeId(0); nl];
+    for &e in seed.edges() {
+        if !keep(e) {
+            continue;
+        }
+        let (l, r) = (g.left_of(e), g.right_of(e));
+        debug_assert!(
+            match_left[l] == NIL && match_right[r] == NIL,
+            "seed is not a matching"
+        );
+        match_left[l] = r as u32;
+        match_right[r] = l as u32;
+        via_left[l] = e;
+    }
+    let mut dist: Vec<u32> = vec![0; nl];
+    let mut queue = VecDeque::with_capacity(nl);
+    hk_augment_to_maximum(
+        &adj,
+        &mut match_left,
+        &mut match_right,
+        &mut via_left,
+        &mut dist,
+        &mut queue,
+    );
+    gather(&match_left, &via_left)
+}
+
 /// Core solver over a pre-built adjacency structure.
 pub(crate) fn solve(nl: usize, nr: usize, adj: &[Vec<(u32, EdgeId)>]) -> Matching {
     let mut match_left: Vec<u32> = vec![NIL; nl]; // left -> right
@@ -134,7 +183,32 @@ pub(crate) fn solve(nl: usize, nr: usize, adj: &[Vec<(u32, EdgeId)>]) -> Matchin
     let mut via_left: Vec<EdgeId> = vec![EdgeId(0); nl]; // edge used by match_left
     let mut dist: Vec<u32> = vec![0; nl];
     let mut queue = VecDeque::with_capacity(nl);
+    hk_augment_to_maximum(
+        adj,
+        &mut match_left,
+        &mut match_right,
+        &mut via_left,
+        &mut dist,
+        &mut queue,
+    );
+    gather(&match_left, &via_left)
+}
 
+/// Runs Hopcroft–Karp phases over `adj` until no augmenting path remains,
+/// starting from whatever valid matching the arrays already encode (all-NIL
+/// for a from-scratch solve). `dist` and `queue` are scratch; their contents
+/// on entry are irrelevant. This is the shared core of the from-scratch
+/// entry points above and of [`crate::engine::MatchingEngine`], which calls
+/// it with buffers recycled across WRGP peels.
+pub(crate) fn hk_augment_to_maximum(
+    adj: &[Vec<(u32, EdgeId)>],
+    match_left: &mut [u32],
+    match_right: &mut [u32],
+    via_left: &mut [EdgeId],
+    dist: &mut [u32],
+    queue: &mut VecDeque<u32>,
+) {
+    let nl = match_left.len();
     loop {
         // BFS: layer the graph from free left nodes.
         queue.clear();
@@ -164,20 +238,16 @@ pub(crate) fn solve(nl: usize, nr: usize, adj: &[Vec<(u32, EdgeId)>]) -> Matchin
         // DFS: vertex-disjoint shortest augmenting paths.
         for l in 0..nl {
             if match_left[l] == NIL {
-                augment(
-                    l,
-                    adj,
-                    &mut match_left,
-                    &mut match_right,
-                    &mut via_left,
-                    &mut dist,
-                );
+                augment(l, adj, match_left, match_right, via_left, dist);
             }
         }
     }
+}
 
+/// Snapshots the matching encoded by the match arrays, in left-node order.
+pub(crate) fn gather(match_left: &[u32], via_left: &[EdgeId]) -> Matching {
     let mut m = Matching::new();
-    for l in 0..nl {
+    for l in 0..match_left.len() {
         if match_left[l] != NIL {
             m.push(via_left[l]);
         }

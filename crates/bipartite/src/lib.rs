@@ -12,6 +12,8 @@
 //!   weight (Figure 6 of the paper), both the paper's incremental algorithm
 //!   and a faster threshold binary search,
 //! * [`greedy`] — greedy maximal matching used by baseline schedulers,
+//! * [`engine`] — the incremental peeling engine: matching state and
+//!   scratch buffers reused across the peels of one WRGP run,
 //! * [`generate`] — seeded random graph generators used by the simulation
 //!   campaigns (Figures 7–9),
 //! * [`properties`] — `P(G)`, `W(G)`, `Δ(G)` and weight-regularity checks,
@@ -35,6 +37,7 @@
 pub mod bottleneck;
 pub mod coloring;
 pub mod dot;
+pub mod engine;
 pub mod generate;
 pub mod graph;
 pub mod greedy;
@@ -42,5 +45,6 @@ pub mod hopcroft_karp;
 pub mod matching;
 pub mod properties;
 
+pub use engine::MatchingEngine;
 pub use graph::{EdgeId, Graph, Side, Weight};
 pub use matching::Matching;

@@ -85,9 +85,7 @@ impl Matching {
     /// True when the matching is *perfect* on `g`: valid and covering every
     /// node of both sides (requires `|V1| == |V2|`).
     pub fn is_perfect(&self, g: &Graph) -> bool {
-        g.left_count() == g.right_count()
-            && self.edges.len() == g.left_count()
-            && self.is_valid(g)
+        g.left_count() == g.right_count() && self.edges.len() == g.left_count() && self.is_valid(g)
     }
 
     /// True when the matching is *maximal*: no live edge of `g` can be added

@@ -9,8 +9,7 @@ use proptest::prelude::*;
 fn graph_strategy(max_side: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
     (1..=max_side, 1..=max_side)
         .prop_flat_map(move |(nl, nr)| {
-            let edges =
-                proptest::collection::vec((0..nl, 0..nr, 1u64..50), 0..=max_edges);
+            let edges = proptest::collection::vec((0..nl, 0..nr, 1u64..50), 0..=max_edges);
             (Just((nl, nr)), edges)
         })
         .prop_map(|((nl, nr), edges)| {
@@ -29,9 +28,7 @@ fn brute_force_max_matching(g: &Graph) -> usize {
         let mut best = 0;
         for (i, &(l, r)) in edges.iter().enumerate().skip(from) {
             if used_l & (1 << l) == 0 && used_r & (1 << r) == 0 {
-                best = best.max(
-                    1 + rec(edges, used_l | (1 << l), used_r | (1 << r), i + 1),
-                );
+                best = best.max(1 + rec(edges, used_l | (1 << l), used_r | (1 << r), i + 1));
             }
         }
         best

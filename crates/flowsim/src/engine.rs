@@ -220,8 +220,22 @@ mod tests {
         let flows: Vec<Flow> = (0..10)
             .flat_map(|s| (0..10).map(move |d| Flow::new(s, d, 1_000_000.0)))
             .collect();
-        let r1 = Engine::new(spec.clone(), SimConfig { seed: 1, ..Default::default() }).run(&flows);
-        let r2 = Engine::new(spec, SimConfig { seed: 2, ..Default::default() }).run(&flows);
+        let r1 = Engine::new(
+            spec.clone(),
+            SimConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .run(&flows);
+        let r2 = Engine::new(
+            spec,
+            SimConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .run(&flows);
         assert_eq!(r1.makespan, r2.makespan);
     }
 

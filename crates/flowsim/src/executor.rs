@@ -44,10 +44,7 @@ pub fn scheduled_time(
 ) -> ExecutionReport {
     // Apportion each edge's bytes across its slices exactly, proportional to
     // the slice durations.
-    let bytes: Vec<u64> = endpoints
-        .iter()
-        .map(|&(s, d)| traffic.get(s, d))
-        .collect();
+    let bytes: Vec<u64> = endpoints.iter().map(|&(s, d)| traffic.get(s, d)).collect();
     let slices = schedule.byte_slices(inst, &bytes);
 
     let engine = Engine::new(spec.clone(), config.clone());
@@ -136,8 +133,7 @@ pub fn adaptive_scheduled_time(
             backbone: crate::network::CapacityProfile::Constant(cap),
         };
         let engine = Engine::new(step_spec, config.clone());
-        let k = ((cap / per_transfer_mbps).floor() as usize)
-            .clamp(1, n1.min(n2));
+        let k = ((cap / per_transfer_mbps).floor() as usize).clamp(1, n1.min(n2));
         // Plan the residual with OGGP at the momentary k; weights in ticks.
         let mut g = Graph::new(n1, n2);
         let mut endpoints = Vec::new();
@@ -158,7 +154,9 @@ pub fn adaptive_scheduled_time(
         let mut flows = Vec::new();
         for t in &first.transfers {
             let (i, j) = endpoints[t.edge.index()];
-            let slice = ((t.amount as f64 * bytes_per_tick) as u64).min(residual[i][j]).max(1);
+            let slice = ((t.amount as f64 * bytes_per_tick) as u64)
+                .min(residual[i][j])
+                .max(1);
             flows.push(Flow::new(i, j, slice as f64));
             residual[i][j] -= slice;
             remaining -= slice;
@@ -178,7 +176,11 @@ pub fn adaptive_scheduled_time(
 
 /// Like [`brute_force_time`] but returning the full [`RunResult`] (per-flow
 /// completions, optional trace).
-pub fn brute_force_run(traffic: &TrafficMatrix, spec: &NetworkSpec, config: &SimConfig) -> RunResult {
+pub fn brute_force_run(
+    traffic: &TrafficMatrix,
+    spec: &NetworkSpec,
+    config: &SimConfig,
+) -> RunResult {
     let mut flows = Vec::with_capacity(traffic.message_count());
     for s in 0..traffic.senders() {
         for d in 0..traffic.receivers() {
@@ -274,9 +276,7 @@ mod tests {
                 seed: 5,
                 record_trace: false,
             };
-            let sched = scheduled_time(
-                &traffic, &inst, &endpoints, &schedule, &spec, beta, &lossy,
-            );
+            let sched = scheduled_time(&traffic, &inst, &endpoints, &schedule, &spec, beta, &lossy);
             let brute = brute_force_time(&traffic, &spec, &lossy);
             let improvement = 1.0 - sched.total_seconds / brute.total_seconds;
             assert!(
@@ -309,8 +309,24 @@ mod tests {
         let scale = TickScale::MILLIS;
         let (inst, endpoints) = traffic.to_instance(&platform, 0.05, scale);
         let schedule = oggp(&inst);
-        let s1 = scheduled_time(&traffic, &inst, &endpoints, &schedule, &spec, 0.05, &lossy(1));
-        let s2 = scheduled_time(&traffic, &inst, &endpoints, &schedule, &spec, 0.05, &lossy(2));
+        let s1 = scheduled_time(
+            &traffic,
+            &inst,
+            &endpoints,
+            &schedule,
+            &spec,
+            0.05,
+            &lossy(1),
+        );
+        let s2 = scheduled_time(
+            &traffic,
+            &inst,
+            &endpoints,
+            &schedule,
+            &spec,
+            0.05,
+            &lossy(2),
+        );
         assert_eq!(
             s1.total_seconds, s2.total_seconds,
             "scheduled steps share no constraint, so jitter never applies"
@@ -331,11 +347,7 @@ mod tests {
         let spec = NetworkSpec {
             nic_out: vec![25.0; 4],
             nic_in: vec![25.0; 4],
-            backbone: CapacityProfile::Piecewise(vec![
-                (0.0, 100.0),
-                (2.0, 25.0),
-                (20.0, 100.0),
-            ]),
+            backbone: CapacityProfile::Piecewise(vec![(0.0, 100.0), (2.0, 25.0), (20.0, 100.0)]),
         };
         let r = adaptive_scheduled_time(&traffic, &spec, 25.0, 0.02, &SimConfig::default());
         assert!(r.num_steps > 0);
@@ -344,7 +356,11 @@ mod tests {
         // aggregate) would take volume/12.5e6 s; fully serialised at
         // 25 Mbit/s would take volume/3.125e6 s.
         let vol = traffic.total_bytes() as f64;
-        assert!(r.total_seconds >= vol / 12.5e6 * 0.9, "too fast: {}", r.total_seconds);
+        assert!(
+            r.total_seconds >= vol / 12.5e6 * 0.9,
+            "too fast: {}",
+            r.total_seconds
+        );
         assert!(
             r.total_seconds <= vol / 3.125e6 * 1.5,
             "too slow: {}",

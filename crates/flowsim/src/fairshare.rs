@@ -18,7 +18,12 @@ const EPS: f64 = 1e-9;
 ///
 /// Panics if a flow references an out-of-range node or any capacity is
 /// non-positive.
-pub fn max_min_rates(flows: &[(usize, usize)], out: &[f64], in_: &[f64], backbone: f64) -> Vec<f64> {
+pub fn max_min_rates(
+    flows: &[(usize, usize)],
+    out: &[f64],
+    in_: &[f64],
+    backbone: f64,
+) -> Vec<f64> {
     assert!(backbone > 0.0, "backbone capacity must be positive");
     for &(s, d) in flows {
         assert!(s < out.len(), "sender {s} out of range");
@@ -80,9 +85,7 @@ pub fn max_min_rates(flows: &[(usize, usize)], out: &[f64], in_: &[f64], backbon
             if frozen[f] {
                 continue;
             }
-            let tight = bb_tight
-                || out_res[s] <= EPS * out[s]
-                || in_res[d] <= EPS * in_[d];
+            let tight = bb_tight || out_res[s] <= EPS * out[s] || in_res[d] <= EPS * in_[d];
             if tight {
                 frozen[f] = true;
                 remaining -= 1;

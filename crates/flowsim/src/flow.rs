@@ -16,7 +16,10 @@ pub struct Flow {
 impl Flow {
     /// Creates a flow; volumes must be positive and finite.
     pub fn new(src: usize, dst: usize, bytes: f64) -> Self {
-        assert!(bytes > 0.0 && bytes.is_finite(), "flow volume must be positive");
+        assert!(
+            bytes > 0.0 && bytes.is_finite(),
+            "flow volume must be positive"
+        );
         Flow { src, dst, bytes }
     }
 }

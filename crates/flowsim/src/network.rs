@@ -44,9 +44,7 @@ impl CapacityProfile {
     pub fn next_change_after(&self, t: f64) -> Option<f64> {
         match self {
             CapacityProfile::Constant(_) => None,
-            CapacityProfile::Piecewise(segs) => {
-                segs.iter().map(|&(s, _)| s).find(|&s| s > t)
-            }
+            CapacityProfile::Piecewise(segs) => segs.iter().map(|&(s, _)| s).find(|&s| s > t),
         }
     }
 
@@ -95,7 +93,13 @@ pub struct NetworkSpec {
 
 impl NetworkSpec {
     /// Uniform NICs on both sides with a constant backbone.
-    pub fn uniform(senders: usize, receivers: usize, out_mbps: f64, in_mbps: f64, backbone_mbps: f64) -> Self {
+    pub fn uniform(
+        senders: usize,
+        receivers: usize,
+        out_mbps: f64,
+        in_mbps: f64,
+        backbone_mbps: f64,
+    ) -> Self {
         NetworkSpec {
             nic_out: vec![out_mbps; senders],
             nic_in: vec![in_mbps; receivers],
@@ -166,17 +170,15 @@ mod tests {
     fn invalid_profiles() {
         assert!(CapacityProfile::Constant(0.0).validate().is_err());
         assert!(CapacityProfile::Piecewise(vec![]).validate().is_err());
-        assert!(CapacityProfile::Piecewise(vec![(1.0, 5.0)]).validate().is_err());
-        assert!(
-            CapacityProfile::Piecewise(vec![(0.0, 5.0), (0.0, 6.0)])
-                .validate()
-                .is_err()
-        );
-        assert!(
-            CapacityProfile::Piecewise(vec![(0.0, 5.0), (1.0, -2.0)])
-                .validate()
-                .is_err()
-        );
+        assert!(CapacityProfile::Piecewise(vec![(1.0, 5.0)])
+            .validate()
+            .is_err());
+        assert!(CapacityProfile::Piecewise(vec![(0.0, 5.0), (0.0, 6.0)])
+            .validate()
+            .is_err());
+        assert!(CapacityProfile::Piecewise(vec![(0.0, 5.0), (1.0, -2.0)])
+            .validate()
+            .is_err());
     }
 
     #[test]

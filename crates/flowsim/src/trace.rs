@@ -43,11 +43,7 @@ impl Trace {
         }
         let mut transferred = 0.0;
         for (i, s) in self.samples.iter().enumerate() {
-            let end = self
-                .samples
-                .get(i + 1)
-                .map(|n| n.time)
-                .unwrap_or(end_time);
+            let end = self.samples.get(i + 1).map(|n| n.time).unwrap_or(end_time);
             let dt = (end - s.time).max(0.0);
             transferred += self.aggregate_rate(i) * dt;
         }
@@ -59,11 +55,7 @@ impl Trace {
     pub fn transferred_bytes(&self, flow_count: usize, end_time: f64) -> Vec<f64> {
         let mut out = vec![0.0; flow_count];
         for (i, s) in self.samples.iter().enumerate() {
-            let end = self
-                .samples
-                .get(i + 1)
-                .map(|n| n.time)
-                .unwrap_or(end_time);
+            let end = self.samples.get(i + 1).map(|n| n.time).unwrap_or(end_time);
             let dt = (end - s.time).max(0.0);
             for &(f, r) in &s.rates {
                 out[f] += r * dt;

@@ -10,14 +10,13 @@ use proptest::prelude::*;
 type Setup = (Vec<f64>, Vec<f64>, f64, Vec<(usize, usize)>);
 
 fn setup_strategy() -> impl Strategy<Value = Setup> {
-    (1usize..6, 1usize..6)
-        .prop_flat_map(|(ns, nr)| {
-            let out = proptest::collection::vec(1.0f64..200.0, ns..=ns);
-            let in_ = proptest::collection::vec(1.0f64..200.0, nr..=nr);
-            let backbone = 1.0f64..500.0;
-            let flows = proptest::collection::vec((0..ns, 0..nr), 1..10);
-            (out, in_, backbone, flows)
-        })
+    (1usize..6, 1usize..6).prop_flat_map(|(ns, nr)| {
+        let out = proptest::collection::vec(1.0f64..200.0, ns..=ns);
+        let in_ = proptest::collection::vec(1.0f64..200.0, nr..=nr);
+        let backbone = 1.0f64..500.0;
+        let flows = proptest::collection::vec((0..ns, 0..nr), 1..10);
+        (out, in_, backbone, flows)
+    })
 }
 
 proptest! {

@@ -82,7 +82,10 @@ pub fn optimal_cost(inst: &Instance, limits: Limits) -> Option<Weight> {
 /// Computes an optimal integer-duration schedule (cost plus the schedule
 /// itself, reconstructed from the memoised first moves), or `None` when
 /// `limits` are exceeded.
-pub fn optimal_schedule(inst: &Instance, limits: Limits) -> Option<(Weight, crate::schedule::Schedule)> {
+pub fn optimal_schedule(
+    inst: &Instance,
+    limits: Limits,
+) -> Option<(Weight, crate::schedule::Schedule)> {
     use crate::schedule::{Schedule, Step, Transfer};
     if inst.graph.edge_count() == 0 {
         return Some((0, Schedule::new(inst.beta)));
@@ -120,11 +123,8 @@ fn run_with_ctx(inst: &Instance, limits: Limits) -> Option<(Weight, Ctx)> {
     if m > limits.max_edges || inst.total_weight() > limits.max_total_weight {
         return None;
     }
-    let edges: Vec<(usize, usize, Weight)> = inst
-        .graph
-        .edges()
-        .map(|(_, l, r, w)| (l, r, w))
-        .collect();
+    let edges: Vec<(usize, usize, Weight)> =
+        inst.graph.edges().map(|(_, l, r, w)| (l, r, w)).collect();
     let residual: Vec<Weight> = edges.iter().map(|e| e.2).collect();
     let mut ctx = Ctx {
         edges,
@@ -160,7 +160,15 @@ fn solve(ctx: &mut Ctx, residual: &[Weight]) -> Weight {
     let mut best = Weight::MAX / 4;
     let mut best_move: Option<(Vec<usize>, Weight)> = None;
     let mut chosen: Vec<usize> = Vec::new();
-    enumerate_matchings(ctx, residual, &live, 0, &mut chosen, &mut best, &mut best_move);
+    enumerate_matchings(
+        ctx,
+        residual,
+        &live,
+        0,
+        &mut chosen,
+        &mut best,
+        &mut best_move,
+    );
 
     ctx.memo.insert(residual.to_vec(), best);
     if let Some(mv) = best_move {
@@ -282,12 +290,7 @@ fn residual_lower_bound(ctx: &Ctx, residual: &[Weight]) -> Weight {
     if m == 0 {
         return 0;
     }
-    let w_max = w_left
-        .iter()
-        .chain(&w_right)
-        .copied()
-        .max()
-        .unwrap_or(0);
+    let w_max = w_left.iter().chain(&w_right).copied().max().unwrap_or(0);
     let delta = d_left.iter().chain(&d_right).copied().max().unwrap_or(0);
     w_max.max(p.div_ceil(k)) + ctx.beta * delta.max(m.div_ceil(ctx.k as u64))
 }
@@ -300,7 +303,13 @@ mod tests {
     use crate::oggp::oggp;
     use bipartite::Graph;
 
-    fn inst(edges: &[(usize, usize, Weight)], nl: usize, nr: usize, k: usize, beta: Weight) -> Instance {
+    fn inst(
+        edges: &[(usize, usize, Weight)],
+        nl: usize,
+        nr: usize,
+        k: usize,
+        beta: Weight,
+    ) -> Instance {
         let mut g = Graph::new(nl, nr);
         for &(l, r, w) in edges {
             g.add_edge(l, r, w);
@@ -408,7 +417,13 @@ mod tests {
                     edges.push((l, r, rng.gen_range(1..5)));
                 }
             }
-            let i = inst(&edges, nl, nr, rng.gen_range(1..=nl.min(nr)), rng.gen_range(0..3));
+            let i = inst(
+                &edges,
+                nl,
+                nr,
+                rng.gen_range(1..=nl.min(nr)),
+                rng.gen_range(0..3),
+            );
             let (cost, schedule) = optimal_schedule(&i, Limits::default()).expect("tiny");
             schedule.validate(&i).unwrap_or_else(|e| panic!("{e}"));
             assert_eq!(schedule.cost(), cost, "reconstructed schedule cost");

@@ -7,16 +7,20 @@
 
 use crate::normalize::{denormalize, normalize};
 use crate::problem::Instance;
-use crate::regularize::regularize;
+use crate::regularize::{regularize, Regularized};
 use crate::schedule::{Schedule, Step, Transfer};
-use crate::wrgp::{peel_all, AnyPerfect, MatchingStrategy};
+use crate::wrgp::{
+    peel_all, peel_all_incremental, IncrementalAnyPerfect, IncrementalGreedySeeded,
+    MatchingStrategy, MatchingStrategyMut, Peel,
+};
 
 /// Schedules `inst` with the Generic Graph Peeling algorithm.
 ///
 /// The result is always feasible (see [`crate::validate`]) and costs at most
-/// twice the optimum.
+/// twice the optimum. Runs on the incremental peeling engine: each peel's
+/// matching is grown from the survivors of the previous one.
 pub fn ggp(inst: &Instance) -> Schedule {
-    schedule_with(inst, &AnyPerfect)
+    schedule_with_mut(inst, &mut IncrementalAnyPerfect::new())
 }
 
 /// GGP with a heaviest-first-seeded matching: the same algorithm (and
@@ -24,12 +28,28 @@ pub fn ggp(inst: &Instance) -> Schedule {
 /// edges. Sits between plain GGP and OGGP in practice — see the `ablation`
 /// bench and EXPERIMENTS.md.
 pub fn ggp_seeded(inst: &Instance) -> Schedule {
-    schedule_with(inst, &crate::wrgp::GreedySeeded)
+    schedule_with_mut(inst, &mut IncrementalGreedySeeded::new())
 }
 
-/// The shared GGP/OGGP pipeline, parameterised by the per-peel matching
-/// strategy. Used directly by [`crate::oggp::oggp`] and by ablation benches.
+/// The shared GGP/OGGP pipeline over a stateless, from-scratch matching
+/// strategy. This is the reference oracle the differential tests compare
+/// the incremental engine against; the production entry points go through
+/// [`schedule_with_mut`].
 pub fn schedule_with<S: MatchingStrategy>(inst: &Instance, strategy: &S) -> Schedule {
+    if inst.is_trivial() {
+        return Schedule::new(inst.beta);
+    }
+    let norm = normalize(inst);
+    let reg = regularize(&norm.graph, inst.effective_k());
+    let mut work = reg.graph.clone();
+    let peels = peel_all(&mut work, strategy);
+    extract(inst, &reg, peels)
+}
+
+/// The shared GGP/OGGP pipeline, parameterised by a stateful per-peel
+/// matching strategy (Fig. 5 steps 1–4). Used by [`ggp`], [`ggp_seeded`],
+/// [`crate::oggp::oggp`] and the ablation benches.
+pub fn schedule_with_mut<S: MatchingStrategyMut>(inst: &Instance, strategy: &mut S) -> Schedule {
     if inst.is_trivial() {
         return Schedule::new(inst.beta);
     }
@@ -39,9 +59,14 @@ pub fn schedule_with<S: MatchingStrategy>(inst: &Instance, strategy: &S) -> Sche
     let reg = regularize(&norm.graph, inst.effective_k());
     // Step 3: peel J with WRGP.
     let mut work = reg.graph.clone();
-    let peels = peel_all(&mut work, strategy);
-    // Step 4: extract R — keep only the slices of real edges; steps made
-    // only of synthetic edges carry no communication and are dropped.
+    let peels = peel_all_incremental(&mut work, strategy);
+    extract(inst, &reg, peels)
+}
+
+/// Step 4 of Fig. 5: extract R — keep only the slices of real edges (steps
+/// made only of synthetic edges carry no communication and are dropped),
+/// then map normalised quanta back to real ticks.
+fn extract(inst: &Instance, reg: &Regularized, peels: Vec<Peel>) -> Schedule {
     let mut normalised = Schedule::new(1);
     for peel in peels {
         let transfers: Vec<Transfer> = peel
@@ -57,7 +82,6 @@ pub fn schedule_with<S: MatchingStrategy>(inst: &Instance, strategy: &S) -> Sche
             normalised.steps.push(Step { transfers });
         }
     }
-    // Map normalised quanta back to real ticks.
     denormalize(&normalised, inst)
 }
 

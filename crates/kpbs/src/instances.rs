@@ -70,7 +70,7 @@ pub fn power_law<R: Rng + ?Sized>(
 /// receiver. Exercises the normalisation and the preemption bookkeeping
 /// across widely mixed scales.
 pub fn staircase(levels: usize, beta: Weight) -> Instance {
-    assert!(levels >= 1 && levels < 60);
+    assert!((1..60).contains(&levels));
     let mut g = Graph::new(levels, 1);
     for i in 0..levels {
         g.add_edge(i, 0, 1u64 << i);

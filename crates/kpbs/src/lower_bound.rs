@@ -48,8 +48,8 @@ pub fn min_transmission(inst: &Instance) -> Weight {
 /// documentation and as a cross-check in tests.
 pub fn per_node_bound(inst: &Instance) -> Weight {
     let g = &inst.graph;
-    let left = (0..g.left_count())
-        .map(|l| g.node_weight_left(l) + inst.beta * g.degree_left(l) as Weight);
+    let left =
+        (0..g.left_count()).map(|l| g.node_weight_left(l) + inst.beta * g.degree_left(l) as Weight);
     let right = (0..g.right_count())
         .map(|r| g.node_weight_right(r) + inst.beta * g.degree_right(r) as Weight);
     left.chain(right).max().unwrap_or(0)

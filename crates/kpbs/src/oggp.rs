@@ -7,13 +7,26 @@
 //! also a GGP solution — but empirically much closer to the lower bound
 //! (Figures 7–9 of the paper).
 
-use crate::ggp::schedule_with;
+use crate::ggp::{schedule_with, schedule_with_mut};
 use crate::problem::Instance;
 use crate::schedule::Schedule;
-use crate::wrgp::MaxMinPerfect;
+use crate::wrgp::{IncrementalMaxMin, MaxMinPerfect};
 
 /// Schedules `inst` with the Optimised Generic Graph Peeling algorithm.
+///
+/// Runs on the incremental peeling engine, which produces the exact same
+/// schedule as the from-scratch [`oggp_reference`] (the per-peel bottleneck
+/// matching is computed by the same canonical filtered solve) while reusing
+/// the cardinality witness, threshold bound and scratch buffers across
+/// peels.
 pub fn oggp(inst: &Instance) -> Schedule {
+    schedule_with_mut(inst, &mut IncrementalMaxMin::new())
+}
+
+/// The from-scratch OGGP pipeline: one cold bottleneck matching per peel.
+/// Kept as the reference oracle for differential tests and benches; agrees
+/// with [`oggp`] schedule-for-schedule.
+pub fn oggp_reference(inst: &Instance) -> Schedule {
     schedule_with(inst, &MaxMinPerfect)
 }
 

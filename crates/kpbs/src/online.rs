@@ -72,7 +72,13 @@ impl OnlineScheduler {
 
     /// Registers a newly revealed message; returns its internal edge id.
     /// `message_index` is the caller's identifier echoed in the output.
-    pub fn add_message(&mut self, message_index: usize, src: usize, dst: usize, ticks: Weight) -> EdgeId {
+    pub fn add_message(
+        &mut self,
+        message_index: usize,
+        src: usize,
+        dst: usize,
+        ticks: Weight,
+    ) -> EdgeId {
         assert!(ticks > 0);
         let e = self.residual.add_edge(src, dst, ticks);
         debug_assert_eq!(e.index(), self.origin.len());
@@ -203,10 +209,30 @@ mod tests {
         // of OGGP re-plans; the costs stay within a small factor of the
         // one-shot plan.
         let messages = [
-            ArrivingMessage { release: 0, src: 0, dst: 0, ticks: 9 },
-            ArrivingMessage { release: 0, src: 0, dst: 1, ticks: 4 },
-            ArrivingMessage { release: 0, src: 1, dst: 1, ticks: 7 },
-            ArrivingMessage { release: 0, src: 2, dst: 2, ticks: 5 },
+            ArrivingMessage {
+                release: 0,
+                src: 0,
+                dst: 0,
+                ticks: 9,
+            },
+            ArrivingMessage {
+                release: 0,
+                src: 0,
+                dst: 1,
+                ticks: 4,
+            },
+            ArrivingMessage {
+                release: 0,
+                src: 1,
+                dst: 1,
+                ticks: 7,
+            },
+            ArrivingMessage {
+                release: 0,
+                src: 2,
+                dst: 2,
+                ticks: 5,
+            },
         ];
         let r = online_vs_offline(3, 3, 2, 1, &messages);
         assert!(r.online_cost >= r.offline_cost);
@@ -233,10 +259,30 @@ mod tests {
         // A big message known upfront, small ones trickling in: they must
         // all complete, and the online cost must stay bounded.
         let messages = [
-            ArrivingMessage { release: 0, src: 0, dst: 0, ticks: 20 },
-            ArrivingMessage { release: 1, src: 1, dst: 1, ticks: 3 },
-            ArrivingMessage { release: 2, src: 1, dst: 0, ticks: 2 },
-            ArrivingMessage { release: 3, src: 0, dst: 1, ticks: 4 },
+            ArrivingMessage {
+                release: 0,
+                src: 0,
+                dst: 0,
+                ticks: 20,
+            },
+            ArrivingMessage {
+                release: 1,
+                src: 1,
+                dst: 1,
+                ticks: 3,
+            },
+            ArrivingMessage {
+                release: 2,
+                src: 1,
+                dst: 0,
+                ticks: 2,
+            },
+            ArrivingMessage {
+                release: 3,
+                src: 0,
+                dst: 1,
+                ticks: 4,
+            },
         ];
         let r = online_vs_offline(2, 2, 2, 1, &messages);
         assert!(r.online_cost >= r.offline_cost);
@@ -246,8 +292,18 @@ mod tests {
     #[test]
     fn arrivals_after_drain_are_served() {
         let messages = [
-            ArrivingMessage { release: 0, src: 0, dst: 0, ticks: 2 },
-            ArrivingMessage { release: 10, src: 1, dst: 1, ticks: 2 },
+            ArrivingMessage {
+                release: 0,
+                src: 0,
+                dst: 0,
+                ticks: 2,
+            },
+            ArrivingMessage {
+                release: 10,
+                src: 1,
+                dst: 1,
+                ticks: 2,
+            },
         ];
         let r = online_vs_offline(2, 2, 2, 1, &messages);
         // Online pays two steps (one per burst); offline packs both in one.

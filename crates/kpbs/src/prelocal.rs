@@ -135,8 +135,7 @@ pub fn dispatch(inst: &Instance, cfg: &LocalConfig) -> PrePlan {
 
     let mut merged = vec![vec![0u64; n2]; n1];
     // Messages as a mutable pool: (current holder, receiver, ticks).
-    let mut pool: Vec<(usize, usize, Weight)> =
-        g.edges().map(|(_, s, j, w)| (s, j, w)).collect();
+    let mut pool: Vec<(usize, usize, Weight)> = g.edges().map(|(_, s, j, w)| (s, j, w)).collect();
     let mut load: Vec<Weight> = vec![0; n1];
     for &(s, _, w) in &pool {
         load[s] += w;
@@ -192,12 +191,7 @@ fn build_preplan(
         }
     }
     // Local phase: per-node serial in/out, overlapping across nodes.
-    let busiest = local_in
-        .iter()
-        .chain(local_out)
-        .copied()
-        .max()
-        .unwrap_or(0);
+    let busiest = local_in.iter().chain(local_out).copied().max().unwrap_or(0);
     let local_cost = if busiest == 0 {
         0
     } else {

@@ -94,7 +94,8 @@ pub fn regularize(src: &Graph, k: usize) -> Regularized {
     } else {
         let r = p.div_ceil(kw);
         (
-            kw.checked_mul(r).expect("k * ceil(P/k) overflows u64 ticks"),
+            kw.checked_mul(r)
+                .expect("k * ceil(P/k) overflows u64 ticks"),
             r,
         )
     };

@@ -150,7 +150,10 @@ mod tests {
         let e = g.add_edge(0, 0, 10);
         let s = Schedule {
             steps: vec![crate::schedule::Step {
-                transfers: vec![crate::schedule::Transfer { edge: e, amount: 10 }],
+                transfers: vec![crate::schedule::Transfer {
+                    edge: e,
+                    amount: 10,
+                }],
             }],
             beta: 3,
         };

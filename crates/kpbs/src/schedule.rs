@@ -66,10 +66,7 @@ impl Schedule {
 
     /// Objective value `Σ_i (β + W(M_i))` in ticks.
     pub fn cost(&self) -> Weight {
-        self.steps
-            .iter()
-            .map(|s| self.beta + s.duration())
-            .sum()
+        self.steps.iter().map(|s| self.beta + s.duration()).sum()
     }
 
     /// Total transmission time excluding setup delays, `Σ_i W(M_i)`.
@@ -125,7 +122,9 @@ impl Schedule {
         }
         let total: Weight = self.transmission_time().max(1);
         let scale = |w: Weight| -> usize {
-            ((w as f64 / total as f64) * max_cols as f64).ceil().max(1.0) as usize
+            ((w as f64 / total as f64) * max_cols as f64)
+                .ceil()
+                .max(1.0) as usize
         };
         // Collect edge ids in first-appearance order.
         let mut edges: Vec<EdgeId> = Vec::new();
@@ -144,12 +143,7 @@ impl Schedule {
                 match step.transfers.iter().find(|t| t.edge == e) {
                     Some(t) => {
                         let filled = scale(t.amount).min(cols);
-                        let _ = write!(
-                            out,
-                            "|{}{}",
-                            "#".repeat(filled),
-                            ".".repeat(cols - filled)
-                        );
+                        let _ = write!(out, "|{}{}", "#".repeat(filled), ".".repeat(cols - filled));
                     }
                     None => {
                         let _ = write!(out, "|{}", " ".repeat(cols));
@@ -328,7 +322,10 @@ mod tests {
                     transfers: vec![Transfer { edge: e, amount: 1 }],
                 },
                 Step {
-                    transfers: vec![Transfer { edge: e, amount: 999 }],
+                    transfers: vec![Transfer {
+                        edge: e,
+                        amount: 999,
+                    }],
                 },
             ],
             beta: 0,

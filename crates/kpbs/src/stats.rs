@@ -53,8 +53,8 @@ impl RatioStats {
             return;
         }
         let total = self.count + other.count;
-        self.mean = (self.mean * self.count as f64 + other.mean * other.count as f64)
-            / total as f64;
+        self.mean =
+            (self.mean * self.count as f64 + other.mean * other.count as f64) / total as f64;
         self.count = total;
         self.max = self.max.max(other.max);
         self.min = self.min.min(other.min);

@@ -12,14 +12,53 @@
 //! GGP uses any maximum matching ([`AnyPerfect`]); OGGP uses the bottleneck
 //! matching ([`MaxMinPerfect`]) that maximises `w` and thereby minimises the
 //! number of steps.
+//!
+//! Each stateless strategy also has an incremental twin driven through
+//! [`MatchingStrategyMut`] and [`peel_all_incremental`]: a
+//! [`bipartite::MatchingEngine`] carries the surviving matching, the
+//! bottleneck threshold and every scratch buffer from one peel to the next
+//! instead of recomputing from scratch. The stateless entry points remain
+//! the reference oracle the differential tests compare against.
 
-use bipartite::{bottleneck, greedy, hopcroft_karp, EdgeId, Graph, Matching, Weight};
+use bipartite::{
+    bottleneck, greedy, hopcroft_karp, EdgeId, Graph, Matching, MatchingEngine, Weight,
+};
 
 /// How WRGP picks the perfect matching of each peel.
 pub trait MatchingStrategy {
     /// Returns a maximum-cardinality matching of `g` (perfect whenever the
     /// peeling invariant holds).
     fn matching(&self, g: &Graph) -> Matching;
+}
+
+/// Stateful variant of [`MatchingStrategy`] for strategies that carry state
+/// from peel to peel (the incremental engine strategies below). The peeling
+/// loop calls [`begin`](MatchingStrategyMut::begin) once, then alternates
+/// [`matching`](MatchingStrategyMut::matching) with
+/// [`observe_peel`](MatchingStrategyMut::observe_peel) after subtracting
+/// each quantum.
+pub trait MatchingStrategyMut {
+    /// Called once before the first peel of a run over `g`.
+    fn begin(&mut self, g: &Graph) {
+        let _ = g;
+    }
+
+    /// Returns a maximum-cardinality matching of the residual graph.
+    fn matching(&mut self, g: &Graph) -> Matching;
+
+    /// Called after the caller subtracted `quantum` from every edge of
+    /// `peeled` (removing the ones that reached zero).
+    fn observe_peel(&mut self, g: &Graph, peeled: &Matching, quantum: Weight) {
+        let _ = (g, peeled, quantum);
+    }
+}
+
+/// Every stateless strategy is trivially a stateful one; this lets the
+/// differential tests run cold strategies through the incremental loop.
+impl<S: MatchingStrategy> MatchingStrategyMut for S {
+    fn matching(&mut self, g: &Graph) -> Matching {
+        MatchingStrategy::matching(self, g)
+    }
 }
 
 /// Any perfect matching (Hopcroft–Karp). This is plain GGP.
@@ -55,6 +94,94 @@ impl MatchingStrategy for GreedySeeded {
     fn matching(&self, g: &Graph) -> Matching {
         let seed = greedy::maximal_matching_heaviest_first(g);
         hopcroft_karp::maximum_matching_seeded(g, &seed)
+    }
+}
+
+/// Incremental [`AnyPerfect`]: each peel's matching is grown from the
+/// survivors of the previous one on recycled engine buffers, equivalent to
+/// re-running `maximum_matching_seeded` with the surviving pairs as seed.
+#[derive(Debug, Default)]
+pub struct IncrementalAnyPerfect {
+    engine: MatchingEngine,
+}
+
+impl IncrementalAnyPerfect {
+    /// Creates a strategy with an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MatchingStrategyMut for IncrementalAnyPerfect {
+    fn begin(&mut self, g: &Graph) {
+        self.engine.begin(g);
+    }
+
+    fn matching(&mut self, g: &Graph) -> Matching {
+        self.engine.any_perfect_matching(g)
+    }
+
+    fn observe_peel(&mut self, g: &Graph, peeled: &Matching, quantum: Weight) {
+        self.engine.observe_peel(g, peeled, quantum);
+    }
+}
+
+/// Incremental [`MaxMinPerfect`]: identical matchings peel for peel (the
+/// returned matching goes through the same canonical filtered solve), but
+/// the cardinality witness, the threshold sweep and every scratch buffer
+/// are carried across peels.
+#[derive(Debug, Default)]
+pub struct IncrementalMaxMin {
+    engine: MatchingEngine,
+}
+
+impl IncrementalMaxMin {
+    /// Creates a strategy with an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MatchingStrategyMut for IncrementalMaxMin {
+    fn begin(&mut self, g: &Graph) {
+        self.engine.begin(g);
+    }
+
+    fn matching(&mut self, g: &Graph) -> Matching {
+        self.engine.max_min_matching(g)
+    }
+
+    fn observe_peel(&mut self, g: &Graph, peeled: &Matching, quantum: Weight) {
+        self.engine.observe_peel(g, peeled, quantum);
+    }
+}
+
+/// Incremental [`GreedySeeded`]: identical matchings peel for peel, with
+/// the heaviest-first order maintained by an O(m) merge instead of a
+/// per-peel sort.
+#[derive(Debug, Default)]
+pub struct IncrementalGreedySeeded {
+    engine: MatchingEngine,
+}
+
+impl IncrementalGreedySeeded {
+    /// Creates a strategy with an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MatchingStrategyMut for IncrementalGreedySeeded {
+    fn begin(&mut self, g: &Graph) {
+        self.engine.begin(g);
+    }
+
+    fn matching(&mut self, g: &Graph) -> Matching {
+        self.engine.greedy_seeded_matching(g)
+    }
+
+    fn observe_peel(&mut self, g: &Graph, peeled: &Matching, quantum: Weight) {
+        self.engine.observe_peel(g, peeled, quantum);
     }
 }
 
@@ -94,6 +221,44 @@ pub fn peel_all<S: MatchingStrategy>(g: &mut Graph, strategy: &S) -> Vec<Peel> {
         for &e in m.edges() {
             g.decrease_weight(e, quantum);
         }
+        peels.push(Peel {
+            edges: m.into_edges(),
+            quantum,
+        });
+    }
+    peels
+}
+
+/// The incremental WRGP loop: like [`peel_all`], but driving a stateful
+/// [`MatchingStrategyMut`] — the strategy is told about every peel so it can
+/// carry matchings, thresholds and scratch buffers to the next one. With the
+/// `Incremental*` strategies this is the fast path GGP/OGGP use; with a
+/// stateless strategy (via the blanket impl) it degenerates to [`peel_all`].
+///
+/// # Panics
+///
+/// Panics if the invariant breaks (no perfect matching found on a non-empty
+/// graph) — that indicates the input was not weight-regular.
+pub fn peel_all_incremental<S: MatchingStrategyMut>(g: &mut Graph, strategy: &mut S) -> Vec<Peel> {
+    strategy.begin(g);
+    let mut peels = Vec::new();
+    let side = g.left_count();
+    while !g.is_empty() {
+        let m = strategy.matching(g);
+        assert_eq!(
+            m.len(),
+            side,
+            "WRGP invariant violated: no perfect matching in a {}-node side graph \
+             ({} live edges) — input was not weight-regular",
+            side,
+            g.edge_count()
+        );
+        let quantum = m.min_weight(g).expect("non-empty matching");
+        debug_assert!(quantum > 0);
+        for &e in m.edges() {
+            g.decrease_weight(e, quantum);
+        }
+        strategy.observe_peel(g, &m, quantum);
         peels.push(Peel {
             edges: m.into_edges(),
             quantum,

@@ -18,10 +18,7 @@ fn instance_strategy(
 ) -> impl Strategy<Value = Instance> {
     (1..=max_side, 1..=max_side)
         .prop_flat_map(move |(nl, nr)| {
-            let edges = proptest::collection::vec(
-                (0..nl, 0..nr, 1..=max_w),
-                1..=max_edges,
-            );
+            let edges = proptest::collection::vec((0..nl, 0..nr, 1..=max_w), 1..=max_edges);
             (Just((nl, nr)), edges, 1..=nl.min(nr), 0..=max_beta)
         })
         .prop_map(|((nl, nr), edges, k, beta)| {

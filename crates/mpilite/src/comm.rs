@@ -292,7 +292,10 @@ mod tests {
             }
             _ => unreachable!(),
         });
-        assert!(elapsed >= Duration::from_millis(55), "sender returned early");
+        assert!(
+            elapsed >= Duration::from_millis(55),
+            "sender returned early"
+        );
     }
 
     #[test]

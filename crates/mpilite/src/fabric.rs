@@ -54,10 +54,7 @@ impl Fabric {
             in_: (0..receivers)
                 .map(|_| TokenBucket::new(cfg.in_bytes_per_s, burst(cfg.in_bytes_per_s)))
                 .collect(),
-            backbone: TokenBucket::new(
-                cfg.backbone_bytes_per_s,
-                burst(cfg.backbone_bytes_per_s),
-            ),
+            backbone: TokenBucket::new(cfg.backbone_bytes_per_s, burst(cfg.backbone_bytes_per_s)),
             chunk: cfg.chunk_bytes,
         }
     }

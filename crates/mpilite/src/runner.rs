@@ -59,10 +59,7 @@ pub fn run_schedule(
     schedule: &Schedule,
     fabric: FabricConfig,
 ) -> RunnerReport {
-    let bytes: Vec<u64> = endpoints
-        .iter()
-        .map(|&(s, d)| traffic.get(s, d))
-        .collect();
+    let bytes: Vec<u64> = endpoints.iter().map(|&(s, d)| traffic.get(s, d)).collect();
     let slices = schedule.byte_slices(inst, &bytes);
     let n_steps = slices.len();
 

@@ -105,9 +105,7 @@ fn back_to_back_collectives() {
                     let got = alltoallv_recv(comm, sizes, 2);
                     for (s, buf) in got.iter().enumerate() {
                         assert_eq!(buf.len() as u64, sizes.get(s, d));
-                        assert!(buf
-                            .iter()
-                            .all(|&b| b == (round * 100 + s * 10 + d) as u8));
+                        assert!(buf.iter().all(|&b| b == (round * 100 + s * 10 + d) as u8));
                     }
                 }
             }

@@ -10,7 +10,9 @@
 
 use bipartite::generate::complete_graph;
 use rand::{rngs::SmallRng, SeedableRng};
-use redistribute::kpbs::adaptive::{adaptive_schedule, oblivious_schedule, validate_adaptive, CyclicK};
+use redistribute::kpbs::adaptive::{
+    adaptive_schedule, oblivious_schedule, validate_adaptive, CyclicK,
+};
 use redistribute::kpbs::{self, Instance};
 
 fn main() {

@@ -15,7 +15,13 @@ use redistribute::kpbs::{self, Instance};
 /// from `p` processors with block size `b1` to `q` processors with block
 /// size `b2`: entry `(i, j)` counts the elements that move from source
 /// processor `i` to target processor `j`.
-fn block_cyclic_traffic(elements: usize, p: usize, b1: usize, q: usize, b2: usize) -> Vec<Vec<u64>> {
+fn block_cyclic_traffic(
+    elements: usize,
+    p: usize,
+    b1: usize,
+    q: usize,
+    b2: usize,
+) -> Vec<Vec<u64>> {
     let mut m = vec![vec![0u64; q]; p];
     for idx in 0..elements {
         let src = (idx / b1) % p;

@@ -39,7 +39,9 @@ fn main() {
         chunk_bytes: 16 * 1024,
     };
 
-    let plan = Planner::new(Algorithm::Oggp).with_beta(0.0).plan(&traffic, &platform);
+    let plan = Planner::new(Algorithm::Oggp)
+        .with_beta(0.0)
+        .plan(&traffic, &platform);
     let scheduled = plan.execute_threaded(fabric);
     println!(
         "scheduled (OGGP): {:>6.3} s wall clock, {} steps, {} bytes verified",

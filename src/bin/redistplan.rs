@@ -60,11 +60,15 @@ fn main() {
         }
     };
 
-    let t1: f64 = opt_value(&args, "t1").map_or(100.0, |v| v.parse().unwrap_or_else(|_| die("bad --t1")));
-    let t2: f64 = opt_value(&args, "t2").map_or(100.0, |v| v.parse().unwrap_or_else(|_| die("bad --t2")));
-    let backbone: f64 = opt_value(&args, "backbone")
-        .map_or(t1.max(t2), |v| v.parse().unwrap_or_else(|_| die("bad --backbone")));
-    let beta: f64 = opt_value(&args, "beta").map_or(0.05, |v| v.parse().unwrap_or_else(|_| die("bad --beta")));
+    let t1: f64 =
+        opt_value(&args, "t1").map_or(100.0, |v| v.parse().unwrap_or_else(|_| die("bad --t1")));
+    let t2: f64 =
+        opt_value(&args, "t2").map_or(100.0, |v| v.parse().unwrap_or_else(|_| die("bad --t2")));
+    let backbone: f64 = opt_value(&args, "backbone").map_or(t1.max(t2), |v| {
+        v.parse().unwrap_or_else(|_| die("bad --backbone"))
+    });
+    let beta: f64 =
+        opt_value(&args, "beta").map_or(0.05, |v| v.parse().unwrap_or_else(|_| die("bad --beta")));
     let algo = opt_value(&args, "algo")
         .map(|v| algo_from(v).unwrap_or_else(|| die("unknown --algo")))
         .unwrap_or(Algorithm::Oggp);

@@ -161,7 +161,10 @@ impl Plan {
     /// Simulates the plan on the platform's network with an ideal fluid
     /// transport.
     pub fn simulate_ideal(&self) -> ExecutionReport {
-        self.simulate(&NetworkSpec::from_platform(&self.platform), &SimConfig::default())
+        self.simulate(
+            &NetworkSpec::from_platform(&self.platform),
+            &SimConfig::default(),
+        )
     }
 
     /// Simulates the plan on an arbitrary network and transport model.
@@ -260,7 +263,11 @@ mod tests {
         let sim = plan.simulate_ideal();
         let analytic = plan.cost_seconds();
         let rel = (sim.total_seconds - analytic).abs() / analytic;
-        assert!(rel < 0.02, "sim {} vs analytic {analytic}", sim.total_seconds);
+        assert!(
+            rel < 0.02,
+            "sim {} vs analytic {analytic}",
+            sim.total_seconds
+        );
     }
 
     #[test]

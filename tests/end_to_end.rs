@@ -32,7 +32,11 @@ fn plan_simulate_execute_agree() {
     let sim = plan.simulate_ideal();
     let analytic = plan.cost_seconds();
     let rel = (sim.total_seconds - analytic).abs() / analytic;
-    assert!(rel < 0.02, "sim {} vs analytic {analytic}", sim.total_seconds);
+    assert!(
+        rel < 0.02,
+        "sim {} vs analytic {analytic}",
+        sim.total_seconds
+    );
 
     // Threaded runtime: every byte delivered and verified.
     let fabric = FabricConfig {
@@ -90,11 +94,15 @@ fn schedulers_dominate_sequential_strawman() {
 #[test]
 fn planner_options_respected() {
     let (traffic, platform) = workload();
-    let p0 = Planner::new(Algorithm::Oggp).with_beta(0.0).plan(&traffic, &platform);
-    let p1 = Planner::new(Algorithm::Oggp).with_beta(0.5).plan(&traffic, &platform);
+    let p0 = Planner::new(Algorithm::Oggp)
+        .with_beta(0.0)
+        .plan(&traffic, &platform);
+    let p1 = Planner::new(Algorithm::Oggp)
+        .with_beta(0.5)
+        .plan(&traffic, &platform);
     assert_eq!(p0.instance.beta, 0);
     assert_eq!(p1.instance.beta, 500); // ms ticks
-    // A large β discourages preemption: no more slices than edges + steps.
+                                       // A large β discourages preemption: no more slices than edges + steps.
     assert!(p1.schedule.num_steps() <= p0.schedule.num_steps().max(p0.instance.graph.edge_count()));
 }
 

@@ -2,6 +2,9 @@
 //! local pre-redistribution, online arrivals, adaptive re-planning under a
 //! dynamic backbone, barrier weakening, and the WDM objective.
 
+use bipartite::generate::complete_graph;
+use bipartite::Graph;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 use redistribute::flowsim::{adaptive_scheduled_time, CapacityProfile, NetworkSpec, SimConfig};
 use redistribute::kpbs::adaptive::{adaptive_schedule, validate_adaptive, CyclicK};
 use redistribute::kpbs::online::{online_vs_offline, ArrivingMessage};
@@ -9,9 +12,6 @@ use redistribute::kpbs::prelocal::{aggregate, dispatch, LocalConfig};
 use redistribute::kpbs::relax::relax_k;
 use redistribute::kpbs::wdm::{overlapped_cost, overlapped_lower_bound};
 use redistribute::kpbs::{self, Instance, TrafficMatrix};
-use bipartite::generate::complete_graph;
-use bipartite::Graph;
-use rand::{rngs::SmallRng, Rng, SeedableRng};
 
 #[test]
 fn aggregation_pays_off_on_small_message_swarms() {
@@ -29,7 +29,13 @@ fn aggregation_pays_off_on_small_message_swarms() {
     }
     let inst = Instance::new(g, 3, 8);
     let direct = kpbs::oggp(&inst).cost();
-    let pre = aggregate(&inst, &LocalConfig { small_threshold: 5, local_speedup: 20.0 });
+    let pre = aggregate(
+        &inst,
+        &LocalConfig {
+            small_threshold: 5,
+            local_speedup: 20.0,
+        },
+    );
     let s = kpbs::oggp(&pre.instance);
     s.validate(&pre.instance).unwrap();
     assert!(
@@ -63,12 +69,42 @@ fn dispatch_then_schedule_is_consistent() {
 #[test]
 fn online_regret_shrinks_with_fewer_arrival_batches() {
     let base = [
-        ArrivingMessage { release: 0, src: 0, dst: 0, ticks: 8 },
-        ArrivingMessage { release: 0, src: 1, dst: 1, ticks: 8 },
-        ArrivingMessage { release: 0, src: 2, dst: 2, ticks: 8 },
-        ArrivingMessage { release: 0, src: 0, dst: 1, ticks: 4 },
-        ArrivingMessage { release: 0, src: 1, dst: 2, ticks: 4 },
-        ArrivingMessage { release: 0, src: 2, dst: 0, ticks: 4 },
+        ArrivingMessage {
+            release: 0,
+            src: 0,
+            dst: 0,
+            ticks: 8,
+        },
+        ArrivingMessage {
+            release: 0,
+            src: 1,
+            dst: 1,
+            ticks: 8,
+        },
+        ArrivingMessage {
+            release: 0,
+            src: 2,
+            dst: 2,
+            ticks: 8,
+        },
+        ArrivingMessage {
+            release: 0,
+            src: 0,
+            dst: 1,
+            ticks: 4,
+        },
+        ArrivingMessage {
+            release: 0,
+            src: 1,
+            dst: 2,
+            ticks: 4,
+        },
+        ArrivingMessage {
+            release: 0,
+            src: 2,
+            dst: 0,
+            ticks: 4,
+        },
     ];
     let all_upfront = online_vs_offline(3, 3, 3, 1, &base);
     let mut staggered = base;

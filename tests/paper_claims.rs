@@ -3,11 +3,11 @@
 //! harnesses live in `crates/bench/src/bin/`; these keep the claims under
 //! continuous test.
 
+use rand::{rngs::SmallRng, SeedableRng};
 use redistribute::flowsim::{brute_force_time, scheduled_time, NetworkSpec, SimConfig, TcpModel};
 use redistribute::kpbs::stats::{run_campaign, CampaignConfig, KChoice};
 use redistribute::kpbs::traffic::TickScale;
 use redistribute::kpbs::{ggp, oggp, Platform, TrafficMatrix};
-use rand::{rngs::SmallRng, SeedableRng};
 
 /// Figure 7 shape: small weights (U[1,20], β = 1). OGGP's average beats
 /// GGP's; worst cases stay well under the 2-approximation ceiling.
@@ -109,9 +109,8 @@ fn figures_10_11_shape() {
             record_trace: false,
         };
         let brute = brute_force_time(&traffic, &spec, &lossy).total_seconds;
-        let sched =
-            scheduled_time(&traffic, &inst, &endpoints, &schedule, &spec, 0.05, &lossy)
-                .total_seconds;
+        let sched = scheduled_time(&traffic, &inst, &endpoints, &schedule, &spec, 0.05, &lossy)
+            .total_seconds;
         let gain = 1.0 - sched / brute;
         assert!(
             (0.02..0.35).contains(&gain),
@@ -167,8 +166,7 @@ fn determinism_claim() {
         };
         brutes.push(brute_force_time(&traffic, &spec, &cfg).total_seconds);
         scheds.push(
-            scheduled_time(&traffic, &inst, &endpoints, &schedule, &spec, 0.05, &cfg)
-                .total_seconds,
+            scheduled_time(&traffic, &inst, &endpoints, &schedule, &spec, 0.05, &cfg).total_seconds,
         );
     }
     let bmin = brutes.iter().cloned().fold(f64::INFINITY, f64::min);

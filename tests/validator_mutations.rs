@@ -58,7 +58,10 @@ fn dropping_a_step_is_caught() {
             continue;
         }
         s.steps.pop();
-        assert!(s.validate(&inst).is_err(), "missing coverage must be caught");
+        assert!(
+            s.validate(&inst).is_err(),
+            "missing coverage must be caught"
+        );
     }
 }
 
@@ -70,7 +73,10 @@ fn duplicating_a_transfer_in_a_step_is_caught() {
         s.steps[0].transfers.push(dup);
         // Same edge twice in one step shares both endpoints: 1-port (or, if
         // k is also exceeded, width) must fire.
-        assert!(s.validate(&inst).is_err(), "duplicate transfer must be caught");
+        assert!(
+            s.validate(&inst).is_err(),
+            "duplicate transfer must be caught"
+        );
     }
 }
 

@@ -1,0 +1,237 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`] (an immutable, cheaply cloneable byte buffer) and
+//! [`BytesMut`] (a growable builder that freezes into [`Bytes`]). Unlike
+//! upstream there is no zero-copy slicing machinery — clones of owned
+//! data share one `Arc<[u8]>`, which preserves the O(1)-clone property
+//! the message-passing layer relies on.
+
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable, cheaply cloneable contiguous byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Default for Repr {
+    fn default() -> Self {
+        Repr::Static(&[])
+    }
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static slice without copying.
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(bytes),
+        }
+    }
+
+    /// Copies `data` into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            repr: Repr::Shared(Arc::from(data)),
+        }
+    }
+
+    /// Returns a buffer holding the given subrange.
+    ///
+    /// Unlike upstream this copies the subrange instead of sharing the
+    /// allocation; callers only rely on value semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        Bytes::copy_from_slice(&self.as_slice()[start..end])
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            repr: Repr::Shared(Arc::from(v.into_boxed_slice())),
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes(len={})", self.len())
+    }
+}
+
+impl PartialEq for Repr {
+    fn eq(&self, other: &Self) -> bool {
+        let a: &[u8] = match self {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+        };
+        let b: &[u8] = match other {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+        };
+        a == b
+    }
+}
+
+impl Eq for Repr {}
+
+impl std::hash::Hash for Repr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let s: &[u8] = match self {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+        };
+        s.hash(state);
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty builder with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends `extend` to the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.buf.extend_from_slice(extend);
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = BytesMut::with_capacity(8);
+        b.extend_from_slice(b"hel");
+        b.extend_from_slice(b"lo");
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], b"hello");
+        let copy = frozen.clone();
+        assert_eq!(copy, frozen);
+    }
+
+    #[test]
+    fn static_and_vec_sources_compare_equal() {
+        let s = Bytes::from_static(b"abc");
+        let v = Bytes::from(b"abc".to_vec());
+        assert_eq!(s, v);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+//! MPMC channels with bounded capacity, including capacity 0
+//! (rendezvous): `send` on a zero-capacity channel does not return until
+//! a receiver has taken the message, which is the property `mpilite`'s
+//! synchronous point-to-point layer depends on.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Error returned by [`Sender::send`] when every receiver has been
+/// dropped; carries the unsent message back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender has been dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    /// Messages pushed so far; a sender's message has sequence number
+    /// `pushed` at push time and has been consumed once `popped` passes it.
+    pushed: u64,
+    popped: u64,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Effective buffer capacity; 0 behaves as a one-slot buffer whose
+    /// sender additionally blocks until its message is consumed.
+    cap: usize,
+    cvar: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn slots(&self) -> usize {
+        self.cap.max(1)
+    }
+}
+
+/// Sending half of a channel; cloneable, usable from many threads.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half of a channel; cloneable, usable from many threads.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded MPMC channel. `cap == 0` yields rendezvous
+/// semantics: each `send` blocks until a `recv` takes the message.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            pushed: 0,
+            popped: 0,
+            senders: 1,
+            receivers: 1,
+        }),
+        cap,
+        cvar: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is enqueued (and, for zero-capacity
+    /// channels, consumed). Returns the message in `Err` if all receivers
+    /// are gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let shared = &*self.shared;
+        let mut s = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if s.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if s.queue.len() < shared.slots() {
+                break;
+            }
+            s = shared.cvar.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+        let seq = s.pushed;
+        s.pushed += 1;
+        s.queue.push_back(msg);
+        shared.cvar.notify_all();
+        if shared.cap == 0 {
+            // Rendezvous: stay blocked until our message is consumed.
+            while s.popped <= seq {
+                if s.receivers == 0 {
+                    // Reclaim the message so the caller gets it back. It
+                    // sits at the offset of its sequence number past the
+                    // consumed prefix.
+                    let idx = (seq - s.popped) as usize;
+                    let msg = s.queue.remove(idx).expect("unconsumed message present");
+                    return Err(SendError(msg));
+                }
+                s = shared.cvar.wait(s).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives; `Err` when the channel is empty
+    /// and every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let shared = &*self.shared;
+        let mut s = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(msg) = s.queue.pop_front() {
+                s.popped += 1;
+                shared.cvar.notify_all();
+                return Ok(msg);
+            }
+            if s.senders == 0 {
+                return Err(RecvError);
+            }
+            s = shared.cvar.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Takes a message only if one is already queued.
+    pub fn try_recv(&self) -> Option<T> {
+        let shared = &*self.shared;
+        let mut s = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let msg = s.queue.pop_front();
+        if msg.is_some() {
+            s.popped += 1;
+            shared.cvar.notify_all();
+        }
+        msg
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        s.senders -= 1;
+        if s.senders == 0 {
+            self.shared.cvar.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut s = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        s.receivers -= 1;
+        if s.receivers == 0 {
+            self.shared.cvar.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffered_fifo() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn rendezvous_blocks_until_received() {
+        let (tx, rx) = bounded::<u32>(0);
+        let t = std::thread::spawn(move || {
+            // send must not complete before the main thread calls recv.
+            tx.send(42).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(42));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn rendezvous_sender_unblocked_by_receiver_drop() {
+        let (tx, rx) = bounded::<u32>(0);
+        let t = std::thread::spawn(move || tx.send(7));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(t.join().unwrap(), Err(SendError(7)));
+    }
+
+    #[test]
+    fn mesh_of_rendezvous_channels() {
+        // Mirrors mpilite's usage: one channel per (src, dst) pair shared
+        // across scoped threads.
+        let n = 3;
+        let mut txs: Vec<Vec<Option<Sender<u64>>>> = Vec::new();
+        let mut rxs: Vec<Vec<Option<Receiver<u64>>>> = Vec::new();
+        for _ in 0..n {
+            let mut tr = Vec::new();
+            let mut rr = Vec::new();
+            for _ in 0..n {
+                let (tx, rx) = bounded(0);
+                tr.push(Some(tx));
+                rr.push(Some(rx));
+            }
+            txs.push(tr);
+            rxs.push(rr);
+        }
+        // Transpose receivers so rank r owns rxs_t[r][s] = message from s.
+        let txs: Vec<Vec<Sender<u64>>> = txs
+            .into_iter()
+            .map(|row| row.into_iter().map(Option::unwrap).collect())
+            .collect();
+        let mut rxs_t: Vec<Vec<Receiver<u64>>> = (0..n).map(|_| Vec::new()).collect();
+        for row in rxs {
+            for (d, rx) in row.into_iter().enumerate() {
+                rxs_t[d].push(rx.unwrap());
+            }
+        }
+        std::thread::scope(|scope| {
+            for (r, (tx_row, rx_row)) in txs.iter().zip(&rxs_t).enumerate() {
+                scope.spawn(move || {
+                    let r = r as u64;
+                    std::thread::scope(|inner| {
+                        inner.spawn(move || {
+                            for (d, tx) in tx_row.iter().enumerate() {
+                                tx.send(r * 10 + d as u64).unwrap();
+                            }
+                        });
+                        for (s, rx) in rx_row.iter().enumerate() {
+                            assert_eq!(rx.recv().unwrap(), (s as u64) * 10 + r);
+                        }
+                    });
+                });
+            }
+        });
+    }
+}

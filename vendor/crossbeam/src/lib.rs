@@ -1,0 +1,9 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the [`channel`] module is provided — MPMC channels with
+//! [`channel::bounded`] supporting capacity 0 (rendezvous), which is what
+//! the `mpilite` point-to-point layer builds its mesh from.
+
+#![warn(missing_docs)]
+
+pub mod channel;

@@ -1,0 +1,136 @@
+//! Test-execution machinery behind the [`proptest!`](crate::proptest)
+//! macro: per-test configuration, case outcomes, and the deterministic
+//! case runner.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hash::{Hash, Hasher};
+
+/// How many consecutive `prop_assume!` rejections are tolerated before
+/// the test aborts (mirrors upstream's global reject cap in spirit).
+const MAX_CONSECUTIVE_REJECTS: u32 = 10_000;
+
+/// Per-test configuration; only `cases` is meaningful in this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) inputs each property runs on.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Non-panicking outcome of one property-test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Input rejected by `prop_assume!`; retried without consuming a case.
+    Reject(String),
+    /// Assertion failure; aborts the test with the carried message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds the rejection variant.
+    pub fn reject(what: impl Into<String>) -> Self {
+        TestCaseError::Reject(what.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(w) => write!(f, "input rejected: {w}"),
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+        }
+    }
+}
+
+/// Drives one property through its configured number of cases with a
+/// deterministic per-test, per-attempt RNG seed, so any reported failure
+/// reproduces on rerun.
+pub struct TestRunner {
+    cases: u32,
+    completed: u32,
+    consecutive_rejects: u32,
+    attempt: u64,
+    seed_base: u64,
+    current_seed: u64,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Creates a runner for the property named `name` (used both for the
+    /// seed derivation and in failure messages).
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // DefaultHasher::new() uses fixed keys, so the seed is stable
+        // across processes and runs.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut h);
+        TestRunner {
+            cases: config.cases,
+            completed: 0,
+            consecutive_rejects: 0,
+            attempt: 0,
+            seed_base: h.finish(),
+            current_seed: 0,
+            name,
+        }
+    }
+
+    /// Returns the RNG for the next attempt, or `None` once all cases
+    /// have completed.
+    pub fn next_case(&mut self) -> Option<SmallRng> {
+        if self.completed >= self.cases {
+            return None;
+        }
+        self.current_seed = self.seed_base.wrapping_add(self.attempt);
+        self.attempt += 1;
+        Some(SmallRng::seed_from_u64(self.current_seed))
+    }
+
+    /// Records the outcome of the attempt started by the last
+    /// [`next_case`](TestRunner::next_case) call.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on an assertion failure
+    /// or when rejections exceed the cap.
+    pub fn record(&mut self, outcome: Result<(), TestCaseError>) {
+        match outcome {
+            Ok(()) => {
+                self.completed += 1;
+                self.consecutive_rejects = 0;
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{}` failed at case {}/{} (seed {:#x}): {}",
+                    self.name, self.completed, self.cases, self.current_seed, msg
+                );
+            }
+            Err(TestCaseError::Reject(what)) => {
+                self.consecutive_rejects += 1;
+                if self.consecutive_rejects > MAX_CONSECUTIVE_REJECTS {
+                    panic!(
+                        "property `{}` rejected {} consecutive inputs (last: {})",
+                        self.name, self.consecutive_rejects, what
+                    );
+                }
+            }
+        }
+    }
+}

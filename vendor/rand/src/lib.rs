@@ -1,0 +1,246 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment of this repository has no network access, so the
+//! workspace vendors the *exact* subset of the `rand 0.8` API it consumes:
+//!
+//! * [`rngs::SmallRng`] — a small, fast, seedable generator (xoshiro256++,
+//!   the same family real `rand` uses for `SmallRng` on 64-bit targets),
+//! * [`SeedableRng::seed_from_u64`] — the only constructor used here,
+//! * [`Rng::gen_range`] over integer and float ranges (half-open and
+//!   inclusive) and [`Rng::gen_bool`].
+//!
+//! Streams are deterministic per seed but are **not** bit-compatible with
+//! upstream `rand`; every consumer in this workspace only relies on
+//! determinism and uniformity, never on the exact stream.
+
+#![warn(missing_docs)]
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next uniform 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next uniform 32-bit word (high bits of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding interface; only the `u64` convenience constructor is provided.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of
+    /// `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Maps a uniform `u64` to a uniform `f64` in `[0, 1)` (53 random bits).
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types with a uniform sampler over an interval. Mirrors upstream's
+/// `SampleUniform` so that [`SampleRange`] can be a single blanket impl —
+/// which is what lets integer-literal ranges infer their type from the
+/// surrounding expression.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+/// A range that can produce a single uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one sample from `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(lo: f32, hi: f32, rng: &mut R) -> f32 {
+        lo + (unit_f64(rng.next_u64()) as f32) * (hi - lo)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: f32, hi: f32, rng: &mut R) -> f32 {
+        lo + (unit_f64(rng.next_u64()) as f32) * (hi - lo)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast xoshiro256++ generator, seeded via SplitMix64 — the
+    /// same construction upstream `rand` documents for `SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into 256 bits of state.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10usize);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(5..=6u64);
+            assert!((5..=6).contains(&w));
+            let f = rng.gen_range(-1.5..=1.5f64);
+            assert!((-1.5..=1.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[rng.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c} far from 1000");
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_ref() {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> usize {
+            rng.gen_range(0..10)
+        }
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(sample(&mut rng) < 10);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace decorates several types with `#[derive(Serialize,
+//! Deserialize)]` but contains no serializer backend (no `serde_json`
+//! etc.), so the traits only need to exist and the derives only need to
+//! type-check. [`Serialize`] and [`Deserialize`] are therefore empty
+//! marker traits, and the paired `serde_derive` proc-macro crate emits
+//! empty impls for them.
+
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

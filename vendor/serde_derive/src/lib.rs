@@ -1,0 +1,225 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde
+//! stand-in: each derive expands to an empty marker-trait impl for the
+//! decorated type (generic parameters included), which is all the
+//! workspace needs since no serializer backend is present.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the empty `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize", "")
+}
+
+/// Derives the empty `serde::Deserialize<'de>` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize", "'de")
+}
+
+/// Parses just enough of the item — its name and generic parameter names —
+/// to emit `impl<...> serde::Trait for Name<...> {}`.
+fn marker_impl(input: TokenStream, trait_name: &str, trait_lifetime: &str) -> TokenStream {
+    let (name, generics) = parse_name_and_generics(input);
+    let (decl, usage) = generics_tokens(&generics);
+
+    let mut impl_generics: Vec<String> = Vec::new();
+    if !trait_lifetime.is_empty() {
+        impl_generics.push(trait_lifetime.to_string());
+    }
+    impl_generics.extend(decl);
+
+    let impl_list = if impl_generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_generics.join(", "))
+    };
+    let trait_args = if trait_lifetime.is_empty() {
+        String::new()
+    } else {
+        format!("<{trait_lifetime}>")
+    };
+    let usage_list = if usage.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", usage.join(", "))
+    };
+    let bounds: String = generics
+        .iter()
+        .filter(|g| g.kind == ParamKind::Type)
+        .map(|g| format!("{}: serde::{trait_name}{trait_args},", g.name))
+        .collect();
+    let where_clause = if bounds.is_empty() {
+        String::new()
+    } else {
+        format!(" where {bounds}")
+    };
+
+    format!(
+        "impl{impl_list} serde::{trait_name}{trait_args} for {name}{usage_list}{where_clause} {{}}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+#[derive(PartialEq)]
+enum ParamKind {
+    Lifetime,
+    Type,
+    Const,
+}
+
+struct Param {
+    kind: ParamKind,
+    name: String,
+    /// Full declaration text, e.g. `const N: usize` or `'a`.
+    decl: String,
+}
+
+/// Extracts the item name and its generic parameters from a
+/// struct/enum/union declaration token stream.
+fn parse_name_and_generics(input: TokenStream) -> (String, Vec<Param>) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility to the `struct`/`enum`/`union` keyword.
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                break;
+            }
+        }
+        i += 1;
+    }
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name after struct/enum keyword, got {other:?}"),
+    };
+    i += 2;
+
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut current: Vec<TokenTree> = Vec::new();
+            let mut params_raw: Vec<Vec<TokenTree>> = Vec::new();
+            while i < tokens.len() && depth > 0 {
+                match &tokens[i] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => {
+                        depth += 1;
+                        current.push(tokens[i].clone());
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth > 0 {
+                            current.push(tokens[i].clone());
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        params_raw.push(std::mem::take(&mut current));
+                    }
+                    t => current.push(t.clone()),
+                }
+                i += 1;
+            }
+            if !current.is_empty() {
+                params_raw.push(current);
+            }
+            for raw in params_raw {
+                if let Some(p) = parse_param(&raw) {
+                    generics.push(p);
+                }
+            }
+        }
+    }
+    (name, generics)
+}
+
+/// Parses one generic parameter (tokens between commas at depth 1).
+fn parse_param(raw: &[TokenTree]) -> Option<Param> {
+    let mut iter = raw.iter();
+    let first = iter.next()?;
+    match first {
+        TokenTree::Punct(p) if p.as_char() == '\'' => {
+            let name = match iter.next()? {
+                TokenTree::Ident(id) => format!("'{id}"),
+                _ => return None,
+            };
+            Some(Param {
+                kind: ParamKind::Lifetime,
+                decl: name.clone(),
+                name,
+            })
+        }
+        TokenTree::Ident(id) if id.to_string() == "const" => {
+            let name = match iter.next()? {
+                TokenTree::Ident(id) => id.to_string(),
+                _ => return None,
+            };
+            // Keep the declared type; drop any default (`= ...`).
+            let mut decl = format!("const {name}");
+            for t in iter {
+                if let TokenTree::Punct(p) = t {
+                    if p.as_char() == '=' {
+                        break;
+                    }
+                }
+                decl.push(' ');
+                decl.push_str(&tt_text(t));
+            }
+            Some(Param {
+                kind: ParamKind::Const,
+                name,
+                decl,
+            })
+        }
+        TokenTree::Ident(id) => {
+            let name = id.to_string();
+            // Keep bounds, drop defaults.
+            let mut decl = name.clone();
+            for t in iter {
+                if let TokenTree::Punct(p) = t {
+                    if p.as_char() == '=' {
+                        break;
+                    }
+                }
+                decl.push(' ');
+                decl.push_str(&tt_text(t));
+            }
+            Some(Param {
+                kind: ParamKind::Type,
+                name,
+                decl,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn tt_text(t: &TokenTree) -> String {
+    match t {
+        TokenTree::Group(g) => {
+            let (open, close) = match g.delimiter() {
+                Delimiter::Parenthesis => ("(", ")"),
+                Delimiter::Brace => ("{", "}"),
+                Delimiter::Bracket => ("[", "]"),
+                Delimiter::None => ("", ""),
+            };
+            let inner: String = g
+                .stream()
+                .into_iter()
+                .map(|t| tt_text(&t))
+                .collect::<Vec<_>>()
+                .join(" ");
+            format!("{open}{inner}{close}")
+        }
+        other => other.to_string(),
+    }
+}
+
+fn generics_tokens(generics: &[Param]) -> (Vec<String>, Vec<String>) {
+    let decl = generics.iter().map(|g| g.decl.clone()).collect();
+    let usage = generics.iter().map(|g| g.name.clone()).collect();
+    (decl, usage)
+}
