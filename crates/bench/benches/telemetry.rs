@@ -1,0 +1,51 @@
+//! Criterion benches of telemetry overhead on the real scheduler.
+//!
+//! The claim under test: disabled telemetry is near-free. Each OGGP run is
+//! benchmarked three ways — telemetry off (the shipping default), work
+//! counters on, and span recording on — so the cost of the disabled fast
+//! path (one relaxed atomic load per instrumentation site) shows up as the
+//! gap, if any, between `off` and the baseline-free pipeline.
+
+use bipartite::generate::complete_graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpbs::{oggp, Instance};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::hint::black_box;
+use telemetry::{counters, spans};
+
+fn fixed_instance(n: usize) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let g = complete_graph(&mut rng, n, n, (1, 1000));
+    Instance::new(g, n / 2, 1)
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    for n in [8usize, 16] {
+        let inst = fixed_instance(n);
+        counters::disable();
+        spans::disable();
+        group.bench_with_input(BenchmarkId::new("oggp_off", n), &inst, |b, inst| {
+            b.iter(|| black_box(oggp(inst)))
+        });
+        counters::enable();
+        group.bench_with_input(BenchmarkId::new("oggp_counters_on", n), &inst, |b, inst| {
+            b.iter(|| black_box(oggp(inst)))
+        });
+        counters::disable();
+        spans::enable();
+        group.bench_with_input(BenchmarkId::new("oggp_spans_on", n), &inst, |b, inst| {
+            b.iter(|| {
+                let out = black_box(oggp(inst));
+                spans::drain_thread(); // keep the buffer from growing unboundedly
+                out
+            })
+        });
+        spans::disable();
+        spans::drain_thread();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

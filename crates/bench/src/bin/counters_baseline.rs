@@ -1,0 +1,151 @@
+//! Deterministic work-counter baseline: the wall-clock-free perf gate.
+//!
+//! Runs a small fixed-seed campaign across the scheduler (GGP and OGGP with
+//! regularisation), the flow simulator and the threaded runtime, recording
+//! the telemetry work counters of each phase. Every counted quantity is a
+//! pure function of the fixed seeds, so the emitted JSON is byte-identical
+//! across runs and machines — `scripts/check.sh` regenerates it and
+//! byte-compares against the checked-in `BENCH_counters.json`, failing on
+//! any unexplained change in algorithmic work.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin counters_baseline            # rewrite baseline
+//! cargo run --release -p bench --bin counters_baseline -- --check # compare
+//! ```
+//!
+//! Options: `--out PATH` baseline file (default `BENCH_counters.json`),
+//! `--check` compare instead of write (exit 1 on mismatch).
+
+use bench::{arg_or, flag};
+use bipartite::generate::complete_graph;
+use flowsim::{scheduled_time, NetworkSpec, SimConfig};
+use kpbs::traffic::TickScale;
+use kpbs::{ggp, oggp, Instance, Platform, TrafficMatrix};
+use mpilite::{run_schedule, FabricConfig};
+use rand::{rngs::SmallRng, SeedableRng};
+use telemetry::counters::{self, Snapshot};
+
+/// One campaign case: the counter deltas a named phase produced.
+fn counters_json(s: &Snapshot) -> String {
+    let body: Vec<String> = s
+        .iter()
+        .map(|(c, v)| format!("        \"{}\": {}", c.key(), v))
+        .collect();
+    format!("{{\n{}\n      }}", body.join(",\n"))
+}
+
+fn main() {
+    let out: String = arg_or("out", "BENCH_counters.json".to_string());
+    let check = flag("check");
+
+    counters::enable();
+    let campaign_start = counters::global_snapshot();
+    let mut cases: Vec<(String, Snapshot)> = Vec::new();
+    let mut record = |name: &str, f: &mut dyn FnMut()| {
+        let before = counters::global_snapshot();
+        f();
+        cases.push((name.into(), counters::global_snapshot().delta(&before)));
+    };
+
+    // Scheduler arm: dense fixed-seed instances through both pipelines.
+    let mut rng = SmallRng::seed_from_u64(0xc0de);
+    for &n in &[12usize, 16] {
+        let g = complete_graph(&mut rng, n, n, (1, 500));
+        let inst = Instance::new(g, n / 2, 1);
+        record(&format!("oggp_complete_n{n}"), &mut || {
+            std::hint::black_box(oggp(&inst));
+        });
+        record(&format!("ggp_complete_n{n}"), &mut || {
+            std::hint::black_box(ggp(&inst));
+        });
+    }
+
+    // Simulator arm: OGGP schedule executed on the ideal fluid network.
+    let mut rng = SmallRng::seed_from_u64(0xf10e);
+    let platform = Platform::testbed(4);
+    let traffic = TrafficMatrix::uniform_mb(&mut rng, platform.n1, platform.n2, 1, 5);
+    let (inst, endpoints) = traffic.to_instance(&platform, 0.05, TickScale::MILLIS);
+    let schedule = oggp(&inst);
+    let spec = NetworkSpec::from_platform(&platform);
+    record("flowsim_scheduled", &mut || {
+        std::hint::black_box(scheduled_time(
+            &traffic,
+            &inst,
+            &endpoints,
+            &schedule,
+            &spec,
+            0.05,
+            &SimConfig::default(),
+        ));
+    });
+
+    // Runtime arm: the same plan moved as real bytes through the threaded
+    // world (barrier waits per step are structural, hence deterministic).
+    let mut small = TrafficMatrix::zeros(4, 4);
+    for i in 0..4 {
+        for j in 0..4 {
+            small.set(i, j, 8_000 + (i * 4 + j) as u64 * 1_000);
+        }
+    }
+    let mplatform = Platform::new(4, 4, 100.0, 100.0, 200.0);
+    let (minst, mendpoints) = small.to_instance(&mplatform, 0.0, TickScale::MILLIS);
+    let mschedule = oggp(&minst);
+    let fabric = FabricConfig {
+        out_bytes_per_s: 2e9,
+        in_bytes_per_s: 2e9,
+        backbone_bytes_per_s: 2e9,
+        chunk_bytes: 64 * 1024,
+    };
+    record("mpilite_scheduled", &mut || {
+        std::hint::black_box(run_schedule(
+            &small,
+            &minst,
+            &mendpoints,
+            &mschedule,
+            fabric,
+        ));
+    });
+
+    let total = counters::global_snapshot().delta(&campaign_start);
+    counters::disable();
+
+    let case_objs: Vec<String> = cases
+        .iter()
+        .map(|(name, s)| {
+            format!(
+                "    {{\n      \"name\": \"{name}\",\n      \"counters\": {}\n    }}",
+                counters_json(s)
+            )
+        })
+        .collect();
+    let total_body: Vec<String> = total
+        .iter()
+        .map(|(c, v)| format!("    \"{}\": {}", c.key(), v))
+        .collect();
+    let json = format!(
+        "{{\n  \"campaign\": \"fixed_seed_counters_v1\",\n  \"cases\": [\n{}\n  ],\n  \"total\": {{\n{}\n  }}\n}}\n",
+        case_objs.join(",\n"),
+        total_body.join(",\n")
+    );
+
+    if check {
+        let existing = std::fs::read_to_string(&out).unwrap_or_else(|e| {
+            eprintln!("counters_baseline: cannot read baseline {out}: {e}");
+            std::process::exit(1);
+        });
+        if existing == json {
+            println!("work counters match {out}");
+        } else {
+            eprintln!(
+                "counters_baseline: deterministic work counters diverged from {out}.\n\
+                 If the change is an intended algorithmic change, regenerate with:\n\
+                 \x20 cargo run --release -p bench --bin counters_baseline\n\
+                 --- expected (checked in) ---\n{existing}\n--- got ---\n{json}"
+            );
+            std::process::exit(1);
+        }
+    } else {
+        std::fs::write(&out, &json).expect("write baseline file");
+        println!("wrote {out}");
+    }
+}

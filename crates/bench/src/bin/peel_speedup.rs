@@ -4,7 +4,10 @@
 //! pipeline on Figure-8-style large-weight instances (dense, n >= 32,
 //! weights U[1, 10000], beta = 1), checks the OGGP schedules are
 //! identical, and writes `BENCH_peeling.json` with instances, wall times,
-//! speedups and peel counts. The checked-in copy at the repository root is
+//! speedups, peel counts and deterministic work counters (Hopcroft–Karp
+//! phases, augmentation attempts, DFS edge visits, threshold probes, merge
+//! passes) so the cold-vs-incremental speedups are explained by counted
+//! work, not just wall-clock. The checked-in copy at the repository root is
 //! regenerated with:
 //!
 //! ```sh
@@ -25,6 +28,7 @@ use kpbs::wrgp::{peel_all_incremental, IncrementalMaxMin};
 use kpbs::{Instance, Schedule};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::time::Instant;
+use telemetry::counters::{self, Counter, Snapshot};
 
 /// Best-of-`reps` wall time in milliseconds, plus the (deterministic)
 /// schedule the closure produces.
@@ -37,6 +41,32 @@ fn time_ms<F: FnMut() -> Schedule>(mut f: F, reps: usize) -> (f64, Schedule) {
         best = best.min(t.elapsed().as_secs_f64() * 1e3);
     }
     (best, out)
+}
+
+/// Deterministic work counted over one run of `f`. Measured outside the
+/// timing loops: counting is enabled only around this call, so the reported
+/// milliseconds stay telemetry-free.
+fn work_of<F: FnMut() -> Schedule>(mut f: F) -> Snapshot {
+    counters::enable();
+    let before = counters::local_snapshot();
+    std::hint::black_box(f());
+    let delta = counters::local_snapshot().delta(&before);
+    counters::disable();
+    delta
+}
+
+/// The matching-work subset of the counters as a JSON object.
+fn work_json(s: &Snapshot) -> String {
+    format!(
+        "{{ \"hk_phases\": {}, \"kuhn_attempts\": {}, \"dfs_edge_visits\": {}, \
+         \"threshold_probes\": {}, \"merge_passes\": {}, \"peels\": {} }}",
+        s.get(Counter::HkPhases),
+        s.get(Counter::KuhnAttempts),
+        s.get(Counter::DfsEdgeVisits),
+        s.get(Counter::ThresholdProbes),
+        s.get(Counter::MergePasses),
+        s.get(Counter::Peels),
+    )
 }
 
 struct Case {
@@ -113,6 +143,11 @@ fn main() {
         let peels = peel_count(inst);
         let oggp_speedup = oggp_cold_ms / oggp_incr_ms;
         let ggp_speedup = ggp_cold_ms / ggp_incr_ms;
+        // Counted work, measured in a separate pass so timings stay clean.
+        let oggp_cold_work = work_of(|| oggp_reference(inst));
+        let oggp_incr_work = work_of(|| oggp(inst));
+        let ggp_cold_work = work_of(|| schedule_with(inst, &kpbs::wrgp::AnyPerfect));
+        let ggp_incr_work = work_of(|| ggp(inst));
         row(&[
             case.name.into(),
             "oggp".into(),
@@ -137,7 +172,13 @@ fn main() {
                 "      \"oggp\": {{ \"cold_ms\": {:.4}, \"incremental_ms\": {:.4}, ",
                 "\"speedup\": {:.3}, \"steps\": {}, \"cost\": {}, \"identical\": true }},\n",
                 "      \"ggp\": {{ \"cold_ms\": {:.4}, \"incremental_ms\": {:.4}, ",
-                "\"speedup\": {:.3}, \"steps\": {}, \"cost\": {} }}\n",
+                "\"speedup\": {:.3}, \"steps\": {}, \"cost\": {} }},\n",
+                "      \"work\": {{\n",
+                "        \"oggp_cold\": {},\n",
+                "        \"oggp_incremental\": {},\n",
+                "        \"ggp_cold\": {},\n",
+                "        \"ggp_incremental\": {}\n",
+                "      }}\n",
                 "    }}"
             ),
             case.name,
@@ -157,6 +198,10 @@ fn main() {
             ggp_speedup,
             ggp_incr.num_steps(),
             ggp_incr.cost(),
+            work_json(&oggp_cold_work),
+            work_json(&oggp_incr_work),
+            work_json(&ggp_cold_work),
+            work_json(&ggp_incr_work),
         ));
     }
     let json = format!(

@@ -19,6 +19,7 @@
 use crate::graph::{EdgeId, Graph, Weight};
 use crate::hopcroft_karp;
 use crate::matching::Matching;
+use telemetry::counters::{self, Counter};
 
 /// Returns a maximum-cardinality matching of `g` whose minimum edge weight is
 /// maximal, via threshold binary search. Empty graph yields an empty matching.
@@ -55,6 +56,7 @@ pub fn max_min_matching(g: &Graph) -> Matching {
     let mut carry = witness;
     let (mut lo, mut hi) = (0usize, weights.len() - 1); // invariant: lo feasible
     while lo < hi {
+        counters::incr(Counter::ThresholdProbes);
         let mid = (lo + hi).div_ceil(2);
         let t = weights[mid];
         let probe = hopcroft_karp::maximum_matching_where_seeded(g, |e| g.weight(e) >= t, &carry);

@@ -55,6 +55,7 @@ use crate::graph::{EdgeId, Graph, Weight};
 use crate::hopcroft_karp::{gather, hk_augment_to_maximum, kuhn_augment};
 use crate::matching::Matching;
 use std::collections::VecDeque;
+use telemetry::counters::{self, Counter};
 
 const NIL: u32 = u32::MAX;
 
@@ -205,6 +206,7 @@ impl MatchingEngine {
     /// Repairs the maintained heaviest-first order by an O(m) merge and
     /// drops dead pairs from the carried matching.
     pub fn observe_peel(&mut self, g: &Graph, peeled: &Matching, quantum: Weight) {
+        counters::incr(Counter::MergePasses);
         let MatchingEngine {
             order,
             kept,
@@ -298,9 +300,11 @@ impl MatchingEngine {
             let mut augmented = false;
             visited.fill(false);
             for l in 0..*nl {
-                if match_left[l] == NIL
-                    && kuhn_augment(l, adj, match_left, match_right, via_left, visited)
-                {
+                if match_left[l] != NIL {
+                    continue;
+                }
+                counters::incr(Counter::KuhnAttempts);
+                if kuhn_augment(l, adj, match_left, match_right, via_left, visited) {
                     augmented = true;
                     visited.fill(false);
                 }
@@ -362,6 +366,7 @@ impl MatchingEngine {
                     i += 1;
                 }
                 if i > 0 {
+                    counters::incr(Counter::ThresholdProbes);
                     hk_augment_to_maximum(
                         probe_adj,
                         probe_left,
@@ -383,6 +388,7 @@ impl MatchingEngine {
                 probe_adj[g.left_of(e)].push((g.right_of(e) as u32, e));
                 i += 1;
             }
+            counters::incr(Counter::ThresholdProbes);
             hk_augment_to_maximum(probe_adj, probe_left, probe_right, probe_via, dist, queue);
             if size(probe_left) == target {
                 return w;

@@ -9,6 +9,7 @@
 use crate::graph::{EdgeId, Graph};
 use crate::matching::Matching;
 use std::collections::VecDeque;
+use telemetry::counters::{self, Counter};
 
 const NIL: u32 = u32::MAX;
 const INF: u32 = u32::MAX;
@@ -53,16 +54,18 @@ pub fn maximum_matching_seeded(g: &Graph, seed: &Matching) -> Matching {
         let mut augmented = false;
         let mut visited = vec![false; nl];
         for l in 0..nl {
-            if match_left[l] == NIL
-                && kuhn_augment(
-                    l,
-                    &adj,
-                    &mut match_left,
-                    &mut match_right,
-                    &mut via_left,
-                    &mut visited,
-                )
-            {
+            if match_left[l] != NIL {
+                continue;
+            }
+            counters::incr(Counter::KuhnAttempts);
+            if kuhn_augment(
+                l,
+                &adj,
+                &mut match_left,
+                &mut match_right,
+                &mut via_left,
+                &mut visited,
+            ) {
                 augmented = true;
                 visited.iter_mut().for_each(|v| *v = false);
             }
@@ -92,7 +95,11 @@ pub(crate) fn kuhn_augment(
         return false;
     }
     visited[l] = true;
+    // Edge visits accumulate in a local and flush once per call so the
+    // disabled-telemetry cost stays off the per-edge path.
+    let mut visits = 0u64;
     for &(r, e) in &adj[l] {
+        visits += 1;
         let next = match_right[r as usize];
         if next == NIL
             || kuhn_augment(
@@ -107,9 +114,11 @@ pub(crate) fn kuhn_augment(
             match_left[l] = r;
             match_right[r as usize] = l as u32;
             via_left[l] = e;
+            counters::add(Counter::DfsEdgeVisits, visits);
             return true;
         }
     }
+    counters::add(Counter::DfsEdgeVisits, visits);
     false
 }
 
@@ -210,6 +219,7 @@ pub(crate) fn hk_augment_to_maximum(
 ) {
     let nl = match_left.len();
     loop {
+        counters::incr(Counter::HkPhases);
         // BFS: layer the graph from free left nodes.
         queue.clear();
         for l in 0..nl {
@@ -263,7 +273,9 @@ fn augment(
     via_left: &mut [EdgeId],
     dist: &mut [u32],
 ) -> bool {
+    let mut visits = 0u64;
     for &(r, e) in &adj[l] {
+        visits += 1;
         let next = match_right[r as usize];
         let reachable = if next == NIL {
             true
@@ -276,10 +288,12 @@ fn augment(
             match_left[l] = r;
             match_right[r as usize] = l as u32;
             via_left[l] = e;
+            counters::add(Counter::DfsEdgeVisits, visits);
             return true;
         }
     }
     dist[l] = INF;
+    counters::add(Counter::DfsEdgeVisits, visits);
     false
 }
 

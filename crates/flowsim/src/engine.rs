@@ -8,6 +8,7 @@ use crate::tcp::TcpModel;
 use crate::trace::Trace;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use telemetry::counters::{self, Counter};
 
 /// Simulation parameters.
 #[derive(Debug, Clone)]
@@ -78,6 +79,7 @@ impl Engine {
     /// assert!((result.makespan - 1.0).abs() < 1e-6);
     /// ```
     pub fn run(&self, flows: &[Flow]) -> RunResult {
+        let _span = telemetry::span("flowsim.run");
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
         let run_bias = self.config.tcp.draw_run_bias(&mut rng);
         let n = flows.len();
@@ -94,6 +96,7 @@ impl Engine {
         let guard_max = 10 * n + 10_000;
 
         while active > 0 {
+            counters::incr(Counter::FlowsimEvents);
             guard += 1;
             assert!(guard <= guard_max, "event loop failed to converge");
 
@@ -197,6 +200,24 @@ mod tests {
         assert!(close(r.flows[0].finish, 1.0));
         assert!(close(r.flows[1].finish, 1.5), "big {}", r.flows[1].finish);
         assert!(close(r.makespan, 1.5));
+    }
+
+    #[test]
+    fn run_counts_events_and_fairshare_rounds() {
+        // Counters are process-global and other tests may add to them
+        // concurrently, so assert with >= on global deltas.
+        counters::enable();
+        let before = counters::global_snapshot();
+        let spec = NetworkSpec::uniform(2, 2, 100.0, 100.0, 100.0);
+        let e = Engine::new(spec, SimConfig::default());
+        let r = e.run(&[Flow::new(0, 0, 1_000_000.0), Flow::new(1, 1, 2_000_000.0)]);
+        let delta = counters::global_snapshot().delta(&before);
+        counters::disable();
+        assert_eq!(r.flows.len(), 2);
+        // Two flows with distinct finish times → at least two events, each
+        // recomputing the fair shares at least once.
+        assert!(delta.get(Counter::FlowsimEvents) >= 2, "{delta:?}");
+        assert!(delta.get(Counter::FairshareRounds) >= 2, "{delta:?}");
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub fn scheduled_time(
     beta_seconds: f64,
     config: &SimConfig,
 ) -> ExecutionReport {
+    let _span = telemetry::span("flowsim.scheduled_time");
     // Apportion each edge's bytes across its slices exactly, proportional to
     // the slice durations.
     let bytes: Vec<u64> = endpoints.iter().map(|&(s, d)| traffic.get(s, d)).collect();
@@ -51,6 +52,7 @@ pub fn scheduled_time(
     let mut step_seconds = Vec::with_capacity(schedule.num_steps());
     let mut total = 0.0f64;
     for step in slices {
+        let _step_span = telemetry::span("flowsim.step");
         let flows: Vec<Flow> = step
             .into_iter()
             .map(|(e, b)| {
@@ -109,6 +111,7 @@ pub fn adaptive_scheduled_time(
     beta_seconds: f64,
     config: &SimConfig,
 ) -> ExecutionReport {
+    let _span = telemetry::span("flowsim.adaptive");
     use bipartite::Graph;
     use kpbs::oggp;
 
@@ -181,6 +184,7 @@ pub fn brute_force_run(
     spec: &NetworkSpec,
     config: &SimConfig,
 ) -> RunResult {
+    let _span = telemetry::span("flowsim.brute_force");
     let mut flows = Vec::with_capacity(traffic.message_count());
     for s in 0..traffic.senders() {
         for d in 0..traffic.receivers() {

@@ -7,6 +7,8 @@
 //! the unique max–min fair allocation, which is also Pareto-optimal: at
 //! least one constraint of every flow is tight.
 
+use telemetry::counters::{self, Counter};
+
 /// Relative tolerance for saturation tests.
 const EPS: f64 = 1e-9;
 
@@ -42,6 +44,7 @@ pub fn max_min_rates(
     let mut bb_res = backbone;
 
     while remaining > 0 {
+        counters::incr(Counter::FairshareRounds);
         // Active flow count per constraint.
         let mut out_act = vec![0usize; out.len()];
         let mut in_act = vec![0usize; in_.len()];

@@ -20,6 +20,7 @@ use crate::wrgp::{
 /// twice the optimum. Runs on the incremental peeling engine: each peel's
 /// matching is grown from the survivors of the previous one.
 pub fn ggp(inst: &Instance) -> Schedule {
+    let _s = telemetry::span("kpbs.ggp");
     schedule_with_mut(inst, &mut IncrementalAnyPerfect::new())
 }
 
@@ -28,6 +29,7 @@ pub fn ggp(inst: &Instance) -> Schedule {
 /// edges. Sits between plain GGP and OGGP in practice — see the `ablation`
 /// bench and EXPERIMENTS.md.
 pub fn ggp_seeded(inst: &Instance) -> Schedule {
+    let _s = telemetry::span("kpbs.ggp_seeded");
     schedule_with_mut(inst, &mut IncrementalGreedySeeded::new())
 }
 
@@ -39,10 +41,20 @@ pub fn schedule_with<S: MatchingStrategy>(inst: &Instance, strategy: &S) -> Sche
     if inst.is_trivial() {
         return Schedule::new(inst.beta);
     }
-    let norm = normalize(inst);
-    let reg = regularize(&norm.graph, inst.effective_k());
+    let norm = {
+        let _s = telemetry::span("kpbs.normalize");
+        normalize(inst)
+    };
+    let reg = {
+        let _s = telemetry::span("kpbs.regularize");
+        regularize(&norm.graph, inst.effective_k())
+    };
     let mut work = reg.graph.clone();
-    let peels = peel_all(&mut work, strategy);
+    let peels = {
+        let _s = telemetry::span("kpbs.peel");
+        peel_all(&mut work, strategy)
+    };
+    let _s = telemetry::span("kpbs.extract");
     extract(inst, &reg, peels)
 }
 
@@ -54,12 +66,22 @@ pub fn schedule_with_mut<S: MatchingStrategyMut>(inst: &Instance, strategy: &mut
         return Schedule::new(inst.beta);
     }
     // Step 1 (Fig. 5): normalise weights by β, rounding up.
-    let norm = normalize(inst);
+    let norm = {
+        let _s = telemetry::span("kpbs.normalize");
+        normalize(inst)
+    };
     // Step 2: add nodes and edges to build a weight-regular graph J.
-    let reg = regularize(&norm.graph, inst.effective_k());
+    let reg = {
+        let _s = telemetry::span("kpbs.regularize");
+        regularize(&norm.graph, inst.effective_k())
+    };
     // Step 3: peel J with WRGP.
     let mut work = reg.graph.clone();
-    let peels = peel_all_incremental(&mut work, strategy);
+    let peels = {
+        let _s = telemetry::span("kpbs.peel");
+        peel_all_incremental(&mut work, strategy)
+    };
+    let _s = telemetry::span("kpbs.extract");
     extract(inst, &reg, peels)
 }
 

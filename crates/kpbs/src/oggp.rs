@@ -20,6 +20,7 @@ use crate::wrgp::{IncrementalMaxMin, MaxMinPerfect};
 /// the cardinality witness, threshold bound and scratch buffers across
 /// peels.
 pub fn oggp(inst: &Instance) -> Schedule {
+    let _s = telemetry::span("kpbs.oggp");
     schedule_with_mut(inst, &mut IncrementalMaxMin::new())
 }
 
@@ -27,6 +28,7 @@ pub fn oggp(inst: &Instance) -> Schedule {
 /// Kept as the reference oracle for differential tests and benches; agrees
 /// with [`oggp`] schedule-for-schedule.
 pub fn oggp_reference(inst: &Instance) -> Schedule {
+    let _s = telemetry::span("kpbs.oggp_reference");
     schedule_with(inst, &MaxMinPerfect)
 }
 

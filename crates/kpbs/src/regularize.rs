@@ -16,6 +16,7 @@
 //!   `k` edges of the filler-augmented graph, hence at most `k` real edges.
 
 use bipartite::{properties, EdgeId, Graph, Weight};
+use telemetry::counters::{self, Counter};
 
 /// Where an edge of the regularised graph came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +109,7 @@ pub fn regularize(src: &Graph, k: usize) -> Regularized {
         kinds.push(EdgeKind::Real(id));
     }
     while filler_total > 0 {
+        counters::incr(Counter::RegularizeFillerEdges);
         let chunk = filler_total.min(w_max);
         let l = graph.add_left_node();
         let rr = graph.add_right_node();
@@ -193,6 +195,7 @@ fn pour(
                 pad_idx += 1;
                 pad_room = r;
             }
+            counters::incr(Counter::RegularizePadEdges);
             let amount = need.min(pad_room);
             match side {
                 PourSide::DeficitOnLeft => graph.add_edge(node, pads[pad_idx], amount),

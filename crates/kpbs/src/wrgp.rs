@@ -23,6 +23,7 @@
 use bipartite::{
     bottleneck, greedy, hopcroft_karp, EdgeId, Graph, Matching, MatchingEngine, Weight,
 };
+use telemetry::counters::{self, Counter};
 
 /// How WRGP picks the perfect matching of each peel.
 pub trait MatchingStrategy {
@@ -207,6 +208,7 @@ pub fn peel_all<S: MatchingStrategy>(g: &mut Graph, strategy: &S) -> Vec<Peel> {
     let mut peels = Vec::new();
     let side = g.left_count();
     while !g.is_empty() {
+        counters::incr(Counter::Peels);
         let m = strategy.matching(g);
         assert_eq!(
             m.len(),
@@ -244,6 +246,7 @@ pub fn peel_all_incremental<S: MatchingStrategyMut>(g: &mut Graph, strategy: &mu
     let mut peels = Vec::new();
     let side = g.left_count();
     while !g.is_empty() {
+        counters::incr(Counter::Peels);
         let m = strategy.matching(g);
         assert_eq!(
             m.len(),

@@ -3,6 +3,7 @@
 //! `MPI_Barrier` between steps).
 
 use parking_lot::{Condvar, Mutex};
+use telemetry::counters::{self, Counter};
 
 struct State {
     waiting: usize,
@@ -43,6 +44,7 @@ impl Barrier {
     /// generation. Returns `true` for exactly one "leader" thread per
     /// generation.
     pub fn wait(&self) -> bool {
+        counters::incr(Counter::BarrierWaits);
         let mut s = self.state.lock();
         let gen = s.generation;
         s.waiting += 1;

@@ -59,6 +59,7 @@ pub fn run_schedule(
     schedule: &Schedule,
     fabric: FabricConfig,
 ) -> RunnerReport {
+    let _span = telemetry::span("mpilite.run_schedule");
     let bytes: Vec<u64> = endpoints.iter().map(|&(s, d)| traffic.get(s, d)).collect();
     let slices = schedule.byte_slices(inst, &bytes);
     let n_steps = slices.len();
@@ -116,6 +117,7 @@ pub fn run_schedule(
 /// Executes the brute-force pattern: all messages at once, the transport
 /// (here: the shaped fabric) left to arbitrate.
 pub fn run_brute_force(traffic: &TrafficMatrix, fabric: FabricConfig) -> RunnerReport {
+    let _span = telemetry::span("mpilite.run_brute_force");
     let senders = traffic.senders();
     let receivers = traffic.receivers();
     let world = World::new(WorldConfig {
@@ -208,6 +210,28 @@ mod tests {
         let schedule = ggp(&inst);
         let r = run_schedule(&traffic, &inst, &endpoints, &schedule, fast_fabric());
         assert_eq!(r.bytes_moved, traffic.total_bytes());
+    }
+
+    #[test]
+    fn scheduled_run_counts_barrier_waits() {
+        use telemetry::counters::{self, Counter};
+        let (traffic, platform) = small_workload(5);
+        let (inst, endpoints) = traffic.to_instance(&platform, 0.0, TickScale::MILLIS);
+        let schedule = oggp(&inst);
+        // Counters are process-global and other tests run concurrently, so
+        // assert with >= on a global delta.
+        counters::enable();
+        let before = counters::global_snapshot();
+        let r = run_schedule(&traffic, &inst, &endpoints, &schedule, fast_fabric());
+        let delta = counters::global_snapshot().delta(&before);
+        counters::disable();
+        // Every rank waits on the barrier once per step.
+        let parties = (traffic.senders() + traffic.receivers()) as u64;
+        assert!(
+            delta.get(Counter::BarrierWaits) >= parties * r.steps as u64,
+            "expected >= {} barrier waits, got {delta:?}",
+            parties * r.steps as u64
+        );
     }
 
     #[test]

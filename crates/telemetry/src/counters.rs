@@ -1,0 +1,295 @@
+//! Deterministic work counters.
+//!
+//! Each counter measures *algorithmic* work — loop iterations, search
+//! attempts, synthetic edges built — never time. On a fixed seed every
+//! counted quantity is a pure function of the input, so two runs of the
+//! same campaign produce byte-identical counter values, on any machine, at
+//! any load. That makes the counters a wall-clock-free perf-regression
+//! signal: `scripts/check.sh` replays a fixed-seed campaign and compares
+//! against the checked-in `BENCH_counters.json`.
+//!
+//! # Model
+//!
+//! * A single global enable flag gates every increment: when disabled,
+//!   [`add`]/[`incr`] cost one relaxed atomic load and a branch.
+//! * Increments land in plain thread-local cells (no atomic RMW on the hot
+//!   path). When a thread exits, its cells flush into global atomic totals.
+//! * [`local_snapshot`] reads the calling thread's cells only — immune to
+//!   concurrent threads, which is what tests should diff.
+//!   [`global_snapshot`] adds the flushed totals of exited threads, which
+//!   is what single-process tools report after joining their workers.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The work being counted. Every variant is deterministic for a fixed
+/// input: none of them depends on time, scheduling or memory layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Hopcroft–Karp BFS/DFS phases (`hk_augment_to_maximum` loop turns).
+    HkPhases,
+    /// Kuhn augmenting-path searches started from a free left node.
+    KuhnAttempts,
+    /// Edges examined by augmenting-path DFS (Hopcroft–Karp and Kuhn).
+    DfsEdgeVisits,
+    /// Max–min bottleneck threshold probes (warm batches, descending-sweep
+    /// steps and binary-search probes all count one each).
+    ThresholdProbes,
+    /// O(m) sorted-order merge passes repairing the engine's edge order.
+    MergePasses,
+    /// WRGP peels extracted (matchings subtracted from the regular graph).
+    Peels,
+    /// Filler edges added by regularisation (case 2 of Section 4.2.2).
+    RegularizeFillerEdges,
+    /// Pad edges added by regularisation (case 1 of Section 4.2.2).
+    RegularizePadEdges,
+    /// Progressive-filling rounds of the max–min fair allocator.
+    FairshareRounds,
+    /// Events processed by the flowsim loop (completions and breakpoints).
+    FlowsimEvents,
+    /// Threads arriving at an mpilite barrier.
+    BarrierWaits,
+}
+
+/// Number of distinct counters.
+pub const COUNTER_COUNT: usize = 11;
+
+impl Counter {
+    /// Every counter, in declaration (and export) order.
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::HkPhases,
+        Counter::KuhnAttempts,
+        Counter::DfsEdgeVisits,
+        Counter::ThresholdProbes,
+        Counter::MergePasses,
+        Counter::Peels,
+        Counter::RegularizeFillerEdges,
+        Counter::RegularizePadEdges,
+        Counter::FairshareRounds,
+        Counter::FlowsimEvents,
+        Counter::BarrierWaits,
+    ];
+
+    /// Stable snake_case key used in JSON exports and summary tables.
+    pub fn key(self) -> &'static str {
+        match self {
+            Counter::HkPhases => "hk_phases",
+            Counter::KuhnAttempts => "kuhn_attempts",
+            Counter::DfsEdgeVisits => "dfs_edge_visits",
+            Counter::ThresholdProbes => "threshold_probes",
+            Counter::MergePasses => "merge_passes",
+            Counter::Peels => "peels",
+            Counter::RegularizeFillerEdges => "regularize_filler_edges",
+            Counter::RegularizePadEdges => "regularize_pad_edges",
+            Counter::FairshareRounds => "fairshare_rounds",
+            Counter::FlowsimEvents => "flowsim_events",
+            Counter::BarrierWaits => "barrier_waits",
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Global totals, fed by thread-local cells when their thread exits.
+static GLOBAL: [AtomicU64; COUNTER_COUNT] = [const { AtomicU64::new(0) }; COUNTER_COUNT];
+
+struct LocalCounters {
+    vals: [Cell<u64>; COUNTER_COUNT],
+}
+
+impl Drop for LocalCounters {
+    fn drop(&mut self) {
+        for (cell, total) in self.vals.iter().zip(GLOBAL.iter()) {
+            let v = cell.get();
+            if v != 0 {
+                total.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalCounters = const {
+        LocalCounters { vals: [const { Cell::new(0) }; COUNTER_COUNT] }
+    };
+}
+
+/// Turns counting on (process-wide).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns counting off (process-wide). Accumulated values are kept.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether counting is on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds `n` to `c` on the calling thread. No-op (one relaxed load and a
+/// branch, no TLS access) when counting is disabled.
+#[inline]
+pub fn add(c: Counter, n: u64) {
+    if !enabled() {
+        return;
+    }
+    // Ignore increments during thread teardown, when the TLS slot is gone.
+    let _ = LOCAL.try_with(|l| {
+        let cell = &l.vals[c as usize];
+        cell.set(cell.get() + n);
+    });
+}
+
+/// Adds 1 to `c` on the calling thread; no-op when disabled.
+#[inline]
+pub fn incr(c: Counter) {
+    add(c, 1);
+}
+
+/// A point-in-time copy of counter values. Obtain one via
+/// [`local_snapshot`] or [`global_snapshot`]; subtract snapshots with
+/// [`Snapshot::delta`] to isolate one region's work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    vals: [u64; COUNTER_COUNT],
+}
+
+impl Snapshot {
+    /// Value of counter `c`.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.vals[c as usize]
+    }
+
+    /// `self - earlier`, counter by counter (counters are monotone while a
+    /// thread runs, so the subtraction is saturating only defensively).
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for i in 0..COUNTER_COUNT {
+            out.vals[i] = self.vals[i].saturating_sub(earlier.vals[i]);
+        }
+        out
+    }
+
+    /// True when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.vals.iter().all(|&v| v == 0)
+    }
+
+    /// Iterates `(counter, value)` pairs in [`Counter::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        Counter::ALL.iter().map(|&c| (c, self.get(c)))
+    }
+}
+
+/// Snapshot of the calling thread's counters only. Unaffected by other
+/// threads, so tests diff this around the region they measure.
+pub fn local_snapshot() -> Snapshot {
+    let mut s = Snapshot::default();
+    let _ = LOCAL.try_with(|l| {
+        for (v, cell) in s.vals.iter_mut().zip(l.vals.iter()) {
+            *v = cell.get();
+        }
+    });
+    s
+}
+
+/// Snapshot of the global totals (threads that have exited) plus the
+/// calling thread's cells. Call after joining worker threads for a full
+/// process view; live threads' unflushed work is not included.
+pub fn global_snapshot() -> Snapshot {
+    let mut s = local_snapshot();
+    for (v, total) in s.vals.iter_mut().zip(GLOBAL.iter()) {
+        *v += total.load(Ordering::Relaxed);
+    }
+    s
+}
+
+/// Zeroes the global totals and the calling thread's cells. Other live
+/// threads' cells are untouched; call from a quiescent point.
+pub fn reset() {
+    for total in GLOBAL.iter() {
+        total.store(0, Ordering::Relaxed);
+    }
+    let _ = LOCAL.try_with(|l| {
+        for cell in l.vals.iter() {
+            cell.set(0);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Counters are process-global; tests that toggle them must not overlap.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_increments_are_dropped() {
+        let _g = LOCK.lock().unwrap();
+        disable();
+        let before = local_snapshot();
+        add(Counter::HkPhases, 100);
+        incr(Counter::Peels);
+        assert_eq!(local_snapshot().delta(&before), Snapshot::default());
+    }
+
+    #[test]
+    fn enabled_increments_accumulate() {
+        let _g = LOCK.lock().unwrap();
+        enable();
+        let before = local_snapshot();
+        add(Counter::DfsEdgeVisits, 3);
+        incr(Counter::DfsEdgeVisits);
+        incr(Counter::MergePasses);
+        let d = local_snapshot().delta(&before);
+        disable();
+        assert_eq!(d.get(Counter::DfsEdgeVisits), 4);
+        assert_eq!(d.get(Counter::MergePasses), 1);
+        assert_eq!(d.get(Counter::HkPhases), 0);
+        assert!(!d.is_zero());
+    }
+
+    #[test]
+    fn worker_threads_flush_into_global_totals() {
+        let _g = LOCK.lock().unwrap();
+        enable();
+        let before = global_snapshot();
+        std::thread::spawn(|| add(Counter::BarrierWaits, 7))
+            .join()
+            .unwrap();
+        let d = global_snapshot().delta(&before);
+        disable();
+        assert_eq!(d.get(Counter::BarrierWaits), 7);
+    }
+
+    #[test]
+    fn keys_are_unique_and_ordered() {
+        let keys: Vec<&str> = Counter::ALL.iter().map(|c| c.key()).collect();
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), COUNTER_COUNT);
+        assert_eq!(Counter::ALL[0] as usize, 0);
+        assert_eq!(Counter::ALL[COUNTER_COUNT - 1] as usize, COUNTER_COUNT - 1);
+    }
+
+    #[test]
+    fn snapshot_iter_matches_get() {
+        let _g = LOCK.lock().unwrap();
+        enable();
+        let before = local_snapshot();
+        add(Counter::FlowsimEvents, 5);
+        let d = local_snapshot().delta(&before);
+        disable();
+        for (c, v) in d.iter() {
+            assert_eq!(v, d.get(c));
+        }
+    }
+}

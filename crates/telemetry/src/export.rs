@@ -1,0 +1,268 @@
+//! Exporters: Chrome trace-event JSON and human-readable summary tables.
+//!
+//! [`chrome_trace`] serialises span events into the Chrome trace-event
+//! format (the JSON-array flavour), which Perfetto (<https://ui.perfetto.dev>)
+//! and `chrome://tracing` load directly. [`span_summary`] and
+//! [`counter_summary`] render plain-text tables for terminal output.
+//!
+//! Output is deterministic given deterministic input: events are emitted in
+//! slice order, thread ids are remapped densely in first-appearance order,
+//! and timestamps are formatted with a fixed precision — so a logical-clock
+//! trace of a fixed-seed run is byte-identical across runs and machines.
+
+use crate::counters::Snapshot;
+use crate::spans::{SpanEvent, SpanPhase};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+impl SpanPhase {
+    fn chrome_ph(self) -> &'static str {
+        match self {
+            SpanPhase::Begin => "B",
+            SpanPhase::End => "E",
+            SpanPhase::Instant => "i",
+        }
+    }
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialises `events` as Chrome trace-event JSON.
+///
+/// Events keep their slice order; thread ids are renumbered densely from 0
+/// in first-appearance order so the output does not depend on how many
+/// threads the process created before tracing started. Timestamps are
+/// printed with three decimals (nanosecond resolution under the microsecond
+/// unit), which keeps output byte-stable for logical-clock traces.
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    let mut tid_map: HashMap<u64, u64> = HashMap::new();
+    let mut out = String::with_capacity(64 + events.len() * 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        let next = tid_map.len() as u64;
+        let tid = *tid_map.entry(e.tid).or_insert(next);
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":\"");
+        escape_json(e.name, &mut out);
+        let _ = write!(
+            out,
+            "\",\"ph\":\"{}\",\"ts\":{:.3},\"pid\":1,\"tid\":{}",
+            e.phase.chrome_ph(),
+            e.ts,
+            tid
+        );
+        if e.phase == SpanPhase::Instant {
+            // Thread-scoped instants render as small arrows in Perfetto.
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders a per-span-name summary table: call count and inclusive time
+/// (sum of begin→end durations, matched per thread with a stack; unmatched
+/// events are counted but contribute no time). Columns are sorted by
+/// inclusive time, ties broken by name.
+pub fn span_summary(events: &[SpanEvent]) -> String {
+    struct Stat {
+        count: u64,
+        total: f64,
+    }
+    let mut stats: HashMap<&'static str, Stat> = HashMap::new();
+    let mut stacks: HashMap<u64, Vec<(&'static str, f64)>> = HashMap::new();
+    for e in events {
+        match e.phase {
+            SpanPhase::Begin => {
+                stacks.entry(e.tid).or_default().push((e.name, e.ts));
+                stats
+                    .entry(e.name)
+                    .or_insert(Stat {
+                        count: 0,
+                        total: 0.0,
+                    })
+                    .count += 1;
+            }
+            SpanPhase::End => {
+                let stack = stacks.entry(e.tid).or_default();
+                // Pop to the matching begin; tolerates truncated traces.
+                if let Some(pos) = stack.iter().rposition(|&(n, _)| n == e.name) {
+                    let (_, begin_ts) = stack.remove(pos);
+                    stats
+                        .entry(e.name)
+                        .or_insert(Stat {
+                            count: 0,
+                            total: 0.0,
+                        })
+                        .total += e.ts - begin_ts;
+                }
+            }
+            SpanPhase::Instant => {
+                stats
+                    .entry(e.name)
+                    .or_insert(Stat {
+                        count: 0,
+                        total: 0.0,
+                    })
+                    .count += 1;
+            }
+        }
+    }
+    let mut rows: Vec<(&'static str, Stat)> = stats.into_iter().collect();
+    rows.sort_by(|a, b| {
+        b.1.total
+            .partial_cmp(&a.1.total)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(b.0))
+    });
+    let name_w = rows
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<name_w$}  {:>10}  {:>14}",
+        "span", "count", "total_us"
+    );
+    for (name, s) in &rows {
+        let _ = writeln!(out, "{:<name_w$}  {:>10}  {:>14.3}", name, s.count, s.total);
+    }
+    out
+}
+
+/// Renders a counter snapshot as an aligned two-column table in
+/// [`crate::Counter::ALL`] order (fixed order keeps diffs readable).
+pub fn counter_summary(snapshot: &Snapshot) -> String {
+    let name_w = snapshot
+        .iter()
+        .map(|(c, _)| c.key().len())
+        .chain(std::iter::once("counter".len()))
+        .max()
+        .unwrap_or(7);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<name_w$}  {:>14}", "counter", "value");
+    for (c, v) in snapshot.iter() {
+        let _ = writeln!(out, "{:<name_w$}  {:>14}", c.key(), v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn ev(name: &'static str, phase: SpanPhase, ts: f64, tid: u64) -> SpanEvent {
+        SpanEvent {
+            name,
+            phase,
+            ts,
+            tid,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_fields() {
+        let events = vec![
+            ev("plan", SpanPhase::Begin, 0.0, 42),
+            ev("peel", SpanPhase::Begin, 1.0, 42),
+            ev("peel", SpanPhase::End, 2.0, 42),
+            ev("note", SpanPhase::Instant, 2.5, 7),
+            ev("plan", SpanPhase::End, 3.0, 42),
+        ];
+        let out = chrome_trace(&events);
+        let v = json::parse(&out).expect("trace must parse as JSON");
+        let arr = v
+            .get("traceEvents")
+            .and_then(json::Value::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(arr.len(), 5);
+        assert_eq!(
+            arr[0].get("name").and_then(json::Value::as_str),
+            Some("plan")
+        );
+        assert_eq!(arr[0].get("ph").and_then(json::Value::as_str), Some("B"));
+        assert_eq!(arr[0].get("ts").and_then(json::Value::as_f64), Some(0.0));
+        // tids are remapped densely in first-appearance order: 42 -> 0, 7 -> 1.
+        assert_eq!(arr[0].get("tid").and_then(json::Value::as_f64), Some(0.0));
+        assert_eq!(arr[3].get("tid").and_then(json::Value::as_f64), Some(1.0));
+        assert_eq!(arr[3].get("s").and_then(json::Value::as_str), Some("t"));
+    }
+
+    #[test]
+    fn chrome_trace_escapes_names() {
+        let events = vec![ev("a\"b\\c", SpanPhase::Instant, 0.0, 0)];
+        let out = chrome_trace(&events);
+        let v = json::parse(&out).expect("escaped trace must parse");
+        let arr = v.get("traceEvents").and_then(json::Value::as_arr).unwrap();
+        assert_eq!(
+            arr[0].get("name").and_then(json::Value::as_str),
+            Some("a\"b\\c")
+        );
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_slice_is_valid() {
+        let out = chrome_trace(&[]);
+        let v = json::parse(&out).unwrap();
+        assert_eq!(
+            v.get("traceEvents")
+                .and_then(json::Value::as_arr)
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn span_summary_sums_inclusive_time() {
+        let events = vec![
+            ev("outer", SpanPhase::Begin, 0.0, 0),
+            ev("inner", SpanPhase::Begin, 1.0, 0),
+            ev("inner", SpanPhase::End, 3.0, 0),
+            ev("outer", SpanPhase::End, 10.0, 0),
+            ev("inner", SpanPhase::Begin, 20.0, 1),
+            ev("inner", SpanPhase::End, 21.5, 1),
+        ];
+        let table = span_summary(&events);
+        let outer_line = table.lines().find(|l| l.starts_with("outer")).unwrap();
+        let inner_line = table.lines().find(|l| l.starts_with("inner")).unwrap();
+        assert!(
+            outer_line.contains("10.000"),
+            "outer spans 0..10: {outer_line}"
+        );
+        assert!(
+            inner_line.contains("3.500"),
+            "inner spans 2 + 1.5: {inner_line}"
+        );
+        assert!(inner_line.contains('2'), "inner called twice: {inner_line}");
+    }
+
+    #[test]
+    fn counter_summary_lists_every_counter() {
+        let table = counter_summary(&Snapshot::default());
+        for c in crate::Counter::ALL {
+            assert!(table.contains(c.key()), "missing {}", c.key());
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Zero-dependency telemetry for the redistribution suite.
+//!
+//! The schedulers ([`kpbs`](../kpbs/index.html)), the matching engine
+//! ([`bipartite`](../bipartite/index.html)), the network simulator
+//! ([`flowsim`](../flowsim/index.html)) and the threaded runtime
+//! ([`mpilite`](../mpilite/index.html)) are instrumented against this crate.
+//! It provides three things, all built on `std` only (external crates are
+//! vendored offline stubs, so nothing here may depend on one):
+//!
+//! * [`spans`] — a lightweight span/event API. Each thread records into a
+//!   thread-local buffer; buffers flush into a global registry when the
+//!   thread exits (or on [`spans::drain_all`]). Recording is gated by one
+//!   global atomic flag: when spans are disabled, [`spans::span`] costs a
+//!   relaxed atomic load and a branch, touches no thread-local storage, and
+//!   allocates nothing.
+//!
+//! * [`counters`] — *deterministic work counters*: monotone counters of
+//!   algorithmic work (Hopcroft–Karp phases, Kuhn augmentation attempts,
+//!   DFS edge visits, max–min threshold probes, …). Because every counted
+//!   quantity is a function of the input alone — never of wall-clock time —
+//!   fixed-seed runs reproduce counter values exactly, which makes them a
+//!   machine-checkable perf-regression signal (`BENCH_counters.json`,
+//!   enforced by `scripts/check.sh`). Counters are thread-local on the hot
+//!   path (no atomic contention) and aggregate into global totals when a
+//!   thread exits.
+//!
+//! * [`export`] — exporters: Chrome trace-event JSON (loadable in Perfetto
+//!   or `chrome://tracing`) for span timelines, and human-readable summary
+//!   tables for spans and counters. [`json`] is the minimal JSON parser the
+//!   exporters' tests validate output with.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use telemetry::counters::{self, Counter};
+//!
+//! counters::enable();
+//! let before = counters::local_snapshot();
+//! // ... run instrumented code ...
+//! telemetry::counters::add(Counter::DfsEdgeVisits, 3);
+//! let work = counters::local_snapshot().delta(&before);
+//! assert_eq!(work.get(Counter::DfsEdgeVisits), 3);
+//! counters::disable();
+//! ```
+//!
+//! ```
+//! use telemetry::{export, spans};
+//!
+//! spans::enable();
+//! {
+//!     let _s = telemetry::span("demo.phase");
+//!     // ... work ...
+//! }
+//! let events = spans::drain_thread();
+//! let json = export::chrome_trace(&events);
+//! assert!(json.contains("\"ph\":\"B\""));
+//! spans::disable();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod export;
+pub mod json;
+pub mod spans;
+
+pub use counters::Counter;
+pub use spans::{instant, span, SpanEvent, SpanGuard, SpanPhase};

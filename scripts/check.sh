@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Repository gate: formatting, lints and the full test suite.
+# Repository gate: formatting, lints, release build, the full test suite and
+# the deterministic work-counter regression check.
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,7 +11,13 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --release"
+cargo build --release
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "==> work-counter regression (fixed-seed campaign vs BENCH_counters.json)"
+cargo run --release -p bench --bin counters_baseline -- --check
 
 echo "All checks passed."

@@ -3,15 +3,22 @@
 //! ```sh
 //! redistplan --matrix traffic.csv --t1 100 --t2 100 --backbone 300 \
 //!            [--beta 0.05] [--algo oggp|ggp|list|greedy|sequential] \
-//!            [--gantt] [--simulate] [--compare]
+//!            [--gantt] [--simulate] [--compare] \
+//!            [--trace out.json] [--counters]
 //! ```
 //!
 //! The CSV holds one row per sender with per-receiver byte counts
 //! (`k`/`M`/`G` suffixes allowed, `#` comments skipped). Without `--matrix`
 //! a small demo workload is used.
+//!
+//! `--trace <path>` records telemetry spans through planning and simulation
+//! (it implies `--simulate`) and writes a Chrome trace-event JSON loadable
+//! in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//! `--counters` prints the deterministic work-counter table after planning.
 
 use redistribute::cli::{opt_flag, opt_value, parse_matrix_csv};
 use redistribute::kpbs::{Platform, TrafficMatrix};
+use redistribute::telemetry::{counters, export, spans};
 use redistribute::{Algorithm, Planner};
 
 fn algo_from(name: &str) -> Option<Algorithm> {
@@ -34,10 +41,16 @@ fn main() {
              usage: redistplan --matrix traffic.csv --t1 100 --t2 100 --backbone 300\n\
              \x20                [--beta 0.05] [--algo oggp|ggp|list|greedy|sequential]\n\
              \x20                [--gantt] [--simulate] [--compare]\n\
+             \x20                [--trace out.json] [--counters]\n\
              \n\
              The CSV holds one row per sender with per-receiver byte counts\n\
              (k/M/G suffixes allowed, '#' comments skipped). Without --matrix a\n\
-             small demo workload is used."
+             small demo workload is used.\n\
+             \n\
+             --trace <path>  record spans and write Chrome trace-event JSON\n\
+             \x20               (open in Perfetto or chrome://tracing; implies\n\
+             \x20               --simulate)\n\
+             --counters      print the deterministic work-counter table"
         );
         return;
     }
@@ -73,6 +86,17 @@ fn main() {
         .map(|v| algo_from(v).unwrap_or_else(|| die("unknown --algo")))
         .unwrap_or(Algorithm::Oggp);
 
+    // Telemetry must be armed before planning so the spans and counters see
+    // the scheduler's work.
+    let trace_path = opt_value(&args, "trace");
+    let want_counters = opt_flag(&args, "counters");
+    if trace_path.is_some() {
+        spans::enable();
+    }
+    if want_counters {
+        counters::enable();
+    }
+
     let platform = Platform::new(traffic.senders(), traffic.receivers(), t1, t2, backbone);
     println!(
         "platform: {}x{} nodes, t = {:.1} Mbit/s, k = {}; traffic: {} messages, {:.1} MB",
@@ -99,7 +123,7 @@ fn main() {
     if opt_flag(&args, "gantt") {
         println!("\n{}", plan.schedule.gantt(72));
     }
-    if opt_flag(&args, "simulate") {
+    if opt_flag(&args, "simulate") || trace_path.is_some() {
         let r = plan.simulate_ideal();
         println!(
             "simulated on the platform network: {:.2} s over {} steps ({:.2} s barriers)",
@@ -124,6 +148,23 @@ fn main() {
                 p.evaluation_ratio()
             );
         }
+    }
+
+    if let Some(path) = trace_path {
+        spans::disable();
+        let events = spans::drain_all();
+        let json = export::chrome_trace(&events);
+        std::fs::write(path, &json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!(
+            "\ntrace: {} events written to {path} (open in https://ui.perfetto.dev)",
+            events.len()
+        );
+        print!("{}", export::span_summary(&events));
+    }
+    if want_counters {
+        counters::disable();
+        println!("\nwork counters:");
+        print!("{}", export::counter_summary(&counters::global_snapshot()));
     }
 }
 

@@ -12,7 +12,8 @@
 //! * [`bipartite`] — graphs, matchings (maximum-cardinality, bottleneck),
 //! * [`kpbs`] — the schedulers, bounds, baselines and extensions,
 //! * [`flowsim`] — the discrete-event network simulator,
-//! * [`mpilite`] — the threaded message-passing runtime.
+//! * [`mpilite`] — the threaded message-passing runtime,
+//! * [`telemetry`] — spans, deterministic work counters, trace export.
 //!
 //! The [`Planner`]/[`Plan`] pair on this crate is the "fully working
 //! redistribution library" of the paper's conclusion: hand it a traffic
@@ -39,6 +40,7 @@ pub use bipartite;
 pub use flowsim;
 pub use kpbs;
 pub use mpilite;
+pub use telemetry;
 
 pub mod cli;
 
