@@ -1,0 +1,105 @@
+//! Pins the flat-CSR layout win: the production matching core (flat
+//! `offsets`/`targets` CSR adjacency + epoch-stamped search scratch) against
+//! the layout it replaced — per-call `Vec<Vec<(u32, EdgeId)>>` adjacency
+//! with a freshly allocated `Vec<bool>` visited set cleared in O(n) after
+//! every successful augmentation. The baseline is reimplemented locally so
+//! the comparison survives in the tree after the old layout is gone.
+
+use bipartite::generate::{complete_graph, random_graph, GraphParams};
+use bipartite::{hopcroft_karp, EdgeId, Graph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::hint::black_box;
+
+const NIL: u32 = u32::MAX;
+
+/// The pre-CSR layout: nested adjacency rebuilt per call, visited
+/// re-allocated per pass and fully cleared after each augment.
+fn nested_maximum_matching(g: &Graph) -> usize {
+    let nl = g.left_count();
+    let nr = g.right_count();
+    let mut adj: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new(); nl];
+    for (id, l, r, _) in g.edges() {
+        adj[l].push((r as u32, id));
+    }
+    let mut match_left = vec![NIL; nl];
+    let mut match_right = vec![NIL; nr];
+    loop {
+        let mut augmented = false;
+        let mut visited = vec![false; nl];
+        for l in 0..nl {
+            if match_left[l] != NIL {
+                continue;
+            }
+            if nested_kuhn(l, &adj, &mut match_left, &mut match_right, &mut visited) {
+                augmented = true;
+                visited.iter_mut().for_each(|v| *v = false);
+            }
+        }
+        if !augmented {
+            break;
+        }
+    }
+    match_left.iter().filter(|&&x| x != NIL).count()
+}
+
+fn nested_kuhn(
+    l: usize,
+    adj: &[Vec<(u32, EdgeId)>],
+    match_left: &mut [u32],
+    match_right: &mut [u32],
+    visited: &mut [bool],
+) -> bool {
+    if visited[l] {
+        return false;
+    }
+    visited[l] = true;
+    for &(r, _) in &adj[l] {
+        let owner = match_right[r as usize];
+        if owner == NIL || nested_kuhn(owner as usize, adj, match_left, match_right, visited) {
+            match_left[l] = r;
+            match_right[r as usize] = l as u32;
+            return true;
+        }
+    }
+    false
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_vs_nested");
+    for &(nodes, edges) in &[(16usize, 200usize), (32, 600), (64, 1600)] {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let params = GraphParams {
+            max_nodes_per_side: nodes,
+            max_edges: edges,
+            weight_range: (1, 100),
+        };
+        let g = random_graph(&mut rng, &params);
+        let label = format!("{nodes}n_{edges}m");
+        group.bench_with_input(BenchmarkId::new("csr", &label), &g, |b, g| {
+            b.iter(|| black_box(hopcroft_karp::maximum_matching(g).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("nested", &label), &g, |b, g| {
+            b.iter(|| black_box(nested_maximum_matching(g)))
+        });
+    }
+    // Dense case amplifying the per-call allocation and O(n) clears.
+    for n in [24usize, 48] {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let g = complete_graph(&mut rng, n, n, (1, 1000));
+        group.bench_with_input(
+            BenchmarkId::new("csr", format!("complete_{n}")),
+            &g,
+            |b, g| b.iter(|| black_box(hopcroft_karp::maximum_matching(g).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("nested", format!("complete_{n}")),
+            &g,
+            |b, g| b.iter(|| black_box(nested_maximum_matching(g))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

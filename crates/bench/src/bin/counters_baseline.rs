@@ -14,11 +14,15 @@
 //! ```
 //!
 //! Options: `--out PATH` baseline file (default `BENCH_counters.json`),
-//! `--check` compare instead of write (exit 1 on mismatch).
+//! `--check` compare instead of write (exit 1 on mismatch), `--jobs N`
+//! worker threads for the scheduler arm (counters are thread-local and each
+//! case is measured on the thread that runs it, so the emitted JSON is
+//! byte-identical for any N — `scripts/check.sh` verifies that too).
 
 use bench::{arg_or, flag};
 use bipartite::generate::complete_graph;
 use flowsim::{scheduled_time, NetworkSpec, SimConfig};
+use kpbs::batch::parallel_map;
 use kpbs::traffic::TickScale;
 use kpbs::{ggp, oggp, Instance, Platform, TrafficMatrix};
 use mpilite::{run_schedule, FabricConfig};
@@ -37,28 +41,44 @@ fn counters_json(s: &Snapshot) -> String {
 fn main() {
     let out: String = arg_or("out", "BENCH_counters.json".to_string());
     let check = flag("check");
+    let jobs: usize = arg_or("jobs", 1);
 
     counters::enable();
     let campaign_start = counters::global_snapshot();
     let mut cases: Vec<(String, Snapshot)> = Vec::new();
+
+    // Scheduler arm: dense fixed-seed instances through both pipelines,
+    // fanned out over `jobs` threads. Each case is measured with local
+    // (per-thread) snapshots around its own run, so the deltas are exact
+    // and independent of the thread assignment; results come back in input
+    // order. With --jobs 1 everything runs inline on this thread.
+    let mut rng = SmallRng::seed_from_u64(0xc0de);
+    let mut scheduler_inputs: Vec<(String, bool, Instance)> = Vec::new();
+    for &n in &[12usize, 16] {
+        let g = complete_graph(&mut rng, n, n, (1, 500));
+        let inst = Instance::new(g, n / 2, 1);
+        scheduler_inputs.push((format!("oggp_complete_n{n}"), true, inst.clone()));
+        scheduler_inputs.push((format!("ggp_complete_n{n}"), false, inst));
+    }
+    cases.extend(parallel_map(
+        &scheduler_inputs,
+        jobs,
+        |(name, is_oggp, inst)| {
+            let before = counters::local_snapshot();
+            if *is_oggp {
+                std::hint::black_box(oggp(inst));
+            } else {
+                std::hint::black_box(ggp(inst));
+            }
+            (name.clone(), counters::local_snapshot().delta(&before))
+        },
+    ));
+
     let mut record = |name: &str, f: &mut dyn FnMut()| {
         let before = counters::global_snapshot();
         f();
         cases.push((name.into(), counters::global_snapshot().delta(&before)));
     };
-
-    // Scheduler arm: dense fixed-seed instances through both pipelines.
-    let mut rng = SmallRng::seed_from_u64(0xc0de);
-    for &n in &[12usize, 16] {
-        let g = complete_graph(&mut rng, n, n, (1, 500));
-        let inst = Instance::new(g, n / 2, 1);
-        record(&format!("oggp_complete_n{n}"), &mut || {
-            std::hint::black_box(oggp(&inst));
-        });
-        record(&format!("ggp_complete_n{n}"), &mut || {
-            std::hint::black_box(ggp(&inst));
-        });
-    }
 
     // Simulator arm: OGGP schedule executed on the ideal fluid network.
     let mut rng = SmallRng::seed_from_u64(0xf10e);

@@ -6,20 +6,23 @@
 //! identical, and writes `BENCH_peeling.json` with instances, wall times,
 //! speedups, peel counts and deterministic work counters (Hopcroft–Karp
 //! phases, augmentation attempts, DFS edge visits, threshold probes, merge
-//! passes) so the cold-vs-incremental speedups are explained by counted
-//! work, not just wall-clock. The checked-in copy at the repository root is
-//! regenerated with:
+//! passes, CSR adjacency rebuilds, epoch resets) so the cold-vs-incremental
+//! speedups are explained by counted work, not just wall-clock. The
+//! checked-in copy at the repository root is regenerated with:
 //!
 //! ```sh
 //! cargo run --release -p bench --bin peel_speedup
 //! ```
 //!
 //! Options: `--reps N` timing repetitions (default 7), `--out PATH` output
-//! file (default `BENCH_peeling.json`).
+//! file (default `BENCH_peeling.json`), `--jobs N` worker threads for the
+//! work-counter passes (default 1; counters are thread-local so the values
+//! are identical for any N — timing passes always run sequentially).
 
 use bench::{arg_or, row};
 use bipartite::generate::complete_graph;
 use bipartite::Graph;
+use kpbs::batch::parallel_map;
 use kpbs::ggp::{ggp, schedule_with};
 use kpbs::normalize::normalize;
 use kpbs::oggp::{oggp, oggp_reference};
@@ -43,28 +46,28 @@ fn time_ms<F: FnMut() -> Schedule>(mut f: F, reps: usize) -> (f64, Schedule) {
     (best, out)
 }
 
-/// Deterministic work counted over one run of `f`. Measured outside the
-/// timing loops: counting is enabled only around this call, so the reported
-/// milliseconds stay telemetry-free.
+/// Deterministic work counted over one run of `f` on the calling thread.
+/// Counting must already be enabled; the timing loops run with it disabled
+/// so the reported milliseconds stay telemetry-free.
 fn work_of<F: FnMut() -> Schedule>(mut f: F) -> Snapshot {
-    counters::enable();
     let before = counters::local_snapshot();
     std::hint::black_box(f());
-    let delta = counters::local_snapshot().delta(&before);
-    counters::disable();
-    delta
+    counters::local_snapshot().delta(&before)
 }
 
 /// The matching-work subset of the counters as a JSON object.
 fn work_json(s: &Snapshot) -> String {
     format!(
         "{{ \"hk_phases\": {}, \"kuhn_attempts\": {}, \"dfs_edge_visits\": {}, \
-         \"threshold_probes\": {}, \"merge_passes\": {}, \"peels\": {} }}",
+         \"threshold_probes\": {}, \"merge_passes\": {}, \"adj_rebuilds\": {}, \
+         \"epoch_resets\": {}, \"peels\": {} }}",
         s.get(Counter::HkPhases),
         s.get(Counter::KuhnAttempts),
         s.get(Counter::DfsEdgeVisits),
         s.get(Counter::ThresholdProbes),
         s.get(Counter::MergePasses),
+        s.get(Counter::AdjRebuilds),
+        s.get(Counter::EpochResets),
         s.get(Counter::Peels),
     )
 }
@@ -109,13 +112,39 @@ fn cases() -> Vec<Case> {
 fn peel_count(inst: &Instance) -> usize {
     let norm = normalize(inst);
     let reg = regularize(&norm.graph, inst.effective_k());
-    let mut work = reg.graph.clone();
+    let mut work = reg.graph;
     peel_all_incremental(&mut work, &mut IncrementalMaxMin::new()).len()
+}
+
+/// Per-case work counters: cold/incremental OGGP, cold/incremental GGP.
+struct CaseWork {
+    oggp_cold: Snapshot,
+    oggp_incr: Snapshot,
+    ggp_cold: Snapshot,
+    ggp_incr: Snapshot,
 }
 
 fn main() {
     let reps: usize = arg_or("reps", 7);
     let out_path: String = arg_or("out", "BENCH_peeling.json".to_string());
+    let jobs: usize = arg_or("jobs", 1);
+
+    let cases = cases();
+
+    // Counted work, measured before the timing passes (counting disabled
+    // again below) and fanned out over `jobs` threads: thread-local counters
+    // make the per-case deltas exact and identical for any jobs value.
+    counters::enable();
+    let works: Vec<CaseWork> = parallel_map(&cases, jobs, |case| {
+        let inst = &case.inst;
+        CaseWork {
+            oggp_cold: work_of(|| oggp_reference(inst)),
+            oggp_incr: work_of(|| oggp(inst)),
+            ggp_cold: work_of(|| schedule_with(inst, &kpbs::wrgp::AnyPerfect)),
+            ggp_incr: work_of(|| ggp(inst)),
+        }
+    });
+    counters::disable();
 
     let mut entries = Vec::new();
     row(&[
@@ -125,7 +154,7 @@ fn main() {
         "incr ms".into(),
         "speedup".into(),
     ]);
-    for case in cases() {
+    for (case, work) in cases.iter().zip(&works) {
         let inst = &case.inst;
         let (oggp_cold_ms, oggp_cold) = time_ms(|| oggp_reference(inst), reps);
         let (oggp_incr_ms, oggp_incr) = time_ms(|| oggp(inst), reps);
@@ -143,11 +172,6 @@ fn main() {
         let peels = peel_count(inst);
         let oggp_speedup = oggp_cold_ms / oggp_incr_ms;
         let ggp_speedup = ggp_cold_ms / ggp_incr_ms;
-        // Counted work, measured in a separate pass so timings stay clean.
-        let oggp_cold_work = work_of(|| oggp_reference(inst));
-        let oggp_incr_work = work_of(|| oggp(inst));
-        let ggp_cold_work = work_of(|| schedule_with(inst, &kpbs::wrgp::AnyPerfect));
-        let ggp_incr_work = work_of(|| ggp(inst));
         row(&[
             case.name.into(),
             "oggp".into(),
@@ -198,10 +222,10 @@ fn main() {
             ggp_speedup,
             ggp_incr.num_steps(),
             ggp_incr.cost(),
-            work_json(&oggp_cold_work),
-            work_json(&oggp_incr_work),
-            work_json(&ggp_cold_work),
-            work_json(&ggp_incr_work),
+            work_json(&work.oggp_cold),
+            work_json(&work.oggp_incr),
+            work_json(&work.ggp_cold),
+            work_json(&work.ggp_incr),
         ));
     }
     let json = format!(

@@ -16,6 +16,7 @@
 //!   weights using Hopcroft–Karp, `O(m·sqrt(n)·log m)`. This is the one the
 //!   scheduler uses; tests assert both agree on the achieved minimum.
 
+use crate::csr::{CsrAdj, SearchState, NIL};
 use crate::graph::{EdgeId, Graph, Weight};
 use crate::hopcroft_karp;
 use crate::matching::Matching;
@@ -67,7 +68,50 @@ pub fn max_min_matching(g: &Graph) -> Matching {
             hi = mid - 1;
         }
     }
-    hopcroft_karp::maximum_matching_where(g, |e| g.weight(e) >= weights[lo])
+    canonical_matching_at(g, weights[lo])
+}
+
+/// The canonical matching returned at threshold `t`: a heaviest-first greedy
+/// seed over the edges of weight `>= t` (ties by ascending edge id),
+/// augmented to maximum cardinality over the ascending-id filtered
+/// adjacency. This is the deterministic function of `(g, t)` that both
+/// [`max_min_matching`] and the incremental engine's max–min path end with,
+/// so the two return bit-identical matchings — and it is chosen so the
+/// engine can compute it from state it already maintains: the greedy seed
+/// reads straight off its heaviest-first order, and its probe adjacency
+/// holds exactly the filtered edge set with rows kept in this ascending-id
+/// order (`CsrAdj::insert_by_id` preserves it across the sweep). The greedy
+/// seed is nearly maximum on the dense graphs the peeling loop produces, so
+/// the augmentation only repairs a remainder instead of rebuilding the
+/// whole matching breadth-first from scratch.
+pub fn canonical_matching_at(g: &Graph, t: Weight) -> Matching {
+    let nl = g.left_count();
+    let nr = g.right_count();
+    let mut adj = CsrAdj::new();
+    adj.build_where(g, |e| g.weight(e) >= t);
+    let mut order: Vec<(EdgeId, usize, usize, Weight)> =
+        g.edges().filter(|&(_, _, _, w)| w >= t).collect();
+    order.sort_unstable_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(&b.0)));
+    let mut match_left: Vec<u32> = vec![NIL; nl];
+    let mut match_right: Vec<u32> = vec![NIL; nr];
+    let mut via_left: Vec<EdgeId> = vec![EdgeId(0); nl];
+    for &(id, l, r, _) in &order {
+        if match_left[l] == NIL && match_right[r] == NIL {
+            match_left[l] = r as u32;
+            match_right[r] = l as u32;
+            via_left[l] = id;
+        }
+    }
+    let mut search = SearchState::new();
+    search.prepare(nl);
+    hopcroft_karp::kuhn_to_maximum(
+        &adj,
+        &mut match_left,
+        &mut match_right,
+        &mut via_left,
+        &mut search,
+    );
+    hopcroft_karp::gather(&match_left, &via_left)
 }
 
 /// The paper's Figure 6 algorithm: insert edges in decreasing weight order,
@@ -83,33 +127,40 @@ pub fn max_min_matching_incremental(g: &Graph) -> Matching {
 
     let nl = g.left_count();
     let nr = g.right_count();
-    let mut adj: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new(); nl];
-    const NIL: u32 = u32::MAX;
+    // CSR layout sized from the full degrees, rows filled by descending
+    // weight as the sweep inserts edges (one O(1) push each).
+    let mut adj = CsrAdj::new();
+    adj.build_where(g, |_| false);
     let mut match_left: Vec<u32> = vec![NIL; nl];
     let mut match_right: Vec<u32> = vec![NIL; nr];
     let mut via_left: Vec<EdgeId> = vec![EdgeId(0); nl];
+    let mut search = SearchState::new();
+    search.prepare(nl);
     let mut size = 0usize;
 
     for &(id, l, r, _) in &order {
-        adj[l].push((r as u32, id));
+        adj.push(l, r as u32, id);
         if size == target {
             unreachable!("loop exits as soon as the target size is reached");
         }
         // A new augmenting path must use the inserted edge, but searching from
         // every free left node is simple and correct: at most one augmentation
-        // can succeed per insertion.
-        let mut visited = vec![false; nl];
+        // can succeed per insertion. The visited set is shared across the free
+        // nodes of one insertion and invalidated in O(1) for the next.
+        search.next_epoch();
         for free in 0..nl {
-            if match_left[free] == NIL
-                && kuhn(
-                    free,
-                    &adj,
-                    &mut match_left,
-                    &mut match_right,
-                    &mut via_left,
-                    &mut visited,
-                )
-            {
+            if match_left[free] != NIL {
+                continue;
+            }
+            counters::incr(Counter::KuhnAttempts);
+            if hopcroft_karp::kuhn_augment(
+                free,
+                &adj,
+                &mut match_left,
+                &mut match_right,
+                &mut via_left,
+                &mut search,
+            ) {
                 size += 1;
                 break;
             }
@@ -126,39 +177,6 @@ pub fn max_min_matching_incremental(g: &Graph) -> Matching {
         }
     }
     m
-}
-
-fn kuhn(
-    l: usize,
-    adj: &[Vec<(u32, EdgeId)>],
-    match_left: &mut [u32],
-    match_right: &mut [u32],
-    via_left: &mut [EdgeId],
-    visited: &mut [bool],
-) -> bool {
-    if visited[l] {
-        return false;
-    }
-    visited[l] = true;
-    for &(r, e) in &adj[l] {
-        let next = match_right[r as usize];
-        if next == u32::MAX
-            || kuhn(
-                next as usize,
-                adj,
-                match_left,
-                match_right,
-                via_left,
-                visited,
-            )
-        {
-            match_left[l] = r;
-            match_right[r as usize] = l as u32;
-            via_left[l] = e;
-            return true;
-        }
-    }
-    false
 }
 
 #[cfg(test)]

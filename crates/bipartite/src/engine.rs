@@ -1,14 +1,22 @@
 //! Incremental peeling engine: matching state and scratch buffers reused
 //! across the peels of one WRGP run.
 //!
-//! Every from-scratch matching routine in this crate allocates its
-//! adjacency lists, match arrays and BFS/DFS scratch per call; the WRGP
-//! loop of `kpbs` calls one of them once per peel, and a peel changes the
-//! graph only slightly (a uniform quantum subtracted from one matching, a
-//! few edges dying). [`MatchingEngine`] exploits that:
+//! Every from-scratch matching routine in this crate builds its CSR
+//! adjacency and match/search scratch per call; the WRGP loop of `kpbs`
+//! calls one of them once per peel, and a peel changes the graph only
+//! slightly (a uniform quantum subtracted from one matching, a few edges
+//! dying). [`MatchingEngine`] exploits that:
 //!
-//! * **Buffer recycling** — adjacency, match arrays, visited/dist/queue
-//!   scratch are allocated once per schedule and reused every peel.
+//! * **One adjacency per run** — the flat [`CsrAdj`] is built once in
+//!   [`begin`](MatchingEngine::begin) (exactly one `adj_rebuilds` count)
+//!   and repaired in place as peels kill edges: an order-preserving
+//!   in-row removal per dead edge instead of an O(n + m) rebuild per peel.
+//!   The probe adjacency for threshold sweeps shares the same row layout
+//!   and is refilled by O(1) pushes.
+//! * **Epoch-stamped search scratch** — visited marks and BFS layers live
+//!   in one [`SearchState`]; invalidating them between searches is an O(1)
+//!   epoch bump, so a peel does zero allocation and zero full-array clears
+//!   (`epoch_resets` stays at zero short of a 32-bit wrap).
 //! * **Matching reuse** — the previous peel's matching, minus its dead
 //!   edges, seeds the next peel's augmentation
 //!   ([`MatchingEngine::any_perfect_matching`]), so each peel only repairs
@@ -18,10 +26,22 @@
 //!   one (see below), so the descending threshold sweep starts there and
 //!   each probe augments the previous probe's matching
 //!   ([`MatchingEngine::max_min_matching`]).
-//! * **Order maintenance** — the heaviest-first edge order that both the
-//!   greedy seed and the threshold sweep need is kept sorted across peels
-//!   by an O(m) two-run merge instead of an O(m log m) re-sort: the peeled
-//!   edges all lose the *same* quantum, so they keep their relative order.
+//! * **Order maintenance** — the heaviest-first edge order is kept
+//!   incrementally, in the cheapest shape the mode in use admits. The
+//!   greedy-seeded mode needs *all* live edges sorted, so it keeps one
+//!   sorted array and splices the `k` peeled entries (k = one matching,
+//!   `<=` the side size) out and back in at their post-quantum positions:
+//!   O(k log m) binary searches plus contiguous segment moves. The
+//!   max–min mode only ever *consumes* edges heaviest-first down to the
+//!   achieved bottleneck, so it keeps just the edges of weight `>=` the
+//!   last bottleneck as a small sorted prefix and everything below in a
+//!   max-heap pool that pops in the same (weight desc, id asc) order.
+//!   Peeled edges always sit in the prefix (their weight is at least the
+//!   achieved bottleneck), so a peel repairs the short prefix in place
+//!   and demotes what fell below the bound with O(log m) heap pushes —
+//!   where a single sorted array would memmove nearly its whole bulk
+//!   every peel, because the heavy peeled edges re-insert far below
+//!   their old slots.
 //!
 //! # Seeded-augmentation invariant
 //!
@@ -31,7 +51,10 @@
 //! (Berge) yields a maximum matching, so
 //! [`MatchingEngine::any_perfect_matching`] is equivalent, peel for peel,
 //! to `hopcroft_karp::maximum_matching_seeded(g, survivors)` computed from
-//! scratch — the differential tests in `kpbs` assert exactly that.
+//! scratch — the differential tests in `kpbs` assert exactly that. The
+//! repaired adjacency keeps the ascending-edge-id row order a rebuild
+//! would produce, so traversal orders (and thus the returned matchings and
+//! every work counter) are byte-identical to the rebuild-per-peel engine.
 //!
 //! # Warm bound for the bottleneck search
 //!
@@ -51,13 +74,41 @@
 //! [`crate::bottleneck::max_min_matching`] ends with, so the two agree
 //! edge-for-edge, not just on the achieved bottleneck.
 
+use crate::csr::{CsrAdj, SearchState, NIL};
 use crate::graph::{EdgeId, Graph, Weight};
-use crate::hopcroft_karp::{gather, hk_augment_to_maximum, kuhn_augment};
+use crate::hopcroft_karp::{gather, hk_augment_to_maximum, kuhn_augment, kuhn_to_maximum};
 use crate::matching::Matching;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use telemetry::counters::{self, Counter};
 
-const NIL: u32 = u32::MAX;
+/// Which live-edge order representation the engine currently maintains.
+/// Switching modes mid-run rebuilds the needed one lazily from the graph
+/// (`ensure_*`); a steady single-mode run pays the build at most once.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum OrderRepr {
+    /// No order maintained: a fresh run, or only
+    /// [`MatchingEngine::any_perfect_matching`] used — it needs none.
+    #[default]
+    Stale,
+    /// `order` holds every live edge, sorted (greedy-seeded mode).
+    Full,
+    /// `prefix`/`pool` split at `last_bottleneck` (max–min mode).
+    Split,
+}
+
+/// One edge of the max–min mode's sorted prefix. The endpoints are cached
+/// so the hot loops that walk the prefix every peel — the canonical greedy
+/// seed, the threshold descent's insertions and the peel repair — never
+/// chase the edge id back into the graph's edge table (a random access per
+/// entry); endpoints never change for a live edge, only `w` does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PrefixEntry {
+    id: EdgeId,
+    w: Weight,
+    l: u32,
+    r: u32,
+}
 
 /// Reusable matching engine for the WRGP peeling loop. See the module
 /// documentation for the invariants it maintains between peels.
@@ -75,22 +126,63 @@ pub struct MatchingEngine {
     match_left: Vec<u32>,
     match_right: Vec<u32>,
     via_left: Vec<EdgeId>,
-    /// Kuhn/Hopcroft–Karp scratch.
-    visited: Vec<bool>,
-    dist: Vec<u32>,
-    queue: VecDeque<u32>,
-    /// Full-graph adjacency, rebuilt per peel in edge-id order (O(live)).
-    adj: Vec<Vec<(u32, EdgeId)>>,
-    /// Threshold-probe matching and adjacency (max–min mode).
+    /// Epoch-stamped Kuhn/Hopcroft–Karp scratch (visited, dist, queue).
+    search: SearchState,
+    /// Full-graph CSR adjacency: built once per run, repaired as edges die.
+    adj: CsrAdj,
+    /// Threshold-probe matching and adjacency (max–min mode). The probe
+    /// adjacency holds the edges of weight `>= last_bottleneck` *across*
+    /// peels — `observe_peel` removes the few peeled edges that fell below
+    /// the bound, and the threshold descent appends — together with its
+    /// transpose (right-indexed), which the co-reachability certificate
+    /// needs.
     probe_left: Vec<u32>,
     probe_right: Vec<u32>,
     probe_via: Vec<EdgeId>,
-    probe_adj: Vec<Vec<(u32, EdgeId)>>,
-    /// All live edges sorted by (weight desc, id asc); repaired by merge.
+    probe_adj: CsrAdj,
+    probe_radj: CsrAdj,
+    /// Dulmage–Mendelsohn reachability certificates of the probe matching:
+    /// `d_*` = on an alternating path from a free left node, `c_*` = an
+    /// alternating path leads to a free right node. While the matching is
+    /// maximum the two are disjoint, and inserting edge `(l, r)` creates an
+    /// augmenting path iff it connects them — an O(1) test that replaces a
+    /// full probe solve per inserted edge.
+    d_left: Vec<bool>,
+    d_right: Vec<bool>,
+    c_left: Vec<bool>,
+    c_right: Vec<bool>,
+    reach_queue: Vec<u32>,
+    /// Live-edge order, in the representation `repr` names. `order` is the
+    /// greedy-seeded mode's full array: every live edge sorted by
+    /// (weight desc, id asc). `prefix` + `pool` are the max–min mode's
+    /// split: `prefix` holds exactly the edges of weight
+    /// `>= last_bottleneck` in that same sorted order — the threshold
+    /// sweep's insertion order and the canonical greedy-seed order — and
+    /// `pool` holds every other live edge in a max-heap popping in that
+    /// order too, so a descent below the bound consumes it seamlessly.
     order: Vec<(EdgeId, Weight)>,
-    kept: Vec<(EdgeId, Weight)>,
+    prefix: Vec<PrefixEntry>,
+    pool: BinaryHeap<(Weight, Reverse<EdgeId>)>,
+    repr: OrderRepr,
     changed: Vec<(EdgeId, Weight)>,
-    peeled_mark: Vec<bool>,
+    split_changed: Vec<PrefixEntry>,
+    peel_pos: Vec<u32>,
+    /// Peel stamps per edge id, so the split repair can tell "was this
+    /// prefix entry just peeled?" in O(1) during its single compaction
+    /// pass. Epoch-stamped like the search scratch: one bump per repair,
+    /// never a clear.
+    edge_mark: Vec<u32>,
+    mark_epoch: u32,
+    /// Carried probe-matching pairs dropped by the split repair since the
+    /// last threshold search consumed the count. The carried matching had
+    /// full target cardinality, so the next warm probe's size is
+    /// `target - carry_dropped` without rescanning any pair.
+    carry_dropped: usize,
+    /// True when the carried witness matching may have lost maximality —
+    /// set when a peel kills one of its pairs, cleared by the re-augment.
+    /// Removing edges never *raises* the maximum cardinality, so an intact
+    /// maximum matching stays maximum and the re-augment can be skipped.
+    witness_dirty: bool,
     /// Warm-start state of the bottleneck search.
     last_bottleneck: Option<Weight>,
     last_target: usize,
@@ -110,8 +202,10 @@ impl MatchingEngine {
     }
 
     /// Prepares the engine for a peeling run over `g`: sizes every buffer
-    /// (keeping capacity from earlier runs), clears the carried matching and
-    /// sorts the live edges heaviest-first. O(m log m) once per run.
+    /// (keeping capacity from earlier runs), clears the carried matching
+    /// and builds the CSR adjacency (the run's single full build). The
+    /// live-edge order representations are built lazily by the first
+    /// matching call that needs one. O(n + m) once per run.
     pub fn begin(&mut self, g: &Graph) {
         self.nl = g.left_count();
         self.nr = g.right_count();
@@ -121,24 +215,72 @@ impl MatchingEngine {
         self.match_right.resize(self.nr, NIL);
         self.via_left.clear();
         self.via_left.resize(self.nl, EdgeId(0));
-        self.visited.clear();
-        self.visited.resize(self.nl, false);
-        self.dist.clear();
-        self.dist.resize(self.nl, 0);
         self.probe_left.clear();
         self.probe_left.resize(self.nl, NIL);
         self.probe_right.clear();
         self.probe_right.resize(self.nr, NIL);
         self.probe_via.clear();
         self.probe_via.resize(self.nl, EdgeId(0));
-        resize_adj(&mut self.adj, self.nl);
-        resize_adj(&mut self.probe_adj, self.nl);
-        self.peeled_mark.clear();
-        self.peeled_mark.resize(g.edge_id_bound(), false);
+        self.search.prepare(self.nl);
+        self.adj.build(g);
+        self.probe_adj.clone_layout(&self.adj);
+        self.probe_radj.build_transposed_layout(g);
+        self.d_left.clear();
+        self.d_left.resize(self.nl, false);
+        self.d_right.clear();
+        self.d_right.resize(self.nr, false);
+        self.c_left.clear();
+        self.c_left.resize(self.nl, false);
+        self.c_right.clear();
+        self.c_right.resize(self.nr, false);
+        self.order.clear();
+        self.prefix.clear();
+        self.pool.clear();
+        self.repr = OrderRepr::Stale;
+        self.edge_mark.clear();
+        self.edge_mark.resize(g.edge_id_bound(), 0);
+        self.mark_epoch = 0;
+        self.carry_dropped = 0;
+        self.witness_dirty = true;
+        self.last_bottleneck = None;
+        self.last_target = usize::MAX;
+    }
+
+    /// Makes `order` hold every live edge sorted by (weight desc, id asc),
+    /// rebuilding from the graph only when the representation changed; in
+    /// steady greedy-seeded use, `observe_peel` keeps it sorted instead.
+    fn ensure_full_order(&mut self, g: &Graph) {
+        if self.repr == OrderRepr::Full {
+            return;
+        }
         self.order.clear();
         self.order.extend(g.edges().map(|(id, _, _, w)| (id, w)));
         self.order
             .sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        self.prefix.clear();
+        self.pool.clear();
+        self.repr = OrderRepr::Full;
+        // The probe-prefix invariant is tied to the split representation.
+        self.last_bottleneck = None;
+        self.last_target = usize::MAX;
+    }
+
+    /// Makes `prefix`/`pool` hold the live edges split at the achieved
+    /// bottleneck. On a representation change everything lands in the pool
+    /// (one O(m) heapify — cheaper than a sort) and the bound is forgotten,
+    /// forcing the next threshold search to run cold; in steady max–min
+    /// use, `observe_peel` maintains the split and this is a no-op.
+    fn ensure_split_order(&mut self, g: &Graph) {
+        if self.repr == OrderRepr::Split {
+            return;
+        }
+        self.prefix.clear();
+        let mut heap = std::mem::take(&mut self.pool).into_vec();
+        heap.clear();
+        heap.extend(g.edges().map(|(id, _, _, w)| (w, Reverse(id))));
+        self.pool = BinaryHeap::from(heap);
+        self.order.clear();
+        self.repr = OrderRepr::Split;
         self.last_bottleneck = None;
         self.last_target = usize::MAX;
     }
@@ -147,9 +289,23 @@ impl MatchingEngine {
     /// returned matching (empty on the first call). Peel for peel this
     /// equals `hopcroft_karp::maximum_matching_seeded(g, survivors)`.
     pub fn any_perfect_matching(&mut self, g: &Graph) -> Matching {
-        debug_assert_eq!(g.left_count(), self.nl);
-        self.rebuild_adj(g);
-        self.kuhn_to_maximum();
+        self.debug_check_adj(g);
+        // The split order's prefix invariant assumes peels come from max–min
+        // matchings (whose edges all sit in the prefix); a peel of this
+        // mode's matching could damage pool entries, so drop the split — a
+        // later max–min call rebuilds it cold.
+        if self.repr == OrderRepr::Split {
+            self.repr = OrderRepr::Stale;
+            self.last_bottleneck = None;
+            self.last_target = usize::MAX;
+        }
+        kuhn_to_maximum(
+            &self.adj,
+            &mut self.match_left,
+            &mut self.match_right,
+            &mut self.via_left,
+            &mut self.search,
+        );
         gather(&self.match_left, &self.via_left)
     }
 
@@ -158,8 +314,8 @@ impl MatchingEngine {
     /// the seed derived from the maintained order (no per-peel sort) and all
     /// scratch recycled.
     pub fn greedy_seeded_matching(&mut self, g: &Graph) -> Matching {
-        debug_assert_eq!(g.left_count(), self.nl);
-        self.rebuild_adj(g);
+        self.debug_check_adj(g);
+        self.ensure_full_order(g);
         let MatchingEngine {
             order,
             match_left,
@@ -177,7 +333,13 @@ impl MatchingEngine {
                 via_left[l] = e;
             }
         }
-        self.kuhn_to_maximum();
+        kuhn_to_maximum(
+            &self.adj,
+            &mut self.match_left,
+            &mut self.match_right,
+            &mut self.via_left,
+            &mut self.search,
+        );
         gather(&self.match_left, &self.via_left)
     }
 
@@ -187,75 +349,51 @@ impl MatchingEngine {
     /// threshold found by a warm descending sweep instead of a cold binary
     /// search.
     pub fn max_min_matching(&mut self, g: &Graph) -> Matching {
-        debug_assert_eq!(g.left_count(), self.nl);
-        let target = self.witness_target(g);
+        self.debug_check_adj(g);
+        let target = self.witness_target();
         if target == 0 {
             self.last_bottleneck = None;
             self.last_target = 0;
             return Matching::new();
         }
-        let warm = self.last_target == target;
+        let warm = self.last_target == target && self.repr == OrderRepr::Split;
+        self.ensure_split_order(g);
         let t_star = self.bottleneck_threshold(g, target, warm);
         self.last_bottleneck = Some(t_star);
         self.last_target = target;
-        self.canonical_matching(g, t_star)
+        self.canonical_matching(t_star)
     }
 
     /// Tells the engine one peel happened: the caller subtracted `quantum`
     /// from every edge of `peeled` (removing the ones that reached zero).
-    /// Repairs the maintained heaviest-first order by an O(m) merge and
-    /// drops dead pairs from the carried matching.
+    /// Drops dead pairs from the carried matching, removes dead edges from
+    /// the CSR adjacency (order-preserving, so no rebuild is ever needed)
+    /// and repairs whichever live-edge order is maintained: the greedy
+    /// mode's full array by an O(k log m) splice, the max–min mode's short
+    /// sorted prefix in place — demoting entries that fell below the weight
+    /// bound to the heap pool — never a per-element pass over the bulk of
+    /// the live edges.
     pub fn observe_peel(&mut self, g: &Graph, peeled: &Matching, quantum: Weight) {
         counters::incr(Counter::MergePasses);
-        let MatchingEngine {
-            order,
-            kept,
-            changed,
-            peeled_mark,
-            ..
-        } = self;
+        // Dead peeled edges leave the adjacency; survivors keep their slot.
         for &e in peeled.edges() {
-            peeled_mark[e.index()] = true;
-        }
-        kept.clear();
-        changed.clear();
-        for &(e, w) in order.iter() {
-            if peeled_mark[e.index()] {
-                let nw = w - quantum;
-                debug_assert_eq!(nw, g.weight(e), "peel quantum not uniform");
-                debug_assert_eq!(nw > 0, g.is_alive(e));
-                if nw > 0 {
-                    changed.push((e, nw));
-                }
-            } else {
-                kept.push((e, w));
+            if !g.is_alive(e) {
+                self.adj.remove(g.left_of(e), e);
             }
         }
-        for &e in peeled.edges() {
-            peeled_mark[e.index()] = false;
-        }
-        // The changed run lost a uniform quantum, so it is still sorted by
-        // (weight desc, id asc); merge it back with the untouched run.
-        order.clear();
-        let (mut a, mut b) = (0usize, 0usize);
-        while a < kept.len() && b < changed.len() {
-            let (ka, kb) = (kept[a], changed[b]);
-            if kb.1 > ka.1 || (kb.1 == ka.1 && kb.0 < ka.0) {
-                order.push(kb);
-                b += 1;
-            } else {
-                order.push(ka);
-                a += 1;
+        if !peeled.is_empty() {
+            match self.repr {
+                OrderRepr::Stale => {}
+                OrderRepr::Full => self.repair_full_order(g, peeled, quantum),
+                OrderRepr::Split => self.repair_split_order(g, peeled, quantum),
             }
         }
-        order.extend_from_slice(&kept[a..]);
-        order.extend_from_slice(&changed[b..]);
-
         // Survivors of the carried matching stay; dead pairs leave.
         let MatchingEngine {
             match_left,
             match_right,
             via_left,
+            witness_dirty,
             ..
         } = self;
         for l in 0..match_left.len() {
@@ -263,6 +401,140 @@ impl MatchingEngine {
             if r != NIL && !g.is_alive(via_left[l]) {
                 match_left[l] = NIL;
                 match_right[r as usize] = NIL;
+                *witness_dirty = true;
+            }
+        }
+    }
+
+    /// Splices the peeled entries of the full sorted order out and back in
+    /// at their post-quantum positions (dead edges just leave).
+    fn repair_full_order(&mut self, g: &Graph, peeled: &Matching, quantum: Weight) {
+        let MatchingEngine {
+            order,
+            changed,
+            peel_pos,
+            ..
+        } = self;
+        locate_peeled(order, peeled, g, quantum, peel_pos);
+        // The survivors, in slot order: they lost a uniform quantum, so
+        // they are already sorted by (new weight desc, id asc).
+        changed.clear();
+        for &p in peel_pos.iter() {
+            let (e, w) = order[p as usize];
+            let nw = w - quantum;
+            debug_assert_eq!(nw > 0, g.is_alive(e));
+            if nw > 0 {
+                changed.push((e, nw));
+            }
+        }
+        splice_sorted(order, peel_pos, changed);
+    }
+
+    /// Repairs the max–min split in one pass over the prefix. The probe
+    /// structures hold the edges of weight `>=` the last achieved
+    /// bottleneck across peels; only the peeled edges lost weight, and
+    /// every one of them sits in the prefix (it weighed at least the
+    /// bottleneck), so a single compaction pass re-establishes all the
+    /// warm-start invariants at once: entries still at or above the bound
+    /// collect into `split_changed` (a uniform quantum preserves their
+    /// (weight desc, id asc) order, so no re-sort), the rest leave the
+    /// probe adjacency and the carried probe matching — counting the
+    /// dropped pairs for the next warm probe — and demote to the pool,
+    /// dead edges just leave. A backward in-place merge then folds the
+    /// changed entries into the compacted survivors; the pool's bulk is
+    /// never touched.
+    fn repair_split_order(&mut self, g: &Graph, peeled: &Matching, quantum: Weight) {
+        let bound = self
+            .last_bottleneck
+            .expect("split order implies an achieved bottleneck");
+        let MatchingEngine {
+            prefix,
+            pool,
+            split_changed,
+            probe_adj,
+            probe_radj,
+            probe_left,
+            probe_right,
+            probe_via,
+            edge_mark,
+            mark_epoch,
+            carry_dropped,
+            ..
+        } = self;
+        *mark_epoch = mark_epoch.wrapping_add(1);
+        if *mark_epoch == 0 {
+            edge_mark.fill(0);
+            *mark_epoch = 1;
+        }
+        let epoch = *mark_epoch;
+        for &e in peeled.edges() {
+            edge_mark[e.index()] = epoch;
+        }
+        split_changed.clear();
+        let mut write = 0usize;
+        for i in 0..prefix.len() {
+            let ent = prefix[i];
+            if edge_mark[ent.id.index()] != epoch {
+                prefix[write] = ent;
+                write += 1;
+                continue;
+            }
+            let nw = ent.w - quantum;
+            debug_assert_eq!(nw, g.weight(ent.id), "non-uniform quantum?");
+            if nw >= bound {
+                split_changed.push(PrefixEntry { w: nw, ..ent });
+            } else {
+                // Fell below the bound (or died): leave the probe
+                // structures, and the carried probe matching if the pair
+                // rode on this edge.
+                probe_adj.remove(ent.l as usize, ent.id);
+                probe_radj.remove(ent.r as usize, ent.id);
+                let l = ent.l as usize;
+                if probe_left[l] != NIL && probe_via[l] == ent.id {
+                    probe_left[l] = NIL;
+                    probe_right[ent.r as usize] = NIL;
+                    *carry_dropped += 1;
+                }
+                if nw > 0 {
+                    pool.push((nw, Reverse(ent.id)));
+                }
+            }
+        }
+        debug_assert_eq!(
+            prefix.len() - write,
+            peeled.len(),
+            "every peeled edge sits in the prefix"
+        );
+        prefix.truncate(write);
+        // Backward in-place merge of the changed entries (both runs are
+        // sorted by (weight desc, id asc); ids make every key unique).
+        let k = split_changed.len();
+        if k > 0 {
+            let mut i = prefix.len();
+            prefix.resize(
+                i + k,
+                PrefixEntry {
+                    id: EdgeId(0),
+                    w: 0,
+                    l: 0,
+                    r: 0,
+                },
+            );
+            let mut j = k;
+            let mut w = prefix.len();
+            while j > 0 {
+                let c = split_changed[j - 1];
+                if i > 0
+                    && (prefix[i - 1].w < c.w
+                        || (prefix[i - 1].w == c.w && prefix[i - 1].id > c.id))
+                {
+                    prefix[w - 1] = prefix[i - 1];
+                    i -= 1;
+                } else {
+                    prefix[w - 1] = c;
+                    j -= 1;
+                }
+                w -= 1;
             }
         }
     }
@@ -274,165 +546,610 @@ impl MatchingEngine {
         self.last_bottleneck
     }
 
-    fn rebuild_adj(&mut self, g: &Graph) {
-        for a in &mut self.adj {
-            a.clear();
-        }
-        for (id, l, r, _) in g.edges() {
-            self.adj[l].push((r as u32, id));
-        }
-    }
-
-    /// The exact augmentation loop of `maximum_matching_seeded`: repeated
-    /// Kuhn passes over free left nodes, visited cleared after every
-    /// successful augmentation, until a full pass finds nothing.
-    fn kuhn_to_maximum(&mut self) {
-        let MatchingEngine {
-            nl,
-            adj,
-            match_left,
-            match_right,
-            via_left,
-            visited,
-            ..
-        } = self;
-        loop {
-            let mut augmented = false;
-            visited.fill(false);
-            for l in 0..*nl {
-                if match_left[l] != NIL {
-                    continue;
-                }
-                counters::incr(Counter::KuhnAttempts);
-                if kuhn_augment(l, adj, match_left, match_right, via_left, visited) {
-                    augmented = true;
-                    visited.fill(false);
-                }
-            }
-            if !augmented {
-                break;
-            }
-        }
+    /// The maintained adjacency must mirror the graph's live edges exactly
+    /// (the caller peeled and then told us via `observe_peel`).
+    fn debug_check_adj(&self, g: &Graph) {
+        debug_assert_eq!(g.left_count(), self.nl);
+        debug_assert_eq!(
+            self.adj.live_entries(),
+            g.edge_count(),
+            "CSR adjacency out of sync with the graph: call observe_peel \
+             after every peel"
+        );
     }
 
     /// Re-augments the carried witness to a maximum matching of `g` and
     /// returns its cardinality. Dropping dead edges from a maximum matching
     /// and augmenting until no path remains is again maximum (Berge), so
-    /// this equals `maximum_matching(g).len()` at a fraction of the work.
-    fn witness_target(&mut self, g: &Graph) -> usize {
-        self.rebuild_adj(g);
+    /// this equals `maximum_matching(g).len()` at a fraction of the work —
+    /// and when the peel killed none of the witness's own pairs the
+    /// matching never lost maximality (removing edges cannot raise the
+    /// maximum cardinality), so even that augmentation is skipped.
+    fn witness_target(&mut self) -> usize {
         let MatchingEngine {
             adj,
             match_left,
             match_right,
             via_left,
-            dist,
-            queue,
+            search,
+            witness_dirty,
             ..
         } = self;
-        hk_augment_to_maximum(adj, match_left, match_right, via_left, dist, queue);
+        if *witness_dirty {
+            hk_augment_to_maximum(adj, match_left, match_right, via_left, search);
+            *witness_dirty = false;
+        }
         match_left.iter().filter(|&&x| x != NIL).count()
     }
 
     /// Largest distinct weight `t` such that edges of weight `>= t` admit a
-    /// matching of size `target`, found by descending insertion (the paper's
-    /// Figure 6 order) with the probe matching carried across insertions.
-    /// When `warm` holds, all weights `>= last_bottleneck` are inserted as
-    /// one batch first — see the module docs for why that bound is sound.
+    /// matching of size `target`. When `warm` holds, the probe structures
+    /// already contain the edges of weight `>= last_bottleneck` — a sound
+    /// upper bound, see the module docs — maintained by `observe_peel`, so
+    /// the batch probe at the bound costs one seeded augmentation and zero
+    /// rebuilding. Below the bound the descent inserts edges in decreasing
+    /// weight order (the paper's Figure 6 order), but instead of solving a
+    /// probe per distinct weight it keeps the Dulmage–Mendelsohn
+    /// reachability certificates of the current (maximum) probe matching:
+    /// inserting edge `(l, r)` creates an augmenting path iff `l` is
+    /// alternating-reachable from a free left (`d_left`) and from `r` an
+    /// alternating path leads to a free right (`c_right`) — the two sides
+    /// would otherwise splice into an augmenting path of the old graph,
+    /// contradicting maximality. Most insertions therefore cost an O(1)
+    /// test (plus amortised certificate growth); an actual matching solve
+    /// happens only when the cardinality really increases.
+    ///
+    /// Only the *size* of a probe matching is observable (the threshold it
+    /// implies), so the probe matching can be seeded freely: the previous
+    /// peel's returned matching, minus what the peel destroyed, is a valid
+    /// matching of the warm prefix, and augmenting it to maximality reaches
+    /// the same cardinality as a from-scratch solve.
+    ///
+    /// Postcondition: `probe_adj`/`probe_radj` hold exactly the edges of
+    /// weight `>= t` for the returned `t` — the invariant `observe_peel`
+    /// carries into the next peel.
     fn bottleneck_threshold(&mut self, g: &Graph, target: usize, warm: bool) -> Weight {
         let MatchingEngine {
-            order,
+            prefix,
+            pool,
             probe_adj,
+            probe_radj,
             probe_left,
             probe_right,
             probe_via,
-            dist,
-            queue,
+            search,
             last_bottleneck,
+            carry_dropped,
+            d_left,
+            d_right,
+            c_left,
+            c_right,
+            reach_queue,
             ..
         } = self;
-        for a in probe_adj.iter_mut() {
-            a.clear();
-        }
-        probe_left.fill(NIL);
-        probe_right.fill(NIL);
-        let size = |probe_left: &[u32]| probe_left.iter().filter(|&&x| x != NIL).count();
-        let mut i = 0usize;
-        if warm {
-            if let Some(bound) = *last_bottleneck {
-                while i < order.len() && order[i].1 >= bound {
-                    let e = order[i].0;
-                    probe_adj[g.left_of(e)].push((g.right_of(e) as u32, e));
-                    i += 1;
+        // `j` = how many prefix entries the probes hold; the descent first
+        // consumes the prefix, then pops the pool, appending each pop to the
+        // prefix so that `prefix` stays exactly the inserted edge set.
+        let mut j;
+        let mut matched;
+        match if warm { *last_bottleneck } else { None } {
+            Some(_bound) => {
+                j = prefix.len();
+                debug_assert_eq!(
+                    probe_adj.live_entries(),
+                    j,
+                    "probe adjacency out of sync with the weight bound"
+                );
+                // Carried pairs whose edge fell below the bound were
+                // already dropped (and counted) by the split repair in
+                // `observe_peel`; the carried matching had full target
+                // cardinality (it is the previous canonical matching), so
+                // its size is known from that count alone.
+                matched = target - *carry_dropped;
+                *carry_dropped = 0;
+                debug_assert_eq!(
+                    matched,
+                    probe_left.iter().filter(|&&r| r != NIL).count(),
+                    "drop count out of sync with the carried probe matching"
+                );
+                // Repair towards the target with single Kuhn passes,
+                // stopping the moment it is reached: on most peels every
+                // dropped pair re-augments immediately and no failing
+                // (whole-region) exploration ever runs. Only a genuinely
+                // infeasible prefix pays one shared failing pass — which
+                // doubles as the maximality proof the certificates below
+                // require.
+                counters::incr(Counter::ThresholdProbes);
+                if matched < target && j > 0 {
+                    search.next_epoch();
+                    let mut progress = true;
+                    'repair: while progress {
+                        progress = false;
+                        for free in 0..probe_left.len() {
+                            if probe_left[free] != NIL {
+                                continue;
+                            }
+                            counters::incr(Counter::KuhnAttempts);
+                            if kuhn_augment(
+                                free,
+                                probe_adj,
+                                probe_left,
+                                probe_right,
+                                probe_via,
+                                search,
+                            ) {
+                                search.next_epoch();
+                                matched += 1;
+                                progress = true;
+                                if matched == target {
+                                    break 'repair;
+                                }
+                            }
+                        }
+                    }
                 }
-                if i > 0 {
-                    counters::incr(Counter::ThresholdProbes);
-                    hk_augment_to_maximum(
-                        probe_adj,
-                        probe_left,
-                        probe_right,
-                        probe_via,
-                        dist,
-                        queue,
-                    );
-                    if size(probe_left) == target {
-                        return order[i - 1].1;
+                if matched == target {
+                    if let Some(ent) = prefix.last() {
+                        return ent.w;
                     }
                 }
             }
-        }
-        while i < order.len() {
-            let w = order[i].1;
-            while i < order.len() && order[i].1 == w {
-                let e = order[i].0;
-                probe_adj[g.left_of(e)].push((g.right_of(e) as u32, e));
-                i += 1;
+            None => {
+                probe_adj.clear_rows();
+                probe_radj.clear_rows();
+                probe_left.fill(NIL);
+                probe_right.fill(NIL);
+                *carry_dropped = 0;
+                j = 0;
+                matched = 0;
             }
+        }
+        debug_assert!(
+            j < prefix.len() || !pool.is_empty(),
+            "an infeasible prefix is never the whole live graph"
+        );
+        compute_reach(
+            probe_adj,
+            probe_radj,
+            probe_left,
+            probe_right,
+            d_left,
+            d_right,
+            c_left,
+            c_right,
+            reach_queue,
+        );
+        loop {
+            let (e, w, l, r) = if j < prefix.len() {
+                let ent = prefix[j];
+                (ent.id, ent.w, ent.l as usize, ent.r as usize)
+            } else {
+                let (w, Reverse(e)) = pool
+                    .pop()
+                    .expect("inserting every live edge reaches the maximum matching size");
+                let (l, r) = (g.left_of(e), g.right_of(e));
+                prefix.push(PrefixEntry {
+                    id: e,
+                    w,
+                    l: l as u32,
+                    r: r as u32,
+                });
+                (e, w, l, r)
+            };
+            probe_adj.insert_by_id(l, r as u32, e);
+            probe_radj.push(r, l as u32, e);
+            j += 1;
+            let augmentable = if d_left[l] && c_right[r] {
+                true
+            } else if d_left[l] && !d_right[r] {
+                d_extend(
+                    r,
+                    probe_adj,
+                    probe_right,
+                    d_left,
+                    d_right,
+                    c_left,
+                    c_right,
+                    reach_queue,
+                )
+            } else if c_right[r] && !c_left[l] {
+                c_extend(
+                    l,
+                    probe_radj,
+                    probe_left,
+                    probe_right,
+                    d_left,
+                    d_right,
+                    c_left,
+                    c_right,
+                    reach_queue,
+                )
+            } else {
+                false
+            };
+            if !augmentable {
+                continue;
+            }
+            // Exactly one augmenting path exists (one edge was added to a
+            // maximum matching), so the first successful Kuhn pass restores
+            // maximality — no failing proof search is needed.
             counters::incr(Counter::ThresholdProbes);
-            hk_augment_to_maximum(probe_adj, probe_left, probe_right, probe_via, dist, queue);
-            if size(probe_left) == target {
+            search.next_epoch();
+            let mut augmented = false;
+            for free in 0..probe_left.len() {
+                if probe_left[free] != NIL {
+                    continue;
+                }
+                counters::incr(Counter::KuhnAttempts);
+                if kuhn_augment(free, probe_adj, probe_left, probe_right, probe_via, search) {
+                    augmented = true;
+                    break;
+                }
+            }
+            debug_assert!(augmented, "certificates promised an augmenting path");
+            matched += 1;
+            if matched == target {
+                // Complete the current weight group so the probe structures
+                // (and the prefix mirroring them) hold exactly the edges of
+                // weight >= t for the next peel — first from the prefix,
+                // then from the pool. The two only share the group when the
+                // descent has already crossed into the pool, in which case
+                // the prefix is exhausted.
+                while j < prefix.len() && prefix[j].w == w {
+                    let ent = prefix[j];
+                    probe_adj.insert_by_id(ent.l as usize, ent.r, ent.id);
+                    probe_radj.push(ent.r as usize, ent.l, ent.id);
+                    j += 1;
+                }
+                if j < prefix.len() {
+                    // A cold sweep over a still-valid split (the cardinality
+                    // target changed) stopped above the old bound: the
+                    // prefix tail is below the new threshold — demote it.
+                    for ent in prefix[j..].iter() {
+                        pool.push((ent.w, Reverse(ent.id)));
+                    }
+                    prefix.truncate(j);
+                } else {
+                    while pool.peek().is_some_and(|&(pw, _)| pw == w) {
+                        let (pw, Reverse(e2)) = pool.pop().unwrap();
+                        let (l2, r2) = (g.left_of(e2), g.right_of(e2));
+                        prefix.push(PrefixEntry {
+                            id: e2,
+                            w: pw,
+                            l: l2 as u32,
+                            r: r2 as u32,
+                        });
+                        probe_adj.insert_by_id(l2, r2 as u32, e2);
+                        probe_radj.push(r2, l2 as u32, e2);
+                    }
+                }
                 return w;
             }
+            compute_reach(
+                probe_adj,
+                probe_radj,
+                probe_left,
+                probe_right,
+                d_left,
+                d_right,
+                c_left,
+                c_right,
+                reach_queue,
+            );
         }
-        unreachable!("inserting every live edge reaches the maximum matching size")
     }
 
-    /// The canonical threshold matching: a from-scratch filtered solve over
-    /// edges of weight `>= t`, byte-identical in traversal order to
-    /// `maximum_matching_where(g, |e| g.weight(e) >= t)` — only the buffers
-    /// are recycled.
-    fn canonical_matching(&mut self, g: &Graph, t: Weight) -> Matching {
+    /// The canonical threshold matching, byte-identical in traversal order
+    /// to [`crate::bottleneck::canonical_matching_at`]: a heaviest-first
+    /// greedy seed over the edges of weight `>= t` — read straight off the
+    /// maintained prefix, no sort — augmented to maximum cardinality over
+    /// ascending-id rows. The cold path materialises a filtered CSR for
+    /// that; the engine already has one: `probe_adj` holds exactly the
+    /// edges of weight `>= t` (the threshold postcondition, re-checked
+    /// below) and its rows are kept in ascending-id order by
+    /// [`CsrAdj::insert_by_id`]/[`CsrAdj::remove`], so they are
+    /// indistinguishable from a fresh `build_where` and the matchings agree
+    /// edge-for-edge, `dfs_edge_visits` included.
+    ///
+    /// The probe matching is overwritten with the result — exactly the
+    /// carried seed the next peel's warm batch probe wants, since every
+    /// edge of the result passes the next prefix filter until the peel
+    /// damages it.
+    fn canonical_matching(&mut self, t: Weight) -> Matching {
         let MatchingEngine {
+            prefix,
             probe_adj,
             probe_left,
             probe_right,
             probe_via,
-            dist,
-            queue,
+            search,
             ..
         } = self;
-        for a in probe_adj.iter_mut() {
-            a.clear();
-        }
-        for (id, l, r, w) in g.edges() {
-            if w >= t {
-                probe_adj[l].push((r as u32, id));
-            }
-        }
         probe_left.fill(NIL);
         probe_right.fill(NIL);
-        hk_augment_to_maximum(probe_adj, probe_left, probe_right, probe_via, dist, queue);
+        // The prefix holds exactly the edges of weight >= t, sorted by
+        // (weight desc, id asc) — the same key the cold path sorts the
+        // filtered edges by — so walking it *is* the greedy sequence.
+        for ent in prefix.iter() {
+            debug_assert!(ent.w >= t, "prefix entry below the achieved threshold");
+            let (l, r) = (ent.l as usize, ent.r as usize);
+            if probe_left[l] == NIL && probe_right[r] == NIL {
+                probe_left[l] = ent.r;
+                probe_right[r] = ent.l;
+                probe_via[l] = ent.id;
+            }
+        }
+        debug_assert_eq!(
+            probe_adj.live_entries(),
+            prefix.len(),
+            "threshold postcondition: probe adjacency holds exactly the \
+             edges of weight >= t"
+        );
+        kuhn_to_maximum(probe_adj, probe_left, probe_right, probe_via, search);
         gather(probe_left, probe_via)
     }
 }
 
-fn resize_adj(adj: &mut Vec<Vec<(u32, EdgeId)>>, n: usize) {
-    for a in adj.iter_mut() {
-        a.clear();
+/// Locates each peeled edge's slot in the (weight desc, id asc)-sorted
+/// `list` by binary search on its pre-peel key (current weight plus the
+/// quantum; a dead edge weighs 0, so its pre-peel weight was exactly the
+/// quantum). Leaves the slot indices, ascending, in `pos`.
+fn locate_peeled(
+    list: &[(EdgeId, Weight)],
+    peeled: &Matching,
+    g: &Graph,
+    quantum: Weight,
+    pos: &mut Vec<u32>,
+) {
+    pos.clear();
+    for &e in peeled.edges() {
+        let w_old = g.weight(e) + quantum;
+        let p = list.partition_point(|&(id, w)| w > w_old || (w == w_old && id < e));
+        debug_assert!(
+            p < list.len() && list[p] == (e, w_old),
+            "peeled entry missing at its pre-peel key (non-uniform quantum?)"
+        );
+        pos.push(p as u32);
     }
-    if adj.len() < n {
-        adj.resize_with(n, Vec::new);
+    pos.sort_unstable();
+}
+
+/// Splices the entries at (ascending, non-empty) positions `pos` out of the
+/// (weight desc, id asc)-sorted `list` and re-inserts `changed` — already
+/// sorted by the same key, with keys no larger than the removed ones — at
+/// their new positions: one contiguous segment move per gap and per
+/// re-insertion, O(k log |list|) binary searches, never a per-element pass.
+fn splice_sorted(list: &mut Vec<(EdgeId, Weight)>, pos: &[u32], changed: &[(EdgeId, Weight)]) {
+    // Close the removed slots with one contiguous move per gap segment.
+    let mut dst = pos[0] as usize;
+    for (j, &p) in pos.iter().enumerate() {
+        let p = p as usize;
+        let next = pos.get(j + 1).map_or(list.len(), |&q| q as usize);
+        list.copy_within(p + 1..next, dst);
+        dst += next - p - 1;
     }
+    list.truncate(dst);
+    // Re-insert back to front: each entry opens its slot by shifting the
+    // segment between its insertion point and the previous one in a single
+    // move.
+    list.resize(dst + changed.len(), (EdgeId(0), 0));
+    let mut src_end = dst;
+    let mut write_end = list.len();
+    for j in (0..changed.len()).rev() {
+        let c = changed[j];
+        let ins = list[..src_end].partition_point(|&(id, w)| w > c.1 || (w == c.1 && id < c.0));
+        let seg = src_end - ins;
+        list.copy_within(ins..src_end, write_end - seg);
+        write_end -= seg + 1;
+        list[write_end] = c;
+        src_end = ins;
+    }
+    debug_assert_eq!(src_end, write_end);
+}
+
+/// Rebuilds both Dulmage–Mendelsohn reachability certificates of the probe
+/// matching from scratch: `d_*` marks every vertex on an alternating path
+/// *from* a free left node (even length at lefts, odd at rights), `c_*`
+/// every vertex from which an alternating path *reaches* a free right node.
+/// While the matching is maximum the two sets are disjoint — an augmenting
+/// path is exactly a D-to-C connection. O(nodes + live probe edges).
+#[allow(clippy::too_many_arguments)]
+fn compute_reach(
+    probe_adj: &CsrAdj,
+    probe_radj: &CsrAdj,
+    probe_left: &[u32],
+    probe_right: &[u32],
+    d_left: &mut [bool],
+    d_right: &mut [bool],
+    c_left: &mut [bool],
+    c_right: &mut [bool],
+    queue: &mut Vec<u32>,
+) {
+    d_left.fill(false);
+    d_right.fill(false);
+    c_left.fill(false);
+    c_right.fill(false);
+    // D: forward BFS from the free left nodes. Every edge out of a D-left is
+    // usable (a matched D-left's own partner is already in D — it is how the
+    // left was reached), and every D-right is matched (a free one would end
+    // an augmenting path, contradicting maximality).
+    queue.clear();
+    for l in 0..probe_left.len() {
+        if probe_left[l] == NIL {
+            d_left[l] = true;
+            queue.push(l as u32);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let l = queue[head] as usize;
+        head += 1;
+        for &(r, _) in probe_adj.row(l) {
+            let r = r as usize;
+            if d_right[r] {
+                continue;
+            }
+            d_right[r] = true;
+            let p = probe_right[r];
+            debug_assert_ne!(p, NIL, "a D-reachable free right contradicts maximality");
+            if !d_left[p as usize] {
+                d_left[p as usize] = true;
+                queue.push(p);
+            }
+        }
+    }
+    // C: backward BFS from the free right nodes over the transposed rows.
+    // Leaving a right towards its own partner uses the matched pair with the
+    // wrong parity (the path could only bounce straight back), so that left
+    // is skipped; every other edge into the right is usable.
+    queue.clear();
+    for r in 0..probe_right.len() {
+        if probe_right[r] == NIL {
+            c_right[r] = true;
+            queue.push(r as u32);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let r = queue[head] as usize;
+        head += 1;
+        for &(l, _) in probe_radj.row(r) {
+            if probe_right[r] == l {
+                continue;
+            }
+            let l = l as usize;
+            if c_left[l] {
+                continue;
+            }
+            c_left[l] = true;
+            let m = probe_left[l];
+            debug_assert_ne!(m, NIL, "a C-reaching free left contradicts maximality");
+            if !c_right[m as usize] {
+                c_right[m as usize] = true;
+                queue.push(m);
+            }
+        }
+    }
+}
+
+/// Extends the D certificate through right node `r0`, which just became
+/// reachable (a new edge arrived from a D-left and `r0` was not yet in D).
+/// Marks the whole newly reachable region; returns `true` the moment it
+/// touches a C vertex — then the new edge completes an augmenting path and
+/// both certificates are stale (the caller augments and recomputes).
+/// `r0` is matched: a free `r0` would be in C by the base case and the
+/// caller's D-to-C test would have fired instead.
+#[allow(clippy::too_many_arguments)]
+fn d_extend(
+    r0: usize,
+    probe_adj: &CsrAdj,
+    probe_right: &[u32],
+    d_left: &mut [bool],
+    d_right: &mut [bool],
+    c_left: &[bool],
+    c_right: &[bool],
+    queue: &mut Vec<u32>,
+) -> bool {
+    debug_assert!(!d_right[r0] && !c_right[r0]);
+    d_right[r0] = true;
+    let p = probe_right[r0];
+    debug_assert_ne!(p, NIL);
+    if c_left[p as usize] {
+        return true;
+    }
+    queue.clear();
+    if !d_left[p as usize] {
+        d_left[p as usize] = true;
+        queue.push(p);
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let l = queue[head] as usize;
+        head += 1;
+        for &(r, _) in probe_adj.row(l) {
+            let r = r as usize;
+            if d_right[r] {
+                continue;
+            }
+            if c_right[r] {
+                return true;
+            }
+            d_right[r] = true;
+            let p = probe_right[r];
+            debug_assert_ne!(p, NIL, "a D-reachable free right contradicts maximality");
+            let p_us = p as usize;
+            if d_left[p_us] {
+                continue;
+            }
+            if c_left[p_us] {
+                return true;
+            }
+            d_left[p_us] = true;
+            queue.push(p);
+        }
+    }
+    false
+}
+
+/// Extends the C certificate through left node `l0`, which just gained an
+/// alternating path to a free right (a new edge towards a C-right arrived
+/// and `l0` was not yet in C). Same contract as [`d_extend`], mirrored:
+/// returns `true` on touching a D vertex. `l0` is matched (a free left is
+/// in D by the base case, and the caller only extends C from non-D lefts).
+#[allow(clippy::too_many_arguments)]
+fn c_extend(
+    l0: usize,
+    probe_radj: &CsrAdj,
+    probe_left: &[u32],
+    probe_right: &[u32],
+    d_left: &[bool],
+    d_right: &[bool],
+    c_left: &mut [bool],
+    c_right: &mut [bool],
+    queue: &mut Vec<u32>,
+) -> bool {
+    debug_assert!(!c_left[l0] && !d_left[l0]);
+    c_left[l0] = true;
+    let m = probe_left[l0];
+    debug_assert_ne!(m, NIL);
+    if d_right[m as usize] {
+        return true;
+    }
+    queue.clear();
+    if !c_right[m as usize] {
+        c_right[m as usize] = true;
+        queue.push(m);
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let r = queue[head] as usize;
+        head += 1;
+        for &(l, _) in probe_radj.row(r) {
+            if probe_right[r] == l {
+                continue; // the matched pair: wrong parity for C propagation
+            }
+            let l = l as usize;
+            if c_left[l] {
+                continue;
+            }
+            if d_left[l] {
+                return true;
+            }
+            c_left[l] = true;
+            let m = probe_left[l];
+            debug_assert_ne!(m, NIL, "a C-reaching free left contradicts maximality");
+            let m_us = m as usize;
+            if c_right[m_us] {
+                continue;
+            }
+            if d_right[m_us] {
+                return true;
+            }
+            c_right[m_us] = true;
+            queue.push(m);
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -545,6 +1262,54 @@ mod tests {
         }
     }
 
+    /// Alternating modes within one run forces every lazy order-
+    /// representation switch (stale -> split -> full -> split, and the
+    /// any-perfect downgrade of a live split); each mode must still agree
+    /// with its cold oracle right after a switch.
+    #[test]
+    fn mode_switches_rebuild_order_lazily() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let params = GraphParams {
+            max_nodes_per_side: 6,
+            max_edges: 24,
+            weight_range: (1, 12),
+        };
+        for round in 0..20 {
+            let mut g = random_graph(&mut rng, &params);
+            let mut engine = MatchingEngine::for_graph(&g);
+            let mut turn = round; // vary which mode opens the run
+            while !g.is_empty() {
+                let m = match turn % 3 {
+                    0 => {
+                        let expect = bottleneck::max_min_matching(&g);
+                        let got = engine.max_min_matching(&g);
+                        assert_eq!(got.edges(), expect.edges());
+                        got
+                    }
+                    1 => {
+                        let seed = greedy::maximal_matching_heaviest_first(&g);
+                        let expect = hopcroft_karp::maximum_matching_seeded(&g, &seed);
+                        let got = engine.greedy_seeded_matching(&g);
+                        assert_eq!(got.edges(), expect.edges());
+                        got
+                    }
+                    _ => {
+                        let got = engine.any_perfect_matching(&g);
+                        assert_eq!(got.len(), hopcroft_karp::maximum_matching(&g).len());
+                        assert!(got.is_valid(&g));
+                        got
+                    }
+                };
+                turn += 1;
+                let quantum = m.min_weight(&g).unwrap();
+                for &e in m.edges() {
+                    g.decrease_weight(e, quantum);
+                }
+                engine.observe_peel(&g, &m, quantum);
+            }
+        }
+    }
+
     #[test]
     fn empty_graph_yields_empty_matchings() {
         let g = Graph::new(3, 3);
@@ -576,5 +1341,48 @@ mod tests {
         assert_eq!(m2.len(), 1);
         assert_eq!(m2.min_weight(&g), Some(99));
         assert_eq!(engine.last_bottleneck(), Some(99));
+    }
+
+    /// The headline tentpole guarantee: across a whole peeling run the
+    /// engine performs exactly one adjacency build (at `begin`) and zero
+    /// full scratch clears, no matter how many peels, probes and
+    /// augmentations happen.
+    #[test]
+    fn one_adj_build_per_run_and_no_epoch_resets() {
+        use telemetry::counters::{self, Counter};
+        let _guard = crate::testutil::COUNTER_LOCK.lock().unwrap();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let params = GraphParams {
+            max_nodes_per_side: 8,
+            max_edges: 40,
+            weight_range: (1, 25),
+        };
+        let mut engine = MatchingEngine::new();
+        for _ in 0..10 {
+            let mut g = random_graph(&mut rng, &params);
+            counters::enable();
+            let before = counters::local_snapshot();
+            engine.begin(&g);
+            while !g.is_empty() {
+                let m = engine.max_min_matching(&g);
+                let quantum = m.min_weight(&g).unwrap();
+                for &e in m.edges() {
+                    g.decrease_weight(e, quantum);
+                }
+                engine.observe_peel(&g, &m, quantum);
+            }
+            let delta = counters::local_snapshot().delta(&before);
+            counters::disable();
+            assert_eq!(
+                delta.get(Counter::AdjRebuilds),
+                1,
+                "exactly one CSR build per peeling run"
+            );
+            assert_eq!(
+                delta.get(Counter::EpochResets),
+                0,
+                "no full scratch clears during a run"
+            );
+        }
     }
 }

@@ -5,14 +5,16 @@
 //! [22]; on bipartite graphs Hopcroft–Karp attains the same bound). The
 //! `_where` variant restricts the graph to edges satisfying a predicate,
 //! which the bottleneck matching of OGGP uses for threshold searches.
+//!
+//! All solvers run over the flat [`CsrAdj`] adjacency and the epoch-stamped
+//! [`SearchState`] scratch of [`crate::csr`]: the from-scratch entry points
+//! here build the CSR once per call, while [`crate::engine::MatchingEngine`]
+//! owns one across a whole peeling run and repairs it incrementally.
 
+use crate::csr::{CsrAdj, SearchState, INF, NIL};
 use crate::graph::{EdgeId, Graph};
 use crate::matching::Matching;
-use std::collections::VecDeque;
 use telemetry::counters::{self, Counter};
-
-const NIL: u32 = u32::MAX;
-const INF: u32 = u32::MAX;
 
 /// Maximum-cardinality matching over all live edges of `g`.
 pub fn maximum_matching(g: &Graph) -> Matching {
@@ -36,10 +38,8 @@ pub fn maximum_matching_seeded(g: &Graph, seed: &Matching) -> Matching {
     assert!(seed.is_valid(g), "seed must be a valid matching");
     let nl = g.left_count();
     let nr = g.right_count();
-    let mut adj: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new(); nl];
-    for (id, l, r, _) in g.edges() {
-        adj[l].push((r as u32, id));
-    }
+    let mut adj = CsrAdj::new();
+    adj.build(g);
     let mut match_left: Vec<u32> = vec![NIL; nl];
     let mut match_right: Vec<u32> = vec![NIL; nr];
     let mut via_left: Vec<EdgeId> = vec![EdgeId(0); nl];
@@ -49,56 +49,64 @@ pub fn maximum_matching_seeded(g: &Graph, seed: &Matching) -> Matching {
         match_right[r] = l as u32;
         via_left[l] = e;
     }
-    // Augment from every free left node (Kuhn) until no path remains.
+    let mut search = SearchState::new();
+    search.prepare(nl);
+    kuhn_to_maximum(
+        &adj,
+        &mut match_left,
+        &mut match_right,
+        &mut via_left,
+        &mut search,
+    );
+    gather(&match_left, &via_left)
+}
+
+/// The augmentation loop of [`maximum_matching_seeded`]: repeated Kuhn
+/// passes over free left nodes, the visited set invalidated (one epoch
+/// bump, no O(n) clear) after every successful augmentation, until a full
+/// pass finds nothing. Shared with [`crate::engine::MatchingEngine`].
+pub(crate) fn kuhn_to_maximum(
+    adj: &CsrAdj,
+    match_left: &mut [u32],
+    match_right: &mut [u32],
+    via_left: &mut [EdgeId],
+    search: &mut SearchState,
+) {
+    let nl = match_left.len();
     loop {
         let mut augmented = false;
-        let mut visited = vec![false; nl];
+        search.next_epoch();
         for l in 0..nl {
             if match_left[l] != NIL {
                 continue;
             }
             counters::incr(Counter::KuhnAttempts);
-            if kuhn_augment(
-                l,
-                &adj,
-                &mut match_left,
-                &mut match_right,
-                &mut via_left,
-                &mut visited,
-            ) {
+            if kuhn_augment(l, adj, match_left, match_right, via_left, search) {
                 augmented = true;
-                visited.iter_mut().for_each(|v| *v = false);
+                search.next_epoch();
             }
         }
         if !augmented {
             break;
         }
     }
-    let mut m = Matching::new();
-    for l in 0..nl {
-        if match_left[l] != NIL {
-            m.push(via_left[l]);
-        }
-    }
-    m
 }
 
 pub(crate) fn kuhn_augment(
     l: usize,
-    adj: &[Vec<(u32, EdgeId)>],
+    adj: &CsrAdj,
     match_left: &mut [u32],
     match_right: &mut [u32],
     via_left: &mut [EdgeId],
-    visited: &mut [bool],
+    search: &mut SearchState,
 ) -> bool {
-    if visited[l] {
+    if !search.try_visit(l) {
         return false;
     }
-    visited[l] = true;
     // Edge visits accumulate in a local and flush once per call so the
     // disabled-telemetry cost stays off the per-edge path.
     let mut visits = 0u64;
-    for &(r, e) in &adj[l] {
+    for &(r, e) in adj.row(l) {
         visits += 1;
         let next = match_right[r as usize];
         if next == NIL
@@ -108,7 +116,7 @@ pub(crate) fn kuhn_augment(
                 match_left,
                 match_right,
                 via_left,
-                visited,
+                search,
             )
         {
             match_left[l] = r;
@@ -123,16 +131,12 @@ pub(crate) fn kuhn_augment(
 }
 
 /// Maximum-cardinality matching over live edges satisfying `keep`.
-pub fn maximum_matching_where<F: FnMut(EdgeId) -> bool>(g: &Graph, mut keep: F) -> Matching {
+pub fn maximum_matching_where<F: FnMut(EdgeId) -> bool>(g: &Graph, keep: F) -> Matching {
     // Flatten the filtered adjacency once: (right node, edge id) per left node.
     let nl = g.left_count();
     let nr = g.right_count();
-    let mut adj: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new(); nl];
-    for (id, l, r, _) in g.edges() {
-        if keep(id) {
-            adj[l].push((r as u32, id));
-        }
-    }
+    let mut adj = CsrAdj::new();
+    adj.build_where(g, keep);
     solve(nl, nr, &adj)
 }
 
@@ -150,12 +154,8 @@ pub fn maximum_matching_where_seeded<F: FnMut(EdgeId) -> bool>(
 ) -> Matching {
     let nl = g.left_count();
     let nr = g.right_count();
-    let mut adj: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new(); nl];
-    for (id, l, r, _) in g.edges() {
-        if keep(id) {
-            adj[l].push((r as u32, id));
-        }
-    }
+    let mut adj = CsrAdj::new();
+    adj.build_where(g, &mut keep);
     let mut match_left: Vec<u32> = vec![NIL; nl];
     let mut match_right: Vec<u32> = vec![NIL; nr];
     let mut via_left: Vec<EdgeId> = vec![EdgeId(0); nl];
@@ -172,73 +172,71 @@ pub fn maximum_matching_where_seeded<F: FnMut(EdgeId) -> bool>(
         match_right[r] = l as u32;
         via_left[l] = e;
     }
-    let mut dist: Vec<u32> = vec![0; nl];
-    let mut queue = VecDeque::with_capacity(nl);
+    let mut search = SearchState::new();
+    search.prepare(nl);
     hk_augment_to_maximum(
         &adj,
         &mut match_left,
         &mut match_right,
         &mut via_left,
-        &mut dist,
-        &mut queue,
+        &mut search,
     );
     gather(&match_left, &via_left)
 }
 
 /// Core solver over a pre-built adjacency structure.
-pub(crate) fn solve(nl: usize, nr: usize, adj: &[Vec<(u32, EdgeId)>]) -> Matching {
+pub(crate) fn solve(nl: usize, nr: usize, adj: &CsrAdj) -> Matching {
     let mut match_left: Vec<u32> = vec![NIL; nl]; // left -> right
     let mut match_right: Vec<u32> = vec![NIL; nr]; // right -> left
     let mut via_left: Vec<EdgeId> = vec![EdgeId(0); nl]; // edge used by match_left
-    let mut dist: Vec<u32> = vec![0; nl];
-    let mut queue = VecDeque::with_capacity(nl);
+    let mut search = SearchState::new();
+    search.prepare(nl);
     hk_augment_to_maximum(
         adj,
         &mut match_left,
         &mut match_right,
         &mut via_left,
-        &mut dist,
-        &mut queue,
+        &mut search,
     );
     gather(&match_left, &via_left)
 }
 
 /// Runs Hopcroft–Karp phases over `adj` until no augmenting path remains,
 /// starting from whatever valid matching the arrays already encode (all-NIL
-/// for a from-scratch solve). `dist` and `queue` are scratch; their contents
-/// on entry are irrelevant. This is the shared core of the from-scratch
-/// entry points above and of [`crate::engine::MatchingEngine`], which calls
-/// it with buffers recycled across WRGP peels.
+/// for a from-scratch solve). `search` is scratch; each phase opens a fresh
+/// epoch, so no per-phase O(n) `dist` reset happens. This is the shared
+/// core of the from-scratch entry points above and of
+/// [`crate::engine::MatchingEngine`], which calls it with buffers recycled
+/// across WRGP peels.
 pub(crate) fn hk_augment_to_maximum(
-    adj: &[Vec<(u32, EdgeId)>],
+    adj: &CsrAdj,
     match_left: &mut [u32],
     match_right: &mut [u32],
     via_left: &mut [EdgeId],
-    dist: &mut [u32],
-    queue: &mut VecDeque<u32>,
+    search: &mut SearchState,
 ) {
     let nl = match_left.len();
     loop {
         counters::incr(Counter::HkPhases);
-        // BFS: layer the graph from free left nodes.
-        queue.clear();
-        for l in 0..nl {
-            if match_left[l] == NIL {
-                dist[l] = 0;
-                queue.push_back(l as u32);
-            } else {
-                dist[l] = INF;
+        // BFS: layer the graph from free left nodes. Unstamped = INF.
+        search.next_epoch();
+        search.queue.clear();
+        for (l, &m) in match_left.iter().enumerate() {
+            if m == NIL {
+                search.set_dist(l, 0);
+                search.queue.push_back(l as u32);
             }
         }
         let mut found_free_right = false;
-        while let Some(l) = queue.pop_front() {
-            for &(r, _) in &adj[l as usize] {
+        while let Some(l) = search.queue.pop_front() {
+            let dl = search.dist(l as usize);
+            for &(r, _) in adj.row(l as usize) {
                 let next = match_right[r as usize];
                 if next == NIL {
                     found_free_right = true;
-                } else if dist[next as usize] == INF {
-                    dist[next as usize] = dist[l as usize] + 1;
-                    queue.push_back(next);
+                } else if search.dist(next as usize) == INF {
+                    search.set_dist(next as usize, dl + 1);
+                    search.queue.push_back(next);
                 }
             }
         }
@@ -248,39 +246,50 @@ pub(crate) fn hk_augment_to_maximum(
         // DFS: vertex-disjoint shortest augmenting paths.
         for l in 0..nl {
             if match_left[l] == NIL {
-                augment(l, adj, match_left, match_right, via_left, dist);
+                augment(l, adj, match_left, match_right, via_left, search);
             }
         }
     }
 }
 
 /// Snapshots the matching encoded by the match arrays, in left-node order.
+/// Sized up front: one counting pass beats the realloc-and-copy ladder the
+/// push loop would otherwise pay once per matching (i.e. once per peel).
 pub(crate) fn gather(match_left: &[u32], via_left: &[EdgeId]) -> Matching {
-    let mut m = Matching::new();
+    let matched = match_left.iter().filter(|&&r| r != NIL).count();
+    let mut edges = Vec::with_capacity(matched);
     for l in 0..match_left.len() {
         if match_left[l] != NIL {
-            m.push(via_left[l]);
+            edges.push(via_left[l]);
         }
     }
-    m
+    Matching::from_edges(edges)
 }
 
 fn augment(
     l: usize,
-    adj: &[Vec<(u32, EdgeId)>],
+    adj: &CsrAdj,
     match_left: &mut [u32],
     match_right: &mut [u32],
     via_left: &mut [EdgeId],
-    dist: &mut [u32],
+    search: &mut SearchState,
 ) -> bool {
     let mut visits = 0u64;
-    for &(r, e) in &adj[l] {
+    let dl = search.dist(l);
+    for &(r, e) in adj.row(l) {
         visits += 1;
         let next = match_right[r as usize];
         let reachable = if next == NIL {
             true
-        } else if dist[next as usize] == dist[l] + 1 {
-            augment(next as usize, adj, match_left, match_right, via_left, dist)
+        } else if search.dist(next as usize) == dl + 1 {
+            augment(
+                next as usize,
+                adj,
+                match_left,
+                match_right,
+                via_left,
+                search,
+            )
         } else {
             false
         };
@@ -292,7 +301,7 @@ fn augment(
             return true;
         }
     }
-    dist[l] = INF;
+    search.set_dist(l, INF);
     counters::add(Counter::DfsEdgeVisits, visits);
     false
 }
@@ -446,5 +455,43 @@ mod tests {
         let m = maximum_matching(&g);
         assert_eq!(m.len(), n);
         assert!(m.is_perfect(&g));
+    }
+
+    /// Regression guard for the old `maximum_matching_seeded`, which
+    /// re-allocated its `visited` array every outer pass and did a full
+    /// O(n) clear after each successful augmentation. Epoch stamps make
+    /// both impossible: any full clear of the stamp array shows up as an
+    /// `epoch_resets` count, which must stay zero over a whole campaign.
+    #[test]
+    fn seeded_matching_does_no_full_scratch_clears() {
+        use crate::greedy;
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        use telemetry::counters::{self, Counter};
+        let _g = crate::testutil::COUNTER_LOCK.lock().unwrap();
+        counters::enable();
+        let before = counters::local_snapshot();
+        let mut rng = SmallRng::seed_from_u64(23);
+        for _ in 0..50 {
+            let nl = rng.gen_range(1..10);
+            let nr = rng.gen_range(1..10);
+            let mut g = Graph::new(nl, nr);
+            for _ in 0..rng.gen_range(0..30) {
+                g.add_edge(
+                    rng.gen_range(0..nl),
+                    rng.gen_range(0..nr),
+                    rng.gen_range(1..50),
+                );
+            }
+            let seed = greedy::maximal_matching_heaviest_first(&g);
+            std::hint::black_box(maximum_matching_seeded(&g, &seed));
+        }
+        let delta = counters::local_snapshot().delta(&before);
+        counters::disable();
+        assert!(delta.get(Counter::KuhnAttempts) > 0, "campaign did work");
+        assert_eq!(
+            delta.get(Counter::EpochResets),
+            0,
+            "seeded matching must never full-clear its search scratch"
+        );
     }
 }

@@ -36,6 +36,7 @@
 
 pub mod bottleneck;
 pub mod coloring;
+pub mod csr;
 pub mod dot;
 pub mod engine;
 pub mod generate;
@@ -45,6 +46,14 @@ pub mod hopcroft_karp;
 pub mod matching;
 pub mod properties;
 
+pub use csr::{CsrAdj, SearchState};
 pub use engine::MatchingEngine;
 pub use graph::{EdgeId, Graph, Side, Weight};
 pub use matching::Matching;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    /// Work counters are process-global; tests that toggle or diff them
+    /// must not overlap (mirrors the lock in the telemetry crate's tests).
+    pub static COUNTER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+}

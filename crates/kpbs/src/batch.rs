@@ -1,0 +1,231 @@
+//! Parallel multi-instance planning.
+//!
+//! A production redistribution planner rarely sees one request at a time: a
+//! campaign sweep, a `--compare` run or a traffic replay schedules dozens of
+//! independent [`Instance`]s. They share no state — every scheduler in this
+//! crate takes `&Instance` and builds its own graphs — so the batch is
+//! embarrassingly parallel. This module provides the one fan-out primitive
+//! ([`parallel_map`]) and the planner entry points built on it
+//! ([`plan_many`], [`plan_many_with`]).
+//!
+//! # Determinism
+//!
+//! Results are returned in input order and each instance is scheduled by the
+//! same deterministic code regardless of which worker picks it up, so the
+//! output is **byte-identical for every `jobs` value** (the `redistplan
+//! --jobs` CLI and `scripts/check.sh` gate on exactly that). Work is handed
+//! out by an atomic index rather than pre-chunked, so stragglers never
+//! serialise the tail.
+//!
+//! # Telemetry across threads
+//!
+//! Work counters are thread-local cells flushed to process totals on thread
+//! exit (see [`telemetry::counters`]), which makes per-instance measurement
+//! exact under parallelism: a worker snapshots its own cells around each
+//! instance, and the coordinator merges the deltas with
+//! [`Snapshot::sum`] after joining. The merged total is therefore
+//! independent of `jobs` too. Span events land in per-thread buffers that
+//! drain to the global trace on thread exit, so a `drain_all` after a batch
+//! sees every worker's spans.
+
+use crate::problem::Instance;
+use crate::schedule::Schedule;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use telemetry::counters::{self, Snapshot};
+
+/// A scheduled batch: the plans in input order, the exact work-counter delta
+/// of each instance, and the batch-wide merged delta.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One schedule per input instance, in input order.
+    pub schedules: Vec<Schedule>,
+    /// Per-instance work-counter deltas, in input order. All zero when
+    /// counting is disabled.
+    pub work: Vec<Snapshot>,
+    /// Sum of `work` — the whole batch's counters, independent of `jobs`.
+    pub merged: Snapshot,
+}
+
+/// Applies `f` to every item on `jobs` worker threads and returns the
+/// results in input order.
+///
+/// `jobs == 1` (or a batch of at most one item) runs inline on the calling
+/// thread — no threads are spawned, so thread-local telemetry accumulates
+/// exactly as in a sequential program. `jobs == 0` is treated as 1. The
+/// worker count is capped at `items.len()`.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item (the panic is forwarded once the scoped
+/// workers have been joined).
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(&f).collect();
+    }
+    // Atomic work queue: each worker claims the next unclaimed index. The
+    // item → worker assignment depends on timing, but since f is pure per
+    // item and results are reordered by index below, the output does not.
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        mine.push((i, f(&items[i])));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(h.join().expect("batch worker panicked"));
+        }
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Schedules every instance with `plan` on `jobs` threads, measuring each
+/// instance's exact work-counter delta (zero if counting is disabled).
+///
+/// The schedules, the per-instance deltas and the merged delta are all
+/// independent of `jobs` — see the module docs.
+pub fn plan_many_with<F>(instances: &[Instance], jobs: usize, plan: F) -> BatchReport
+where
+    F: Fn(&Instance) -> Schedule + Sync,
+{
+    let results = parallel_map(instances, jobs, |inst| {
+        // Local snapshots see only this worker's cells, so the delta is the
+        // instance's own work even with siblings running concurrently.
+        let before = counters::local_snapshot();
+        let schedule = plan(inst);
+        let work = counters::local_snapshot().delta(&before);
+        (schedule, work)
+    });
+    let mut schedules = Vec::with_capacity(results.len());
+    let mut work = Vec::with_capacity(results.len());
+    for (s, w) in results {
+        schedules.push(s);
+        work.push(w);
+    }
+    let merged = Snapshot::sum(&work);
+    BatchReport {
+        schedules,
+        work,
+        merged,
+    }
+}
+
+/// Schedules every instance with [OGGP](crate::oggp::oggp) — the paper's
+/// best algorithm and this crate's default planner — on `jobs` threads.
+/// Output is identical for every `jobs` value.
+pub fn plan_many(instances: &[Instance], jobs: usize) -> Vec<Schedule> {
+    plan_many_with(instances, jobs, crate::oggp::oggp).schedules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bipartite::generate::{random_graph, GraphParams};
+    use bipartite::Graph;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn campaign(count: usize, seed: u64) -> Vec<Instance> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let params = GraphParams {
+            max_nodes_per_side: 8,
+            max_edges: 40,
+            weight_range: (1, 20),
+        };
+        (0..count)
+            .map(|_| {
+                let g = random_graph(&mut rng, &params);
+                let kmax = g.left_count().min(g.right_count()).max(1);
+                let k = rng.gen_range(1..=kmax);
+                let beta = rng.gen_range(0..4);
+                Instance::new(g, k, beta)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..101).collect();
+        for jobs in [1, 3, 8, 200] {
+            let out = parallel_map(&items, jobs, |&x| x * 2);
+            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 4, |&x| x + 1), vec![8]);
+        assert_eq!(parallel_map(&[7u32], 0, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn plan_many_matches_sequential_oggp() {
+        let instances = campaign(24, 11);
+        let expect: Vec<Schedule> = instances.iter().map(crate::oggp::oggp).collect();
+        for jobs in [1, 4, 8] {
+            let got = plan_many(&instances, jobs);
+            assert_eq!(got, expect, "jobs = {jobs} changed the schedules");
+        }
+        for (inst, s) in instances.iter().zip(&expect) {
+            s.validate(inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn plan_many_handles_trivial_instances() {
+        let instances = vec![
+            Instance::new(Graph::new(2, 2), 1, 1),
+            Instance::new(Graph::new(0, 0), 1, 0),
+        ];
+        let out = plan_many(&instances, 4);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].num_steps(), 0);
+        assert_eq!(out[1].num_steps(), 0);
+    }
+
+    #[test]
+    fn merged_work_is_jobs_invariant() {
+        let _guard = crate::testutil::COUNTER_LOCK.lock().unwrap();
+        let instances = campaign(16, 12);
+        counters::enable();
+        let baseline = plan_many_with(&instances, 1, crate::oggp::oggp);
+        assert!(
+            !baseline.merged.is_zero(),
+            "scheduling must count some work"
+        );
+        for jobs in [4, 8] {
+            let report = plan_many_with(&instances, jobs, crate::oggp::oggp);
+            assert_eq!(report.schedules, baseline.schedules);
+            assert_eq!(
+                report.work, baseline.work,
+                "per-instance work must not depend on jobs"
+            );
+            assert_eq!(report.merged, baseline.merged);
+        }
+        counters::disable();
+        assert_eq!(
+            Snapshot::sum(&baseline.work),
+            baseline.merged,
+            "merged is the sum of the per-instance deltas"
+        );
+    }
+}

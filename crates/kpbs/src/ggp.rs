@@ -7,7 +7,7 @@
 
 use crate::normalize::{denormalize, normalize};
 use crate::problem::Instance;
-use crate::regularize::{regularize, Regularized};
+use crate::regularize::{regularize, EdgeKind};
 use crate::schedule::{Schedule, Step, Transfer};
 use crate::wrgp::{
     peel_all, peel_all_incremental, IncrementalAnyPerfect, IncrementalGreedySeeded,
@@ -49,13 +49,15 @@ pub fn schedule_with<S: MatchingStrategy>(inst: &Instance, strategy: &S) -> Sche
         let _s = telemetry::span("kpbs.regularize");
         regularize(&norm.graph, inst.effective_k())
     };
-    let mut work = reg.graph.clone();
+    // Peeling consumes the regular graph in place (extraction only needs the
+    // edge kinds), so the embedding is never cloned.
+    let mut work = reg.graph;
     let peels = {
         let _s = telemetry::span("kpbs.peel");
         peel_all(&mut work, strategy)
     };
     let _s = telemetry::span("kpbs.extract");
-    extract(inst, &reg, peels)
+    extract(inst, &reg.kinds, peels)
 }
 
 /// The shared GGP/OGGP pipeline, parameterised by a stateful per-peel
@@ -75,26 +77,32 @@ pub fn schedule_with_mut<S: MatchingStrategyMut>(inst: &Instance, strategy: &mut
         let _s = telemetry::span("kpbs.regularize");
         regularize(&norm.graph, inst.effective_k())
     };
-    // Step 3: peel J with WRGP.
-    let mut work = reg.graph.clone();
+    // Step 3: peel J with WRGP, consuming it in place (extraction only needs
+    // the edge kinds, so the embedding is never cloned).
+    let mut work = reg.graph;
     let peels = {
         let _s = telemetry::span("kpbs.peel");
         peel_all_incremental(&mut work, strategy)
     };
     let _s = telemetry::span("kpbs.extract");
-    extract(inst, &reg, peels)
+    extract(inst, &reg.kinds, peels)
 }
 
 /// Step 4 of Fig. 5: extract R — keep only the slices of real edges (steps
 /// made only of synthetic edges carry no communication and are dropped),
-/// then map normalised quanta back to real ticks.
-fn extract(inst: &Instance, reg: &Regularized, peels: Vec<Peel>) -> Schedule {
+/// then map normalised quanta back to real ticks. Only the edge kinds of the
+/// embedding are needed here, which is what lets the callers feed the regular
+/// graph itself to the peeling loop by move.
+fn extract(inst: &Instance, kinds: &[EdgeKind], peels: Vec<Peel>) -> Schedule {
     let mut normalised = Schedule::new(1);
     for peel in peels {
         let transfers: Vec<Transfer> = peel
             .edges
             .iter()
-            .filter_map(|&e| reg.origin(e))
+            .filter_map(|&e| match kinds[e.index()] {
+                EdgeKind::Real(o) => Some(o),
+                _ => None,
+            })
             .map(|origin| Transfer {
                 edge: origin,
                 amount: peel.quantum,

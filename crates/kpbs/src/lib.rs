@@ -45,6 +45,7 @@
 
 pub mod adaptive;
 pub mod baselines;
+pub mod batch;
 pub mod coloring;
 pub mod exact;
 pub mod ggp;
@@ -65,6 +66,7 @@ pub mod validate;
 pub mod wdm;
 pub mod wrgp;
 
+pub use batch::{plan_many, plan_many_with, BatchReport};
 pub use ggp::ggp;
 pub use lower_bound::lower_bound;
 pub use oggp::oggp;
@@ -72,3 +74,10 @@ pub use platform::Platform;
 pub use problem::Instance;
 pub use schedule::{Schedule, Step, Transfer};
 pub use traffic::TrafficMatrix;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    /// Work counters are process-global; tests that toggle or diff them
+    /// must not overlap (mirrors the lock in the telemetry crate's tests).
+    pub static COUNTER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+}

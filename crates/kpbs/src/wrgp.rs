@@ -380,8 +380,7 @@ mod tests {
                 }
             }
             assert_eq!(properties::regular_weight(&g), Some(expected_r));
-            let mut h = g.clone();
-            let peels = peel_all(&mut h, &MaxMinPerfect);
+            let peels = peel_all(&mut g, &MaxMinPerfect);
             let total: Weight = peels.iter().map(|p| p.quantum).sum();
             assert_eq!(total, expected_r, "transmission equals node weight");
         }

@@ -38,6 +38,16 @@ pub enum Counter {
     ThresholdProbes,
     /// O(m) sorted-order merge passes repairing the engine's edge order.
     MergePasses,
+    /// Full CSR adjacency (re)builds from a graph scan. The incremental
+    /// engine performs exactly one per peeling run (at `begin`); every
+    /// from-scratch matching call performs at least one. Zero growth across
+    /// the peels of a run is the "no rebuilds after warm-up" guarantee.
+    AdjRebuilds,
+    /// Full O(n) clears of the epoch-stamped search scratch. These happen
+    /// only when the 32-bit epoch wraps (once per ~4 billion searches), so
+    /// any non-zero delta over a normal run is a regression: it means a
+    /// per-search full-array clear crept back in.
+    EpochResets,
     /// WRGP peels extracted (matchings subtracted from the regular graph).
     Peels,
     /// Filler edges added by regularisation (case 2 of Section 4.2.2).
@@ -53,7 +63,7 @@ pub enum Counter {
 }
 
 /// Number of distinct counters.
-pub const COUNTER_COUNT: usize = 11;
+pub const COUNTER_COUNT: usize = 13;
 
 impl Counter {
     /// Every counter, in declaration (and export) order.
@@ -63,6 +73,8 @@ impl Counter {
         Counter::DfsEdgeVisits,
         Counter::ThresholdProbes,
         Counter::MergePasses,
+        Counter::AdjRebuilds,
+        Counter::EpochResets,
         Counter::Peels,
         Counter::RegularizeFillerEdges,
         Counter::RegularizePadEdges,
@@ -79,6 +91,8 @@ impl Counter {
             Counter::DfsEdgeVisits => "dfs_edge_visits",
             Counter::ThresholdProbes => "threshold_probes",
             Counter::MergePasses => "merge_passes",
+            Counter::AdjRebuilds => "adj_rebuilds",
+            Counter::EpochResets => "epoch_resets",
             Counter::Peels => "peels",
             Counter::RegularizeFillerEdges => "regularize_filler_edges",
             Counter::RegularizePadEdges => "regularize_pad_edges",
@@ -171,6 +185,27 @@ impl Snapshot {
         let mut out = Snapshot::default();
         for i in 0..COUNTER_COUNT {
             out.vals[i] = self.vals[i].saturating_sub(earlier.vals[i]);
+        }
+        out
+    }
+
+    /// Adds `other` into `self`, counter by counter. This is the merge the
+    /// parallel planners use: each worker measures its own instances with
+    /// [`local_snapshot`] deltas (exact, because counters are thread-local)
+    /// and the coordinator merges the per-worker deltas into one report.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for i in 0..COUNTER_COUNT {
+            self.vals[i] = self.vals[i].saturating_add(other.vals[i]);
+        }
+    }
+
+    /// Sums any number of snapshots (e.g. per-instance deltas from a batch
+    /// run) into one. The sum over a batch is independent of how instances
+    /// were distributed over worker threads.
+    pub fn sum<'a, I: IntoIterator<Item = &'a Snapshot>>(parts: I) -> Snapshot {
+        let mut out = Snapshot::default();
+        for p in parts {
+            out.merge(p);
         }
         out
     }
@@ -278,6 +313,28 @@ mod tests {
         assert_eq!(dedup.len(), COUNTER_COUNT);
         assert_eq!(Counter::ALL[0] as usize, 0);
         assert_eq!(Counter::ALL[COUNTER_COUNT - 1] as usize, COUNTER_COUNT - 1);
+    }
+
+    #[test]
+    fn merge_and_sum_accumulate_per_worker_deltas() {
+        let _g = LOCK.lock().unwrap();
+        enable();
+        let mut parts = Vec::new();
+        for n in [2u64, 3, 5] {
+            let before = local_snapshot();
+            add(Counter::AdjRebuilds, n);
+            incr(Counter::EpochResets);
+            parts.push(local_snapshot().delta(&before));
+        }
+        disable();
+        let total = Snapshot::sum(parts.iter());
+        assert_eq!(total.get(Counter::AdjRebuilds), 10);
+        assert_eq!(total.get(Counter::EpochResets), 3);
+        let mut manual = Snapshot::default();
+        for p in &parts {
+            manual.merge(p);
+        }
+        assert_eq!(manual, total);
     }
 
     #[test]

@@ -3,23 +3,30 @@
 //! ```sh
 //! redistplan --matrix traffic.csv --t1 100 --t2 100 --backbone 300 \
 //!            [--beta 0.05] [--algo oggp|ggp|list|greedy|sequential] \
-//!            [--gantt] [--simulate] [--compare] \
+//!            [--jobs N] [--gantt] [--simulate] [--compare] \
 //!            [--trace out.json] [--counters]
 //! ```
 //!
 //! The CSV holds one row per sender with per-receiver byte counts
 //! (`k`/`M`/`G` suffixes allowed, `#` comments skipped). Without `--matrix`
-//! a small demo workload is used.
+//! a small demo workload is used. `--matrix` may be repeated to plan a batch
+//! of redistributions in one invocation; `--jobs N` schedules the batch (and
+//! the `--compare` sweep) on `N` worker threads. Planning is deterministic
+//! per instance and results are printed in input order, so the output is
+//! identical for every `--jobs` value — only the wall time changes.
 //!
 //! `--trace <path>` records telemetry spans through planning and simulation
 //! (it implies `--simulate`) and writes a Chrome trace-event JSON loadable
 //! in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
-//! `--counters` prints the deterministic work-counter table after planning.
+//! `--counters` prints the deterministic work-counter table after planning
+//! (worker threads flush their counters when the batch joins, so the table
+//! too is independent of `--jobs`).
 
-use redistribute::cli::{opt_flag, opt_value, parse_matrix_csv};
+use redistribute::cli::{opt_flag, opt_value, opt_values, parse_matrix_csv};
+use redistribute::kpbs::batch::parallel_map;
 use redistribute::kpbs::{Platform, TrafficMatrix};
 use redistribute::telemetry::{counters, export, spans};
-use redistribute::{Algorithm, Planner};
+use redistribute::{Algorithm, Plan, Planner};
 
 fn algo_from(name: &str) -> Option<Algorithm> {
     match name {
@@ -40,13 +47,16 @@ fn main() {
              \n\
              usage: redistplan --matrix traffic.csv --t1 100 --t2 100 --backbone 300\n\
              \x20                [--beta 0.05] [--algo oggp|ggp|list|greedy|sequential]\n\
-             \x20                [--gantt] [--simulate] [--compare]\n\
+             \x20                [--jobs N] [--gantt] [--simulate] [--compare]\n\
              \x20                [--trace out.json] [--counters]\n\
              \n\
              The CSV holds one row per sender with per-receiver byte counts\n\
              (k/M/G suffixes allowed, '#' comments skipped). Without --matrix a\n\
-             small demo workload is used.\n\
+             small demo workload is used. Repeat --matrix to plan a batch in one\n\
+             invocation.\n\
              \n\
+             --jobs N        plan batches and --compare sweeps on N threads;\n\
+             \x20               output is identical to --jobs 1\n\
              --trace <path>  record spans and write Chrome trace-event JSON\n\
              \x20               (open in Perfetto or chrome://tracing; implies\n\
              \x20               --simulate)\n\
@@ -55,22 +65,25 @@ fn main() {
         return;
     }
 
-    let traffic: TrafficMatrix = match opt_value(&args, "matrix") {
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
-            parse_matrix_csv(&text).unwrap_or_else(|e| die(&e))
-        }
-        None => {
-            eprintln!("(no --matrix given; using a 4x4 demo workload)");
-            let mut t = TrafficMatrix::zeros(4, 4);
-            for i in 0..4 {
-                for j in 0..4 {
-                    t.set(i, j, 5_000_000 + (i * 4 + j) as u64 * 2_000_000);
-                }
+    let matrix_paths = opt_values(&args, "matrix");
+    let traffics: Vec<TrafficMatrix> = if matrix_paths.is_empty() {
+        eprintln!("(no --matrix given; using a 4x4 demo workload)");
+        let mut t = TrafficMatrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                t.set(i, j, 5_000_000 + (i * 4 + j) as u64 * 2_000_000);
             }
-            t
         }
+        vec![t]
+    } else {
+        matrix_paths
+            .iter()
+            .map(|path| {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+                parse_matrix_csv(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+            })
+            .collect()
     };
 
     let t1: f64 =
@@ -85,9 +98,16 @@ fn main() {
     let algo = opt_value(&args, "algo")
         .map(|v| algo_from(v).unwrap_or_else(|| die("unknown --algo")))
         .unwrap_or(Algorithm::Oggp);
+    let jobs: usize = opt_value(&args, "jobs").map_or(1, |v| {
+        let n = v.parse().unwrap_or_else(|_| die("bad --jobs"));
+        if n == 0 {
+            die("--jobs must be at least 1")
+        }
+        n
+    });
 
     // Telemetry must be armed before planning so the spans and counters see
-    // the scheduler's work.
+    // the scheduler's work (worker threads observe the same global switches).
     let trace_path = opt_value(&args, "trace");
     let want_counters = opt_flag(&args, "counters");
     if trace_path.is_some() {
@@ -97,56 +117,75 @@ fn main() {
         counters::enable();
     }
 
-    let platform = Platform::new(traffic.senders(), traffic.receivers(), t1, t2, backbone);
-    println!(
-        "platform: {}x{} nodes, t = {:.1} Mbit/s, k = {}; traffic: {} messages, {:.1} MB",
-        platform.n1,
-        platform.n2,
-        platform.transfer_speed(),
-        platform.k(),
-        traffic.message_count(),
-        traffic.total_bytes() as f64 / 1e6
-    );
+    // Matrices in a batch may differ in shape, so each gets its own platform.
+    let platforms: Vec<Platform> = traffics
+        .iter()
+        .map(|t| Platform::new(t.senders(), t.receivers(), t1, t2, backbone))
+        .collect();
+    let inputs: Vec<(TrafficMatrix, Platform)> = traffics.into_iter().zip(platforms).collect();
 
-    let plan = Planner::new(algo).with_beta(beta).plan(&traffic, &platform);
-    plan.schedule
-        .validate(&plan.instance)
-        .unwrap_or_else(|e| die(&format!("internal error: invalid schedule: {e}")));
-    println!(
-        "{algo:?}: {} steps, cost {:.2} s, lower bound {:.2} s, ratio {:.4}",
-        plan.schedule.num_steps(),
-        plan.cost_seconds(),
-        plan.lower_bound_seconds(),
-        plan.evaluation_ratio()
-    );
+    let planner = Planner::new(algo).with_beta(beta);
+    // The fan-out: all plans are computed before anything is printed, and
+    // printed in input order, keeping the output independent of --jobs.
+    let plans: Vec<Plan> = parallel_map(&inputs, jobs, |(t, p)| planner.plan(t, p));
 
-    if opt_flag(&args, "gantt") {
-        println!("\n{}", plan.schedule.gantt(72));
-    }
-    if opt_flag(&args, "simulate") || trace_path.is_some() {
-        let r = plan.simulate_ideal();
+    for (i, plan) in plans.iter().enumerate() {
+        let (traffic, platform) = (&plan.traffic, &plan.platform);
+        if plans.len() > 1 {
+            let path = matrix_paths.get(i).copied().unwrap_or("<demo>");
+            println!("[{}/{}] {path}", i + 1, plans.len());
+        }
         println!(
-            "simulated on the platform network: {:.2} s over {} steps ({:.2} s barriers)",
-            r.total_seconds, r.num_steps, r.barrier_seconds
+            "platform: {}x{} nodes, t = {:.1} Mbit/s, k = {}; traffic: {} messages, {:.1} MB",
+            platform.n1,
+            platform.n2,
+            platform.transfer_speed(),
+            platform.k(),
+            traffic.message_count(),
+            traffic.total_bytes() as f64 / 1e6
         );
-    }
-    if opt_flag(&args, "compare") {
-        println!("\nall algorithms:");
-        for a in [
-            Algorithm::Oggp,
-            Algorithm::Ggp,
-            Algorithm::List,
-            Algorithm::Greedy,
-            Algorithm::Sequential,
-        ] {
-            let p = Planner::new(a).with_beta(beta).plan(&traffic, &platform);
+        plan.schedule
+            .validate(&plan.instance)
+            .unwrap_or_else(|e| die(&format!("internal error: invalid schedule: {e}")));
+        println!(
+            "{algo:?}: {} steps, cost {:.2} s, lower bound {:.2} s, ratio {:.4}",
+            plan.schedule.num_steps(),
+            plan.cost_seconds(),
+            plan.lower_bound_seconds(),
+            plan.evaluation_ratio()
+        );
+
+        if opt_flag(&args, "gantt") {
+            println!("\n{}", plan.schedule.gantt(72));
+        }
+        if opt_flag(&args, "simulate") || trace_path.is_some() {
+            let r = plan.simulate_ideal();
             println!(
-                "  {:>10?}: {:>3} steps, {:>8.2} s (ratio {:.4})",
-                a,
-                p.schedule.num_steps(),
-                p.cost_seconds(),
-                p.evaluation_ratio()
+                "simulated on the platform network: {:.2} s over {} steps ({:.2} s barriers)",
+                r.total_seconds, r.num_steps, r.barrier_seconds
             );
+        }
+        if opt_flag(&args, "compare") {
+            let algos = [
+                Algorithm::Oggp,
+                Algorithm::Ggp,
+                Algorithm::List,
+                Algorithm::Greedy,
+                Algorithm::Sequential,
+            ];
+            let compared = parallel_map(&algos, jobs, |&a| {
+                Planner::new(a).with_beta(beta).plan(traffic, platform)
+            });
+            println!("\nall algorithms:");
+            for (a, p) in algos.iter().zip(&compared) {
+                println!(
+                    "  {:>10?}: {:>3} steps, {:>8.2} s (ratio {:.4})",
+                    a,
+                    p.schedule.num_steps(),
+                    p.cost_seconds(),
+                    p.evaluation_ratio()
+                );
+            }
         }
     }
 

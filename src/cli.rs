@@ -72,6 +72,17 @@ pub fn opt_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == &format!("--{name}"))
 }
 
+/// Collects every value of a repeatable `--name value` option, in order.
+/// `opt_value` returns only the first; batch options like `--matrix` may
+/// appear once per input.
+pub fn opt_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    let flag = format!("--{name}");
+    args.windows(2)
+        .filter(|w| w[0] == flag)
+        .map(|w| w[1].as_str())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +147,16 @@ mod tests {
         assert_eq!(opt_value(&args, "beta"), None);
         assert!(opt_flag(&args, "gantt"));
         assert!(!opt_flag(&args, "simulate"));
+    }
+
+    #[test]
+    fn repeated_options() {
+        let args: Vec<String> = ["--matrix", "a.csv", "--k", "2", "--matrix", "b.csv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(opt_values(&args, "matrix"), vec!["a.csv", "b.csv"]);
+        assert_eq!(opt_value(&args, "matrix"), Some("a.csv"));
+        assert!(opt_values(&args, "beta").is_empty());
     }
 }

@@ -116,6 +116,21 @@ impl Planner {
             scale: self.scale,
         }
     }
+
+    /// Schedules a batch of traffic matrices on `platform` across `jobs`
+    /// worker threads, returning the plans in input order.
+    ///
+    /// Instances are independent, so the result is identical for every
+    /// `jobs` value (the `redistplan --jobs` flag is checked against that in
+    /// `scripts/check.sh`); only the wall time changes.
+    pub fn plan_many(
+        &self,
+        traffic: &[TrafficMatrix],
+        platform: &Platform,
+        jobs: usize,
+    ) -> Vec<Plan> {
+        kpbs::batch::parallel_map(traffic, jobs, |t| self.plan(t, platform))
+    }
 }
 
 /// A planned redistribution: the schedule plus everything needed to execute
