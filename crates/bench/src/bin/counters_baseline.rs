@@ -19,7 +19,7 @@
 //! case is measured on the thread that runs it, so the emitted JSON is
 //! byte-identical for any N — `scripts/check.sh` verifies that too).
 
-use bench::{arg_or, flag};
+use bench::{arg_or, flag, jobs_or};
 use bipartite::generate::complete_graph;
 use flowsim::{scheduled_time, NetworkSpec, SimConfig};
 use kpbs::batch::parallel_map;
@@ -41,7 +41,7 @@ fn counters_json(s: &Snapshot) -> String {
 fn main() {
     let out: String = arg_or("out", "BENCH_counters.json".to_string());
     let check = flag("check");
-    let jobs: usize = arg_or("jobs", 1);
+    let jobs: usize = jobs_or(1);
 
     counters::enable();
     let campaign_start = counters::global_snapshot();

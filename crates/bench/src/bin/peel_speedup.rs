@@ -19,7 +19,7 @@
 //! work-counter passes (default 1; counters are thread-local so the values
 //! are identical for any N — timing passes always run sequentially).
 
-use bench::{arg_or, row};
+use bench::{arg_or, jobs_or, row};
 use bipartite::generate::complete_graph;
 use bipartite::Graph;
 use kpbs::batch::parallel_map;
@@ -127,7 +127,7 @@ struct CaseWork {
 fn main() {
     let reps: usize = arg_or("reps", 7);
     let out_path: String = arg_or("out", "BENCH_peeling.json".to_string());
-    let jobs: usize = arg_or("jobs", 1);
+    let jobs: usize = jobs_or(1);
 
     let cases = cases();
 

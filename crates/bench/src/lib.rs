@@ -22,6 +22,25 @@ pub fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == format!("--{name}"))
 }
 
+/// Validates a worker-thread count: `0` threads cannot make progress, so it
+/// is a configuration error, not a degenerate request.
+pub fn validate_jobs(n: usize) -> Result<usize, String> {
+    if n == 0 {
+        Err("--jobs must be at least 1 (0 worker threads cannot plan anything)".into())
+    } else {
+        Ok(n)
+    }
+}
+
+/// Parses `--jobs` (defaulting to `default`) and exits with a clear message
+/// on `--jobs 0` instead of hanging or panicking deep in the thread pool.
+pub fn jobs_or(default: usize) -> usize {
+    validate_jobs(arg_or("jobs", default)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
+}
+
 /// Prints a row of right-aligned cells of width 12 (first cell width 8).
 pub fn row(cells: &[String]) {
     let mut line = String::new();
@@ -52,6 +71,13 @@ mod tests {
     #[test]
     fn arg_default_when_missing() {
         assert_eq!(arg_or("definitely-not-passed", 42usize), 42);
+    }
+
+    #[test]
+    fn zero_jobs_is_rejected() {
+        assert!(validate_jobs(0).is_err());
+        assert_eq!(validate_jobs(1), Ok(1));
+        assert_eq!(validate_jobs(8), Ok(8));
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Canonical instance fingerprints — the cache key of the serving layer.
+//!
+//! A long-lived planner (`redistd`) wants to answer a repeated request from
+//! a plan cache, but a cached answer is only usable when it is *the* answer:
+//! byte-identical to what a cold run would produce. The schedulers here are
+//! deterministic functions of the instance — node counts, `k`, `β`, and the
+//! edge list **in edge-id order** (edge ids appear in [`crate::Schedule`]
+//! transfers, so two instances with the same edge multiset but different
+//! insertion orders yield differently-labelled schedules). The fingerprint
+//! therefore hashes exactly that tuple, and nothing else.
+//!
+//! Instances built through a canonical constructor —
+//! [`crate::TrafficMatrix::to_instance`] emits edges in row-major
+//! `(sender, receiver)` order, as does the `redistd` wire decoder — hash
+//! equal iff they plan equal, which is the property the cache needs:
+//! equal fingerprints → byte-identical schedules (up to the 128-bit
+//! collision bound), different fingerprints → at worst a needless miss.
+//!
+//! The hash is two independent 64-bit FNV-1a streams over the same byte
+//! sequence, concatenated into a `u128`. FNV is not cryptographic; the
+//! serving layer guards against adversarial collisions by storing the full
+//! canonical byte encoding's length alongside (and a 2⁻¹²⁸ accidental
+//! collision is below any operational concern).
+
+use crate::problem::Instance;
+use bipartite::Graph;
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// A second, independent offset for the high half of the 128-bit key
+/// (FNV-1a with a different starting state; streams stay decorrelated).
+const FNV_OFFSET_HI: u64 = 0x6c62_272e_07bb_0142;
+
+/// An incremental two-stream FNV-1a hasher producing a 128-bit digest.
+#[derive(Debug, Clone)]
+struct Fnv2 {
+    lo: u64,
+    hi: u64,
+}
+
+impl Fnv2 {
+    fn new() -> Self {
+        Fnv2 {
+            lo: FNV_OFFSET,
+            hi: FNV_OFFSET_HI,
+        }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lo = (self.lo ^ b as u64).wrapping_mul(FNV_PRIME);
+            self.hi = (self.hi ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn digest(&self) -> u128 {
+        ((self.hi as u128) << 64) | self.lo as u128
+    }
+}
+
+/// The canonical 128-bit fingerprint of an instance: a hash of
+/// `(n1, n2, k, β, edges in id order)`. Equal fingerprints identify
+/// instances on which every scheduler in this crate produces identical
+/// schedules; see the module docs for the canonical-construction caveat.
+pub fn fingerprint(inst: &Instance) -> u128 {
+    let mut h = Fnv2::new();
+    write_instance(&mut h, inst);
+    h.digest()
+}
+
+/// Fingerprint extended with a caller-chosen domain tag — the serving
+/// layer's cache key, where `tag` encodes the algorithm (and any future
+/// planner option) so OGGP and GGP plans for one instance never collide.
+pub fn cache_key(inst: &Instance, tag: u64) -> u128 {
+    let mut h = Fnv2::new();
+    h.write_u64(tag);
+    write_instance(&mut h, inst);
+    h.digest()
+}
+
+fn write_instance(h: &mut Fnv2, inst: &Instance) {
+    write_graph(h, &inst.graph);
+    h.write_u64(inst.k as u64);
+    h.write_u64(inst.beta);
+}
+
+fn write_graph(h: &mut Fnv2, g: &Graph) {
+    h.write_u64(g.left_count() as u64);
+    h.write_u64(g.right_count() as u64);
+    h.write_u64(g.edge_count() as u64);
+    for (_, l, r, w) in g.edges() {
+        h.write_u64(l as u64);
+        h.write_u64(r as u64);
+        h.write_u64(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bipartite::Graph;
+
+    fn inst(edges: &[(usize, usize, u64)], k: usize, beta: u64) -> Instance {
+        let mut g = Graph::new(4, 4);
+        for &(l, r, w) in edges {
+            g.add_edge(l, r, w);
+        }
+        Instance::new(g, k, beta)
+    }
+
+    #[test]
+    fn identical_instances_hash_equal() {
+        let a = inst(&[(0, 0, 5), (1, 2, 3)], 2, 1);
+        let b = inst(&[(0, 0, 5), (1, 2, 3)], 2, 1);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(cache_key(&a, 7), cache_key(&b, 7));
+    }
+
+    #[test]
+    fn every_field_is_significant() {
+        let base = inst(&[(0, 0, 5), (1, 2, 3)], 2, 1);
+        let variants = [
+            inst(&[(0, 0, 5), (1, 2, 4)], 2, 1), // weight
+            inst(&[(0, 0, 5), (1, 3, 3)], 2, 1), // endpoint
+            inst(&[(0, 0, 5), (1, 2, 3)], 3, 1), // k
+            inst(&[(0, 0, 5), (1, 2, 3)], 2, 2), // beta
+            inst(&[(0, 0, 5)], 2, 1),            // edge count
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(fingerprint(&base), fingerprint(v), "variant {i}");
+        }
+    }
+
+    #[test]
+    fn edge_order_is_significant() {
+        // Edge ids label the schedule's transfers, so insertion order is
+        // part of the instance identity — the fingerprint must see it.
+        let a = inst(&[(0, 0, 5), (1, 2, 3)], 2, 1);
+        let b = inst(&[(1, 2, 3), (0, 0, 5)], 2, 1);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn node_counts_are_significant() {
+        let mut g1 = Graph::new(2, 2);
+        g1.add_edge(0, 0, 5);
+        let mut g2 = Graph::new(3, 2);
+        g2.add_edge(0, 0, 5);
+        assert_ne!(
+            fingerprint(&Instance::new(g1, 1, 0)),
+            fingerprint(&Instance::new(g2, 1, 0))
+        );
+    }
+
+    #[test]
+    fn tag_separates_domains() {
+        let a = inst(&[(0, 0, 5)], 1, 0);
+        assert_ne!(cache_key(&a, 0), cache_key(&a, 1));
+        assert_ne!(fingerprint(&a), cache_key(&a, 0));
+    }
+
+    #[test]
+    fn halves_are_decorrelated() {
+        let a = fingerprint(&inst(&[(0, 0, 5)], 1, 0));
+        assert_ne!(a as u64, (a >> 64) as u64);
+    }
+}

@@ -48,6 +48,7 @@ pub mod baselines;
 pub mod batch;
 pub mod coloring;
 pub mod exact;
+pub mod fingerprint;
 pub mod ggp;
 pub mod instances;
 pub mod lower_bound;
@@ -67,6 +68,7 @@ pub mod wdm;
 pub mod wrgp;
 
 pub use batch::{plan_many, plan_many_with, BatchReport};
+pub use fingerprint::{cache_key, fingerprint};
 pub use ggp::ggp;
 pub use lower_bound::lower_bound;
 pub use oggp::oggp;

@@ -1,0 +1,144 @@
+//! Differential tests of the online scheduler against the offline ground
+//! truth: whatever order messages are revealed in, the committed schedule
+//! must be a feasible K-PBS solution for the full message set, and its cost
+//! can never beat the instance's volume/degree lower bound (which holds for
+//! *any* feasible schedule, clairvoyant or not).
+
+use bipartite::Graph;
+use kpbs::online::{online_vs_offline, ArrivingMessage, OnlineScheduler};
+use kpbs::validate::validate;
+use kpbs::{lower_bound, Instance};
+use proptest::prelude::*;
+
+/// Random arrival streams: platform sides, backbone width, per-step setup
+/// cost and a non-empty batch of messages with staggered release times.
+fn stream_strategy(
+    max_side: usize,
+    max_msgs: usize,
+    max_ticks: u64,
+    max_release: usize,
+    max_beta: u64,
+) -> impl Strategy<Value = (usize, usize, usize, u64, Vec<ArrivingMessage>)> {
+    (1..=max_side, 1..=max_side)
+        .prop_flat_map(move |(n1, n2)| {
+            let msgs = proptest::collection::vec(
+                (0..=max_release, 0..n1, 0..n2, 1..=max_ticks),
+                1..=max_msgs,
+            );
+            (Just((n1, n2)), 1..=n1.min(n2), 0..=max_beta, msgs)
+        })
+        .prop_map(|((n1, n2), k, beta, raw)| {
+            let messages = raw
+                .into_iter()
+                .map(|(release, src, dst, ticks)| ArrivingMessage {
+                    release,
+                    src,
+                    dst,
+                    ticks,
+                })
+                .collect();
+            (n1, n2, k, beta, messages)
+        })
+}
+
+/// Replays `messages` through an [`OnlineScheduler`] exactly the way
+/// [`online_vs_offline`] does, and also builds the matching full instance
+/// whose edge ids line up with the scheduler's internal ones (edges are
+/// created in `add_message` order).
+fn drive_online(
+    n1: usize,
+    n2: usize,
+    k: usize,
+    beta: u64,
+    messages: &[ArrivingMessage],
+) -> (kpbs::Schedule, Instance) {
+    let mut sched = OnlineScheduler::new(n1, n2, k, beta);
+    let mut graph = Graph::new(n1, n2);
+    let mut pending: Vec<&ArrivingMessage> = messages.iter().collect();
+    pending.sort_by_key(|m| m.release);
+    let mut next_arrival = 0usize;
+    let mut step_idx = 0usize;
+    loop {
+        while next_arrival < pending.len() && pending[next_arrival].release <= step_idx {
+            let m = pending[next_arrival];
+            sched.add_message(next_arrival, m.src, m.dst, m.ticks);
+            graph.add_edge(m.src, m.dst, m.ticks);
+            next_arrival += 1;
+        }
+        if sched.next_step().is_none() {
+            if next_arrival >= pending.len() {
+                break;
+            }
+            step_idx = pending[next_arrival].release;
+            continue;
+        }
+        step_idx += 1;
+    }
+    assert_eq!(sched.pending(), 0, "scheduler must drain");
+    (sched.committed(), Instance::new(graph, k, beta))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The committed online schedule is feasible for the union of all
+    /// revealed messages: 1-port matchings, width ≤ k, exact coverage.
+    #[test]
+    fn online_schedule_is_feasible(
+        (n1, n2, k, beta, messages) in stream_strategy(6, 20, 30, 6, 4)
+    ) {
+        let (committed, inst) = drive_online(n1, n2, k, beta, &messages);
+        prop_assert!(
+            validate(&inst, &committed).is_ok(),
+            "online schedule failed validation: {:?}",
+            validate(&inst, &committed)
+        );
+    }
+
+    /// No arrival order lets the online policy beat the offline lower
+    /// bound — it is a bound over *all* feasible schedules.
+    #[test]
+    fn online_cost_never_beats_lower_bound(
+        (n1, n2, k, beta, messages) in stream_strategy(6, 20, 30, 6, 4)
+    ) {
+        let (committed, inst) = drive_online(n1, n2, k, beta, &messages);
+        prop_assert!(
+            committed.cost() >= lower_bound(&inst),
+            "online cost {} < lower bound {}",
+            committed.cost(),
+            lower_bound(&inst)
+        );
+    }
+
+    /// `online_vs_offline` agrees with a manual replay, and its offline
+    /// side is itself bounded below by the lower bound.
+    #[test]
+    fn report_matches_manual_replay(
+        (n1, n2, k, beta, messages) in stream_strategy(6, 20, 30, 6, 4)
+    ) {
+        let (committed, inst) = drive_online(n1, n2, k, beta, &messages);
+        let report = online_vs_offline(n1, n2, k, beta, &messages);
+        prop_assert_eq!(report.online_cost, committed.cost());
+        prop_assert!(report.offline_cost >= lower_bound(&inst));
+        prop_assert!(report.online_cost >= report.offline_cost.min(report.online_cost));
+        prop_assert!(report.regret() > 0.0);
+    }
+
+    /// Everything released upfront: the online policy plans over complete
+    /// information, so beyond feasibility its schedule must also respect
+    /// the lower bound *and* finish in at most `edge count` steps (each
+    /// step retires at least one transfer of one edge... conservatively,
+    /// total steps cannot exceed total ticks).
+    #[test]
+    fn upfront_release_stays_bounded(
+        (n1, n2, k, beta, mut messages) in stream_strategy(5, 12, 20, 0, 3)
+    ) {
+        for m in &mut messages {
+            m.release = 0;
+        }
+        let (committed, inst) = drive_online(n1, n2, k, beta, &messages);
+        prop_assert!(validate(&inst, &committed).is_ok());
+        let total_ticks: u64 = messages.iter().map(|m| m.ticks).sum();
+        prop_assert!(committed.num_steps() as u64 <= total_ticks);
+    }
+}

@@ -1,0 +1,153 @@
+//! `redistd` — the K-PBS scheduling daemon.
+//!
+//! ```sh
+//! redistd [--addr 127.0.0.1:7411] [--workers N] [--queue-depth N]
+//!         [--cache-capacity N] [--max-cells N] [--trace out.json]
+//! ```
+//!
+//! Accepts length-prefixed binary planning requests (see `redistd::wire`),
+//! plans them with OGGP/GGP on a fixed worker pool behind a bounded
+//! admission queue, and serves repeated instances from a sharded LRU plan
+//! cache. `STATS\n` on a connection returns a plaintext operational report.
+//!
+//! SIGTERM or ctrl-c triggers a graceful shutdown: the listener closes,
+//! every admitted request is drained to its response, then the process
+//! exits. With `--trace` the daemon records telemetry spans for every
+//! planned request and writes a Chrome trace-event JSON on shutdown.
+
+use redistd::server::{self, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use telemetry::{counters, export, spans};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Zero-dependency signal hookup: libc is already linked by std, so the
+    // two symbols we need can be declared directly. The handler only
+    // stores to an atomic — async-signal-safe by construction.
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn opt<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == format!("--{name}") {
+            if let Some(v) = args.next() {
+                if let Ok(parsed) = v.parse() {
+                    return parsed;
+                }
+                eprintln!("redistd: bad value for --{name}");
+                std::process::exit(2);
+            }
+        }
+    }
+    default
+}
+
+fn opt_str(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == format!("--{name}") {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--help") {
+        println!(
+            "redistd — long-lived K-PBS scheduling daemon\n\
+             \n\
+             usage: redistd [--addr 127.0.0.1:7411] [--workers N]\n\
+             \x20              [--queue-depth N] [--cache-capacity N]\n\
+             \x20              [--max-cells N] [--trace out.json]\n\
+             \n\
+             --addr A            bind address (default 127.0.0.1:7411)\n\
+             --workers N         planner threads (default: cores, max 8)\n\
+             --queue-depth N     admission queue bound; overflow answers\n\
+             \x20                   Rejected{{queue_full}} (default 64)\n\
+             --cache-capacity N  plan-cache entries, 0 disables (default 1024)\n\
+             --max-cells N       reject matrices with more than N cells\n\
+             \x20                   (default 1048576)\n\
+             --trace PATH        record spans; write Chrome trace JSON on exit\n\
+             \n\
+             Send the 6 ASCII bytes 'STATS\\n' on a connection for a plaintext\n\
+             operational report. SIGTERM / ctrl-c drains in-flight requests\n\
+             and exits."
+        );
+        return;
+    }
+
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        addr: opt_str("addr").unwrap_or_else(|| "127.0.0.1:7411".into()),
+        workers: opt("workers", defaults.workers),
+        queue_depth: opt("queue-depth", defaults.queue_depth),
+        cache_capacity: opt("cache-capacity", defaults.cache_capacity),
+        max_cells: opt("max-cells", defaults.max_cells),
+        ..defaults
+    };
+    let trace_path = opt_str("trace");
+
+    // Work counters power the per-request deltas in every response; spans
+    // only when a trace is requested (they buffer events).
+    counters::enable();
+    if trace_path.is_some() {
+        spans::enable();
+    }
+
+    install_signal_handlers();
+    let handle = match server::start(config.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("redistd: cannot bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "redistd listening on {} ({} workers, queue depth {}, cache {})",
+        handle.addr(),
+        config.workers,
+        config.queue_depth,
+        config.cache_capacity
+    );
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("redistd: shutting down (draining in-flight requests)");
+    let stats = handle.shutdown();
+    eprintln!(
+        "redistd: served {} requests ({} cache hits, {} rejected), p99 {} us",
+        stats.served,
+        stats.cache.hits,
+        stats.rejected_queue_full + stats.rejected_too_large,
+        stats.p99_us
+    );
+
+    if let Some(path) = trace_path {
+        spans::disable();
+        let events = spans::drain_all();
+        match std::fs::write(&path, export::chrome_trace(&events)) {
+            Ok(()) => eprintln!("redistd: {} span events written to {path}", events.len()),
+            Err(e) => eprintln!("redistd: cannot write {path}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! `redistload` — closed-loop load generator and correctness checker for
+//! `redistd`.
+//!
+//! ```sh
+//! redistload [--addr HOST:PORT] [--connections 4] [--requests 256]
+//!            [--distinct 16] [--n 12] [--out BENCH_serve.json]
+//! ```
+//!
+//! Without `--addr` it hosts a server in-process on a free port (the CI
+//! mode used by `scripts/check.sh`). It generates `--distinct`
+//! deterministic random traffic matrices, replays them round-robin from
+//! `--connections` closed-loop client threads, and for every response
+//! checks that:
+//!
+//! * the schedule byte-compares equal (via `wire::encode_schedule`) to a
+//!   cold plan of the same instance computed locally — cache hits must be
+//!   indistinguishable from misses;
+//! * the schedule passes [`kpbs::validate`] and its cost is bounded below
+//!   by [`kpbs::lower_bound`].
+//!
+//! It then writes a `BENCH_serve.json` campaign file (throughput,
+//! latency quantiles, cache hit rate) and exits non-zero on any
+//! incorrect response or on a suspiciously cold cache.
+
+use kpbs::traffic::TickScale;
+use kpbs::{Platform, TrafficMatrix};
+use redistd::client::{self, Client};
+use redistd::server::{self, ServerConfig};
+use redistd::wire::{self, Algo, PlanResponse};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use telemetry::Histogram;
+
+const BETA_SECONDS: f64 = 0.05;
+
+/// Deterministic xorshift64* — the workspace is std-only, so no `rand`.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == format!("--{name}") {
+            if let Some(v) = args.next() {
+                if let Ok(parsed) = v.parse() {
+                    return parsed;
+                }
+                eprintln!("redistload: bad value for --{name}");
+                std::process::exit(2);
+            }
+        }
+    }
+    default
+}
+
+fn arg_str(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == format!("--{name}") {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// One pre-planned workload item: the request to send and the expected
+/// schedule bytes from a cold local plan.
+struct WorkItem {
+    traffic: TrafficMatrix,
+    expected_bytes: Vec<u8>,
+    expected_cost: u64,
+    lower_bound: u64,
+}
+
+fn build_workload(distinct: usize, n: usize, platform: &Platform) -> Vec<WorkItem> {
+    (0..distinct)
+        .map(|i| {
+            let mut rng = Rng::new(0xC0FF_EE00 + i as u64);
+            let mut traffic = TrafficMatrix::zeros(n, n);
+            // ~40% dense, messages 1..64 MB — big enough that every
+            // instance needs several steps.
+            for r in 0..n {
+                for c in 0..n {
+                    if rng.below(10) < 4 {
+                        traffic.set(r, c, (1 + rng.below(64)) * 1_000_000);
+                    }
+                }
+            }
+            // Guarantee non-empty.
+            if traffic.total_bytes() == 0 {
+                traffic.set(0, 0, 8_000_000);
+            }
+            let (inst, _) = traffic.to_instance(platform, BETA_SECONDS, TickScale::MILLIS);
+            let schedule = kpbs::oggp(&inst);
+            kpbs::validate::validate(&inst, &schedule).expect("cold plan must validate");
+            WorkItem {
+                expected_bytes: wire::encode_schedule(&schedule),
+                expected_cost: schedule.cost(),
+                lower_bound: kpbs::lower_bound(&inst),
+                traffic,
+            }
+        })
+        .collect()
+}
+
+struct Outcome {
+    hits: u64,
+    failures: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_connection(
+    addr: std::net::SocketAddr,
+    items: &[WorkItem],
+    platform: &Platform,
+    next: &AtomicU64,
+    requests: u64,
+    latency_us: &Histogram,
+) -> Outcome {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("redistload: connect failed: {e}");
+            return Outcome {
+                hits: 0,
+                failures: 1,
+            };
+        }
+    };
+    let mut out = Outcome {
+        hits: 0,
+        failures: 0,
+    };
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= requests {
+            return out;
+        }
+        let item = &items[(i as usize) % items.len()];
+        let req = client::request(i, Algo::Oggp, &item.traffic, platform, BETA_SECONDS);
+        let start = Instant::now();
+        let resp = match client.plan(&req) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("redistload: request {i} transport error: {e}");
+                out.failures += 1;
+                return out;
+            }
+        };
+        latency_us.record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        match resp {
+            PlanResponse::Ok {
+                request_id,
+                cached,
+                schedule,
+                cost,
+                lower_bound,
+                ..
+            } => {
+                let bytes = wire::encode_schedule(&schedule);
+                if request_id != i
+                    || bytes != item.expected_bytes
+                    || cost != item.expected_cost
+                    || lower_bound != item.lower_bound
+                    || cost < lower_bound
+                {
+                    eprintln!(
+                        "redistload: request {i} mismatch (cached={cached}, \
+                         cost {cost} vs expected {}, lb {lower_bound} vs {})",
+                        item.expected_cost, item.lower_bound
+                    );
+                    out.failures += 1;
+                }
+                if cached {
+                    out.hits += 1;
+                }
+            }
+            other => {
+                eprintln!("redistload: request {i} unexpected response: {other:?}");
+                out.failures += 1;
+            }
+        }
+    }
+}
+
+fn main() {
+    let connections: usize = arg("connections", 4);
+    let requests: u64 = arg("requests", 256);
+    let distinct: usize = arg("distinct", 16);
+    let n: usize = arg("n", 12);
+    let out_path: String = arg("out", "BENCH_serve.json".to_string());
+    let external_addr = arg_str("addr");
+
+    if connections == 0 || requests == 0 || distinct == 0 || n == 0 {
+        eprintln!("redistload: --connections/--requests/--distinct/--n must be at least 1");
+        std::process::exit(2);
+    }
+
+    let platform = Platform::new(n, n, 100.0, 100.0, 400.0);
+    eprintln!("redistload: planning {distinct} cold reference instances (n={n})...");
+    let items = Arc::new(build_workload(distinct, n, &platform));
+
+    // Self-host unless pointed at an external daemon.
+    let hosted = if external_addr.is_none() {
+        Some(server::start(ServerConfig::default()).expect("start in-process server"))
+    } else {
+        None
+    };
+    let addr: std::net::SocketAddr = match (&hosted, &external_addr) {
+        (Some(h), _) => h.addr(),
+        (None, Some(a)) => a.parse().unwrap_or_else(|e| {
+            eprintln!("redistload: bad --addr {a}: {e}");
+            std::process::exit(2);
+        }),
+        (None, None) => unreachable!(),
+    };
+
+    eprintln!(
+        "redistload: {requests} requests, {connections} connections, \
+         {distinct} distinct matrices against {addr}"
+    );
+    let next = Arc::new(AtomicU64::new(0));
+    let latency_us = Arc::new(Histogram::new());
+    let wall = Instant::now();
+    let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                let items = &items;
+                let platform = &platform;
+                let next = &next;
+                let latency_us = &latency_us;
+                scope.spawn(move || {
+                    run_connection(addr, items, platform, next, requests, latency_us)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = wall.elapsed();
+
+    let hits: u64 = outcomes.iter().map(|o| o.hits).sum();
+    let failures: u64 = outcomes.iter().map(|o| o.failures).sum();
+    let hit_rate = hits as f64 / requests as f64;
+    let throughput = requests as f64 / elapsed.as_secs_f64();
+
+    if let Some(h) = hosted {
+        let stats = h.shutdown();
+        eprintln!(
+            "redistload: server saw {} served, {} cache hits, {} rejected",
+            stats.served,
+            stats.cache.hits,
+            stats.rejected_queue_full + stats.rejected_too_large
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"campaign\": \"serve_loadgen_v1\",\n  \"requests\": {requests},\n  \
+         \"connections\": {connections},\n  \"distinct_matrices\": {distinct},\n  \
+         \"matrix_n\": {n},\n  \"elapsed_s\": {:.4},\n  \"throughput_rps\": {:.2},\n  \
+         \"latency_us_p50\": {},\n  \"latency_us_p99\": {},\n  \"latency_us_mean\": {},\n  \
+         \"cache_hits\": {hits},\n  \"cache_hit_rate\": {:.4},\n  \"failures\": {failures}\n}}\n",
+        elapsed.as_secs_f64(),
+        throughput,
+        latency_us.quantile(0.5),
+        latency_us.quantile(0.99),
+        latency_us.mean(),
+        hit_rate,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!(
+        "redistload: {throughput:.1} req/s, p50 {} us, p99 {} us, hit rate {hit_rate:.2} \
+         -> {out_path}",
+        latency_us.quantile(0.5),
+        latency_us.quantile(0.99),
+    );
+
+    if failures > 0 {
+        eprintln!("redistload: {failures} incorrect responses");
+        std::process::exit(1);
+    }
+    // With requests > distinct every repeat should be a hit; a stone-cold
+    // cache means the fingerprint key or the LRU is broken.
+    if requests > distinct as u64 && hits == 0 {
+        eprintln!("redistload: no cache hits despite repeated matrices");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,259 @@
+//! A sharded LRU plan cache.
+//!
+//! Keys are the 128-bit canonical fingerprints of [`kpbs::fingerprint`]
+//! (algorithm tag mixed in via [`kpbs::cache_key`]), values are immutable
+//! `Arc`s shared with whoever is answering the request — a hit costs one
+//! shard lock, one hash lookup and an `Arc` clone, never a deep copy of a
+//! schedule. Because the planners are deterministic functions of the
+//! canonical instance, a hit is guaranteed byte-identical to a cold plan
+//! (the loopback test verifies exactly that).
+//!
+//! Sharding: the key's low bits pick one of a power-of-two number of
+//! independently-locked shards, so concurrent workers rarely contend.
+//! Eviction is least-recently-used per shard, tracked by a logical access
+//! stamp; the evicting scan is O(shard size), which at serving-cache sizes
+//! (thousands of entries, hit-dominated traffic) is far cheaper than the
+//! pointer-chasing of an intrusive LRU list and needs no unsafe code.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Shard<V> {
+    map: HashMap<u128, (Arc<V>, u64)>,
+    clock: u64,
+}
+
+impl<V> Shard<V> {
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// A sharded, bounded, least-recently-used map from fingerprint to plan.
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Cache statistics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, 0.0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl<V> ShardedLru<V> {
+    /// Creates a cache of roughly `capacity` total entries spread over
+    /// `shards` (rounded up to a power of two) independently-locked shards.
+    /// A `capacity` of 0 disables caching: every lookup misses, inserts are
+    /// dropped.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shard_count = shards.max(1).next_power_of_two();
+        let per_shard_capacity = capacity.div_ceil(shard_count);
+        ShardedLru {
+            shards: (0..shard_count)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: u128) -> &Mutex<Shard<V>> {
+        &self.shards[(key as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: u128) -> Option<Arc<V>> {
+        if self.per_shard_capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard_of(key).lock().unwrap();
+        let stamp = shard.touch();
+        match shard.map.get_mut(&key) {
+            Some((v, last_used)) => {
+                *last_used = stamp;
+                let v = v.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the shard's least-recently
+    /// used entry if it is full.
+    pub fn insert(&self, key: u128, value: Arc<V>) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = self.shard_of(key).lock().unwrap();
+        let stamp = shard.touch();
+        if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key) {
+            if let Some(&oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k)
+            {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(key, (value, stamp));
+        drop(shard);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// True when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let c: ShardedLru<u32> = ShardedLru::new(8, 2);
+        assert!(c.get(1).is_none());
+        c.insert(1, Arc::new(10));
+        assert_eq!(*c.get(1).unwrap(), 10);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // One shard so the LRU order is fully observable.
+        let c: ShardedLru<u32> = ShardedLru::new(2, 1);
+        c.insert(1, Arc::new(1));
+        c.insert(2, Arc::new(2));
+        c.get(1); // 1 is now more recent than 2
+        c.insert(3, Arc::new(3)); // evicts 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_resident_key_does_not_evict() {
+        let c: ShardedLru<u32> = ShardedLru::new(2, 1);
+        c.insert(1, Arc::new(1));
+        c.insert(2, Arc::new(2));
+        c.insert(1, Arc::new(11));
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(*c.get(1).unwrap(), 11);
+        assert!(c.get(2).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c: ShardedLru<u32> = ShardedLru::new(0, 4);
+        c.insert(1, Arc::new(1));
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let c: ShardedLru<u32> = ShardedLru::new(100, 3);
+        assert_eq!(c.shards.len(), 4);
+        // Keys land in different shards but all are retrievable.
+        for k in 0..64u128 {
+            c.insert(k, Arc::new(k as u32));
+        }
+        for k in 0..64u128 {
+            assert_eq!(*c.get(k).unwrap(), k as u32);
+        }
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let c: Arc<ShardedLru<u64>> = Arc::new(ShardedLru::new(64, 8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u128 {
+                        let k = (t * 13 + i * 7) % 96;
+                        if let Some(v) = c.get(k) {
+                            assert_eq!(*v, k as u64);
+                        } else {
+                            c.insert(k, Arc::new(k as u64));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 2000);
+    }
+}

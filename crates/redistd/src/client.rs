@@ -1,0 +1,87 @@
+//! A small blocking client for the wire protocol — used by `redistload`,
+//! the loopback tests, and anyone embedding a redistribution client.
+
+use crate::wire::{self, Algo, CsrMatrix, PlanRequest, PlanResponse, WirePlatform};
+use kpbs::{Platform, TrafficMatrix};
+use std::io::{self, Read};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected planning client. One request is in flight at a time
+/// (closed-loop); open more clients for concurrency.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one planning request and blocks for its response.
+    pub fn plan(&mut self, req: &PlanRequest) -> io::Result<PlanResponse> {
+        wire::write_all(&mut self.stream, &wire::encode_request(req))?;
+        let payload = wire::read_frame(&mut self.stream)?;
+        wire::decode_response(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// Builds a [`PlanRequest`] from the native types (the canonical CSR
+/// construction — identical matrices always encode identically).
+pub fn request(
+    request_id: u64,
+    algo: Algo,
+    traffic: &TrafficMatrix,
+    platform: &Platform,
+    beta_seconds: f64,
+) -> PlanRequest {
+    PlanRequest {
+        request_id,
+        algo,
+        platform: WirePlatform {
+            n1: platform.n1 as u32,
+            n2: platform.n2 as u32,
+            t1: platform.t1,
+            t2: platform.t2,
+            backbone: platform.backbone,
+            beta_seconds,
+        },
+        matrix: CsrMatrix::from_traffic(traffic),
+    }
+}
+
+/// Fetches the plaintext `STATS` report over a dedicated connection (the
+/// server answers and closes).
+pub fn fetch_stats<A: ToSocketAddrs>(addr: A) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    wire::write_all(&mut stream, wire::STATS_COMMAND)?;
+    let mut out = String::new();
+    stream.read_to_string(&mut out)?;
+    Ok(out)
+}
+
+/// Pulls `key: value` integers out of a `STATS` report (helper for tools
+/// asserting on server state).
+pub fn stats_field(report: &str, key: &str) -> Option<u64> {
+    report.lines().find_map(|l| {
+        let (k, v) = l.split_once(": ")?;
+        (k == key).then(|| v.trim().parse().ok())?
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_field_parses_integers() {
+        let report = "redistd stats\nserved: 12\ncache_hit_rate: 0.5000\nqueue_depth: 0\n";
+        assert_eq!(stats_field(report, "served"), Some(12));
+        assert_eq!(stats_field(report, "queue_depth"), Some(0));
+        assert_eq!(stats_field(report, "cache_hit_rate"), None); // not an int
+        assert_eq!(stats_field(report, "missing"), None);
+    }
+}

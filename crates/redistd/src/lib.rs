@@ -1,0 +1,67 @@
+//! `redistd` — a long-lived K-PBS scheduling service.
+//!
+//! The rest of the workspace plans one redistribution per process:
+//! `redistplan` parses a matrix, schedules it, prints, exits. A backbone
+//! operator's control plane doesn't work like that — it streams traffic
+//! matrices at a scheduler and needs answers in bounded time, with
+//! backpressure instead of collapse when overloaded, and without paying
+//! the full planning cost for the (very common) repeated matrix. This
+//! crate is that serving layer:
+//!
+//! * [`wire`] — a length-prefixed binary protocol (magic + version +
+//!   request id + platform + CSR traffic matrix in, schedule + per-request
+//!   work-counter deltas out) plus the plaintext `STATS` admin command;
+//! * [`queue`] — the bounded MPMC queue that *is* the admission-control
+//!   policy: `try_push` or reject, never buffer unboundedly;
+//! * [`cache`] — a sharded LRU plan cache keyed by
+//!   [`kpbs::fingerprint`]'s canonical instance hash; hits return
+//!   byte-identical schedules to a cold run;
+//! * [`server`] — listener, connection threads, fixed worker pool,
+//!   graceful drain-based shutdown;
+//! * [`client`] — a small blocking client.
+//!
+//! Two binaries ship with the crate: `redistd` (the daemon; `--trace`,
+//! SIGTERM/ctrl-c drain) and `redistload` (a closed-loop multi-connection
+//! load generator writing `BENCH_serve.json`).
+//!
+//! Like `telemetry`, this crate is std-only: no async runtime, no socket
+//! or serialization dependency — threads, `TcpListener` and hand-rolled
+//! frames are entirely sufficient for a planner whose unit of work is
+//! milliseconds of matching, and the absence of a dependency tree keeps
+//! the serving layer as auditable as the scheduler it wraps.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use redistd::{client, server::{self, ServerConfig}, wire::Algo};
+//! use kpbs::{Platform, TrafficMatrix};
+//!
+//! let handle = server::start(ServerConfig::default()).unwrap();
+//! let platform = Platform::new(3, 3, 100.0, 100.0, 200.0);
+//! let mut traffic = TrafficMatrix::zeros(3, 3);
+//! traffic.set(0, 0, 10_000_000);
+//! traffic.set(1, 2, 4_000_000);
+//!
+//! let mut c = client::Client::connect(handle.addr()).unwrap();
+//! let req = client::request(1, Algo::Oggp, &traffic, &platform, 0.05);
+//! match c.plan(&req).unwrap() {
+//!     redistd::wire::PlanResponse::Ok { schedule, cached, .. } => {
+//!         assert!(!cached);
+//!         assert!(schedule.num_steps() > 0);
+//!     }
+//!     other => panic!("unexpected response: {other:?}"),
+//! }
+//! let stats = handle.shutdown();
+//! assert_eq!(stats.served, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use server::{start, ServerConfig, ServerHandle, ServerStats};
+pub use wire::{Algo, PlanRequest, PlanResponse, RejectReason};

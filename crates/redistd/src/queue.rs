@@ -1,0 +1,219 @@
+//! A bounded MPMC queue — the admission-control heart of the server.
+//!
+//! Producers (connection threads) never block: [`BoundedQueue::try_push`]
+//! either enqueues or reports `Full`/`Closed` immediately, so a saturated
+//! server answers `Rejected{queue_full}` instead of buffering unboundedly
+//! or hanging the client. Consumers (workers) block in
+//! [`BoundedQueue::pop`] until an item arrives or the queue is closed *and
+//! drained* — closing is the graceful-shutdown signal: no new work is
+//! admitted, but everything already accepted is still handed out, which is
+//! what lets in-flight requests complete during shutdown.
+//!
+//! Built on `Mutex<VecDeque>` + `Condvar` only (std): at the queue depths a
+//! planning service runs (tens to hundreds), lock contention is dwarfed by
+//! planning time, and zero dependencies is a crate invariant.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed (shutdown); the item is handed back.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum queue depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking enqueue: `Full` at capacity, `Closed` after
+    /// [`BoundedQueue::close`]. Never waits.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking dequeue. Returns `None` only once the queue is closed *and*
+    /// every accepted item has been handed out — the drain guarantee.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: pushes fail from now on, pops drain the backlog
+    /// then return `None`. Idempotent.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(1);
+        q.try_push(10).unwrap();
+        assert_eq!(q.try_push(11), Err(PushError::Full(11)));
+        assert_eq!(q.pop(), Some(10));
+        q.try_push(12).unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        // The backlog accepted before close still drains, in order.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(2));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).unwrap();
+        q.close();
+        let got: Vec<Option<u32>> = consumers.into_iter().map(|c| c.join().unwrap()).collect();
+        assert_eq!(got.iter().filter(|g| g.is_some()).count(), 1);
+        assert_eq!(got.iter().filter(|g| g.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q = Arc::new(BoundedQueue::<u64>::new(8));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Some(v) = q.pop() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        let mut v = p * 1000 + i;
+                        // Spin on Full: bounded queue, cooperating producers.
+                        loop {
+                            match q.try_push(v) {
+                                Ok(()) => break,
+                                Err(PushError::Full(back)) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                                Err(PushError::Closed(_)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        let expect: u64 = (0..4u64)
+            .map(|p| (0..100u64).map(|i| p * 1000 + i).sum::<u64>())
+            .sum();
+        assert_eq!(total, expect);
+    }
+}

@@ -1,0 +1,494 @@
+//! The serving core: listener, connection threads, bounded request queue,
+//! worker pool, plan cache, statistics, graceful shutdown.
+//!
+//! ```text
+//!                        ┌────────────────────────────┐
+//!   TCP clients ──────▶  │ accept loop (non-blocking) │
+//!                        └──────────┬─────────────────┘
+//!                                   │ one thread per connection
+//!                        ┌──────────▼─────────────┐   reject: queue_full /
+//!                        │ decode + admission     │──▶ matrix_too_large
+//!                        └──────────┬─────────────┘
+//!                                   │ try_push (never blocks)
+//!                        ┌──────────▼─────────────┐
+//!                        │ BoundedQueue<Job>      │  ← backpressure boundary
+//!                        └──────────┬─────────────┘
+//!                                   │ pop
+//!                        ┌──────────▼─────────────┐   ┌────────────────┐
+//!                        │ worker pool (N threads)│ ⇄ │ sharded LRU    │
+//!                        │ fingerprint → plan     │   │ plan cache     │
+//!                        └──────────┬─────────────┘   └────────────────┘
+//!                                   │ reply channel
+//!                        connection thread writes the response frame
+//! ```
+//!
+//! The design reuses the discipline of [`kpbs::batch`]: work is handed to a
+//! fixed pool through one queue, each request's work counters are measured
+//! with thread-local snapshots on the worker that planned it, and planning
+//! is a pure function of the request — so a response is byte-identical no
+//! matter which worker produced it or whether the cache was warm.
+//!
+//! Shutdown ([`ServerHandle::shutdown`]) is drain-based: stop accepting,
+//! close the queue (pushes fail, pops drain), join workers (every accepted
+//! request gets its response), then join connection threads.
+
+use crate::cache::{CacheStats, ShardedLru};
+use crate::queue::{BoundedQueue, PushError};
+use crate::wire::{self, Algo, Incoming, PlanRequest, PlanResponse, RejectReason};
+use kpbs::traffic::TickScale;
+use kpbs::{Platform, Schedule};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use telemetry::counters::{self, Counter, COUNTER_COUNT};
+use telemetry::Histogram;
+
+/// How long a blocked read waits before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads planning requests.
+    pub workers: usize,
+    /// Bounded queue depth — requests beyond this are rejected with
+    /// `queue_full`, never buffered.
+    pub queue_depth: usize,
+    /// Total plan-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Plan-cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Admission limit: matrices with more than this many cells are
+    /// rejected with `matrix_too_large`.
+    pub max_cells: u64,
+    /// Test hook: artificial per-request think time in the worker, used to
+    /// provoke deterministic overload/drain behaviour in tests. 0 in
+    /// production.
+    pub worker_think_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(8),
+            queue_depth: 64,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            max_cells: 1 << 20,
+            worker_think_ms: 0,
+        }
+    }
+}
+
+/// A cached (or fresh) planning outcome.
+#[derive(Debug, Clone)]
+struct PlanOutcome {
+    schedule: Schedule,
+    cost: u64,
+    lower_bound: u64,
+}
+
+struct Job {
+    req: PlanRequest,
+    reply: mpsc::Sender<PlanResponse>,
+}
+
+struct Shared {
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    queue: BoundedQueue<Job>,
+    cache: ShardedLru<PlanOutcome>,
+    started: Instant,
+    served: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_too_large: AtomicU64,
+    errors: AtomicU64,
+    service_us: Histogram,
+}
+
+/// A point-in-time operational report (the typed form of `STATS`).
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Requests answered `Ok` (cache hits and misses).
+    pub served: u64,
+    /// Plan-cache statistics.
+    pub cache: CacheStats,
+    /// Requests rejected because the queue was full (or shutting down).
+    pub rejected_queue_full: u64,
+    /// Requests rejected because the matrix exceeded `max_cells`.
+    pub rejected_too_large: u64,
+    /// Malformed requests answered with an error frame.
+    pub errors: u64,
+    /// Items currently queued.
+    pub queue_depth: usize,
+    /// Configured queue capacity.
+    pub queue_capacity: usize,
+    /// Configured worker count.
+    pub workers: usize,
+    /// Service-time p50 in microseconds (admission to response ready).
+    pub p50_us: u64,
+    /// Service-time p99 in microseconds.
+    pub p99_us: u64,
+    /// Mean service time in microseconds.
+    pub mean_us: u64,
+}
+
+impl ServerStats {
+    fn gather(shared: &Shared) -> ServerStats {
+        ServerStats {
+            served: shared.served.load(Ordering::Relaxed),
+            cache: shared.cache.stats(),
+            rejected_queue_full: shared.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_too_large: shared.rejected_too_large.load(Ordering::Relaxed),
+            errors: shared.errors.load(Ordering::Relaxed),
+            queue_depth: shared.queue.len(),
+            queue_capacity: shared.queue.capacity(),
+            workers: shared.config.workers,
+            p50_us: shared.service_us.quantile(0.5),
+            p99_us: shared.service_us.quantile(0.99),
+            mean_us: shared.service_us.mean(),
+        }
+    }
+
+    /// The plaintext rendering sent in answer to `STATS`.
+    pub fn render(&self, uptime: Duration) -> String {
+        format!(
+            "redistd stats\n\
+             uptime_s: {:.1}\n\
+             workers: {}\n\
+             queue_depth: {}\n\
+             queue_capacity: {}\n\
+             served: {}\n\
+             cache_hits: {}\n\
+             cache_misses: {}\n\
+             cache_hit_rate: {:.4}\n\
+             cache_len: {}\n\
+             cache_evictions: {}\n\
+             rejected_queue_full: {}\n\
+             rejected_too_large: {}\n\
+             errors: {}\n\
+             service_us_p50: {}\n\
+             service_us_p99: {}\n\
+             service_us_mean: {}\n",
+            uptime.as_secs_f64(),
+            self.workers,
+            self.queue_depth,
+            self.queue_capacity,
+            self.served,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate(),
+            self.cache.len,
+            self.cache.evictions,
+            self.rejected_queue_full,
+            self.rejected_too_large,
+            self.errors,
+            self.p50_us,
+            self.p99_us,
+            self.mean_us,
+        )
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] detaches the threads (the process exiting
+/// reaps them); call `shutdown` for a clean drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Starts a server on `config.addr` and returns its handle once the
+/// listener is bound (requests can be sent immediately).
+pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        queue: BoundedQueue::new(config.queue_depth),
+        cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+        served: AtomicU64::new(0),
+        rejected_queue_full: AtomicU64::new(0),
+        rejected_too_large: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        service_us: Histogram::new(),
+        config,
+    });
+
+    let workers = (0..shared.config.workers.max(1))
+        .map(|i| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("redistd-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept = {
+        let shared = shared.clone();
+        let connections = connections.clone();
+        std::thread::Builder::new()
+            .name("redistd-accept".into())
+            .spawn(move || accept_loop(&shared, listener, &connections))
+            .expect("spawn accept loop")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers,
+        connections,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A statistics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats::gather(&self.shared)
+    }
+
+    /// Asks the server to shut down without waiting (used by signal
+    /// handlers); follow with [`ServerHandle::shutdown`] to drain and join.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful shutdown: stop accepting, drain every admitted request to
+    /// its response, join all threads. Returns the final statistics.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.request_shutdown();
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        // No new connections exist now; close the queue so workers drain
+        // the backlog and exit. Connection threads still waiting on replies
+        // get them before they notice the flag.
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut guard = self.connections.lock().unwrap();
+            guard.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        ServerStats::gather(&self.shared)
+    }
+}
+
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: TcpListener,
+    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = shared.clone();
+                let handle = std::thread::Builder::new()
+                    .name("redistd-conn".into())
+                    .spawn(move || connection_loop(&shared, stream))
+                    .expect("spawn connection thread");
+                connections.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    loop {
+        match wire::read_incoming(&mut stream) {
+            Ok(Incoming::Eof) => return,
+            Ok(Incoming::Stats) => {
+                let stats = ServerStats::gather(shared);
+                let _ = stream.write_all(stats.render(shared.started.elapsed()).as_bytes());
+                return; // stats connections are one-shot
+            }
+            Ok(Incoming::Frame(payload)) => {
+                let resp = handle_frame(shared, &payload);
+                if wire::write_all(&mut stream, &wire::encode_response(&resp)).is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle between requests: poll the shutdown flag.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decodes, admits and executes one request, blocking until its response
+/// is ready (or producing a rejection immediately).
+fn handle_frame(shared: &Arc<Shared>, payload: &[u8]) -> PlanResponse {
+    let start = Instant::now();
+    let req = match wire::decode_request(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            return PlanResponse::Error {
+                request_id: peek_request_id(payload),
+                message: e.0,
+            };
+        }
+    };
+    let request_id = req.request_id;
+
+    // Admission control, cheapest check first. Rejections answer
+    // immediately — the whole point is never to buffer beyond the bound.
+    if req.matrix.cells() > shared.config.max_cells {
+        counters::incr(Counter::ServeRejected);
+        shared.rejected_too_large.fetch_add(1, Ordering::Relaxed);
+        return PlanResponse::Rejected {
+            request_id,
+            reason: RejectReason::MatrixTooLarge,
+        };
+    }
+
+    let (tx, rx) = mpsc::channel();
+    match shared.queue.try_push(Job { req, reply: tx }) {
+        Err(PushError::Full(_)) | Err(PushError::Closed(_)) => {
+            counters::incr(Counter::ServeRejected);
+            shared.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+            PlanResponse::Rejected {
+                request_id,
+                reason: RejectReason::QueueFull,
+            }
+        }
+        Ok(()) => {
+            // The worker pool drains every accepted job (even through
+            // shutdown), so this recv only fails if a worker panicked.
+            let resp = rx.recv().unwrap_or_else(|_| PlanResponse::Error {
+                request_id,
+                message: "worker failed".into(),
+            });
+            if matches!(resp, PlanResponse::Ok { .. }) {
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .service_us
+                    .record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            } else {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            resp
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        if shared.config.worker_think_ms > 0 {
+            std::thread::sleep(Duration::from_millis(shared.config.worker_think_ms));
+        }
+        let resp = plan_request(shared, &job.req);
+        // A closed reply channel means the connection died; the plan is
+        // still cached, so the work is not wasted.
+        let _ = job.reply.send(resp);
+    }
+}
+
+/// Plans one admitted request: canonical instance, cache lookup, cold plan
+/// on a miss. Pure per request — the response does not depend on which
+/// worker ran it.
+fn plan_request(shared: &Arc<Shared>, req: &PlanRequest) -> PlanResponse {
+    let _span = telemetry::span("redistd.plan");
+    counters::incr(Counter::ServeRequests);
+    let platform = Platform::new(
+        req.platform.n1 as usize,
+        req.platform.n2 as usize,
+        req.platform.t1,
+        req.platform.t2,
+        req.platform.backbone,
+    );
+    let traffic = req.matrix.to_traffic();
+    let (inst, _endpoints) =
+        traffic.to_instance(&platform, req.platform.beta_seconds, TickScale::MILLIS);
+    let key = kpbs::cache_key(&inst, req.algo as u64);
+
+    if let Some(hit) = shared.cache.get(key) {
+        counters::incr(Counter::ServeCacheHits);
+        return PlanResponse::Ok {
+            request_id: req.request_id,
+            cached: true,
+            schedule: hit.schedule.clone(),
+            cost: hit.cost,
+            lower_bound: hit.lower_bound,
+            // A hit does no planning work; the delta is genuinely zero.
+            work: [0; COUNTER_COUNT],
+        };
+    }
+
+    let before = counters::local_snapshot();
+    let schedule = match req.algo {
+        Algo::Oggp => kpbs::oggp(&inst),
+        Algo::Ggp => kpbs::ggp(&inst),
+    };
+    let delta = counters::local_snapshot().delta(&before);
+    let mut work = [0u64; COUNTER_COUNT];
+    for (i, (_, v)) in delta.iter().enumerate() {
+        work[i] = v;
+    }
+    let outcome = Arc::new(PlanOutcome {
+        cost: schedule.cost(),
+        lower_bound: kpbs::lower_bound(&inst),
+        schedule,
+    });
+    shared.cache.insert(key, outcome.clone());
+    PlanResponse::Ok {
+        request_id: req.request_id,
+        cached: false,
+        schedule: outcome.schedule.clone(),
+        cost: outcome.cost,
+        lower_bound: outcome.lower_bound,
+        work,
+    }
+}
+
+/// Best-effort extraction of the request id from a frame that failed to
+/// decode (offset 7..15 after magic + version + kind), so even an error
+/// response can be correlated by the client.
+fn peek_request_id(payload: &[u8]) -> u64 {
+    if payload.len() >= 15 && payload[..4] == wire::MAGIC {
+        u64::from_be_bytes(payload[7..15].try_into().unwrap())
+    } else {
+        0
+    }
+}

@@ -1,0 +1,917 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every frame on the wire is a big-endian `u32` payload length followed by
+//! the payload. Payloads open with the 4-byte magic `RDST` and a `u16`
+//! protocol version, so a stray client speaking the wrong protocol fails
+//! loudly instead of being misparsed. The one exception is the plaintext
+//! admin command: a client may send the literal ASCII bytes `STATS\n`
+//! instead of a frame, and the server answers with a human-readable report
+//! and closes the connection (the magic's first byte `R` can never collide
+//! with `S`, and the server sniffs the first four bytes before committing
+//! to a length).
+//!
+//! # Plan request payload
+//!
+//! | field       | type           | notes                                   |
+//! |-------------|----------------|-----------------------------------------|
+//! | magic       | `[u8; 4]`      | `RDST`                                  |
+//! | version     | `u16`          | currently 1                             |
+//! | kind        | `u8`           | 0 = plan                                |
+//! | request id  | `u64`          | echoed verbatim in the response         |
+//! | algorithm   | `u8`           | 0 = OGGP, 1 = GGP                       |
+//! | n1, n2      | `u32 × 2`      | senders × receivers                     |
+//! | t1, t2, T, β| `f64 × 4`      | platform Mbit/s throughputs, β seconds  |
+//! | nnz         | `u32`          | non-zero message count                  |
+//! | row_ptr     | `u32 × (n1+1)` | CSR row offsets into the entry list     |
+//! | entries     | `(u32, u64) × nnz` | column, bytes — strictly ascending columns per row |
+//!
+//! # Plan response payload
+//!
+//! | field       | type      | notes                                        |
+//! |-------------|-----------|----------------------------------------------|
+//! | magic       | `[u8; 4]` | `RDST`                                       |
+//! | version     | `u16`     | 1                                            |
+//! | request id  | `u64`     | copied from the request                      |
+//! | status      | `u8`      | 0 = ok, 1 = queue full, 2 = matrix too large, 3 = error |
+//! | ok: cached  | `u8`      | 1 when served from the plan cache            |
+//! | ok: schedule| see [`encode_schedule`] | byte-identical to a cold plan  |
+//! | ok: cost    | `u64`     | `Σ (β + step duration)` in ticks             |
+//! | ok: lower bound | `u64` | Cohen–Jeannot–Padoy bound in ticks           |
+//! | ok: work    | `u8` + `u64 × n` | per-request counter deltas, [`Counter::ALL`](telemetry::counters::Counter::ALL) order |
+//! | error: message | `u32` + utf-8 | decode/validation failure detail         |
+//!
+//! The CSR encoding is the *canonical* construction: rows in sender order,
+//! strictly ascending columns inside a row, all byte counts positive. The
+//! decoder rejects anything else, which is what lets the server key its
+//! plan cache on [`kpbs::fingerprint`] — equal matrices always decode into
+//! identical instances (see that module's docs).
+
+use kpbs::{Schedule, TrafficMatrix};
+use std::io::{self, Read, Write};
+use telemetry::counters::COUNTER_COUNT;
+
+/// Frame magic: first four payload bytes of every binary frame.
+pub const MAGIC: [u8; 4] = *b"RDST";
+/// Protocol version.
+pub const VERSION: u16 = 1;
+/// Hard ceiling on any frame payload (16 MiB) — a malformed length prefix
+/// must not make the server allocate unboundedly.
+pub const MAX_FRAME: u32 = 16 << 20;
+/// The plaintext admin command accepted in place of a frame.
+pub const STATS_COMMAND: &[u8] = b"STATS\n";
+
+/// Scheduling algorithm requested on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Optimised Generic Graph Peeling — the default planner.
+    Oggp = 0,
+    /// Generic Graph Peeling.
+    Ggp = 1,
+}
+
+impl Algo {
+    fn from_u8(v: u8) -> Result<Algo, WireError> {
+        match v {
+            0 => Ok(Algo::Oggp),
+            1 => Ok(Algo::Ggp),
+            other => Err(WireError::new(format!("unknown algorithm {other}"))),
+        }
+    }
+}
+
+/// Platform parameters carried by a request (see [`kpbs::Platform`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WirePlatform {
+    /// Sender cluster size.
+    pub n1: u32,
+    /// Receiver cluster size.
+    pub n2: u32,
+    /// Sender NIC throughput, Mbit/s.
+    pub t1: f64,
+    /// Receiver NIC throughput, Mbit/s.
+    pub t2: f64,
+    /// Backbone throughput, Mbit/s.
+    pub backbone: f64,
+    /// Per-step setup delay, seconds.
+    pub beta_seconds: f64,
+}
+
+/// A CSR-encoded traffic matrix: `row_ptr[i]..row_ptr[i+1]` indexes the
+/// `(col, bytes)` entries of sender `i`, columns strictly ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrMatrix {
+    /// Sender count (rows).
+    pub n1: u32,
+    /// Receiver count (columns).
+    pub n2: u32,
+    /// `n1 + 1` offsets into `cols`/`bytes`.
+    pub row_ptr: Vec<u32>,
+    /// Column of each non-zero entry.
+    pub cols: Vec<u32>,
+    /// Byte count of each non-zero entry (always positive).
+    pub bytes: Vec<u64>,
+}
+
+impl CsrMatrix {
+    /// Compresses a dense [`TrafficMatrix`] (zeros dropped, row-major order
+    /// — the canonical encoding).
+    pub fn from_traffic(t: &TrafficMatrix) -> CsrMatrix {
+        let (n1, n2) = (t.senders(), t.receivers());
+        let mut row_ptr = Vec::with_capacity(n1 + 1);
+        let mut cols = Vec::new();
+        let mut bytes = Vec::new();
+        row_ptr.push(0);
+        for i in 0..n1 {
+            for j in 0..n2 {
+                let b = t.get(i, j);
+                if b > 0 {
+                    cols.push(j as u32);
+                    bytes.push(b);
+                }
+            }
+            row_ptr.push(cols.len() as u32);
+        }
+        CsrMatrix {
+            n1: n1 as u32,
+            n2: n2 as u32,
+            row_ptr,
+            cols,
+            bytes,
+        }
+    }
+
+    /// Expands back into a dense [`TrafficMatrix`].
+    pub fn to_traffic(&self) -> TrafficMatrix {
+        let mut t = TrafficMatrix::zeros(self.n1 as usize, self.n2 as usize);
+        for i in 0..self.n1 as usize {
+            for e in self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize {
+                t.set(i, self.cols[e] as usize, self.bytes[e]);
+            }
+        }
+        t
+    }
+
+    /// Number of matrix cells (`n1 × n2`) — the admission-control size.
+    pub fn cells(&self) -> u64 {
+        self.n1 as u64 * self.n2 as u64
+    }
+
+    /// Structural validation: offsets monotone and in range, columns
+    /// strictly ascending per row and `< n2`, byte counts positive.
+    pub fn validate(&self) -> Result<(), WireError> {
+        if self.row_ptr.len() != self.n1 as usize + 1 {
+            return Err(WireError::new("row_ptr length mismatch"));
+        }
+        if self.row_ptr[0] != 0 || *self.row_ptr.last().unwrap() as usize != self.cols.len() {
+            return Err(WireError::new("row_ptr endpoints invalid"));
+        }
+        if self.cols.len() != self.bytes.len() {
+            return Err(WireError::new("cols/bytes length mismatch"));
+        }
+        for w in self.row_ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(WireError::new("row_ptr not monotone"));
+            }
+        }
+        for i in 0..self.n1 as usize {
+            let row = &self.cols[self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize];
+            for pair in row.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(WireError::new(format!("row {i} columns not ascending")));
+                }
+            }
+            if row.iter().any(|&c| c >= self.n2) {
+                return Err(WireError::new(format!("row {i} column out of range")));
+            }
+        }
+        if self.bytes.contains(&0) {
+            return Err(WireError::new("zero-byte entry"));
+        }
+        Ok(())
+    }
+}
+
+/// A decoded planning request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRequest {
+    /// Client-chosen identifier, echoed in the response.
+    pub request_id: u64,
+    /// Requested algorithm.
+    pub algo: Algo,
+    /// Platform parameters.
+    pub platform: WirePlatform,
+    /// The traffic matrix.
+    pub matrix: CsrMatrix,
+}
+
+/// Why a request was refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded request queue was at capacity (backpressure, not a hang).
+    QueueFull,
+    /// The matrix exceeds the server's configured cell limit.
+    MatrixTooLarge,
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanResponse {
+    /// The request was planned (or served from cache).
+    Ok {
+        /// Echoed request id.
+        request_id: u64,
+        /// True when the schedule came from the plan cache.
+        cached: bool,
+        /// The schedule — byte-identical to a cold run on the same instance.
+        schedule: Schedule,
+        /// Schedule cost in ticks.
+        cost: u64,
+        /// Lower bound in ticks.
+        lower_bound: u64,
+        /// Work-counter deltas of *this* request, [`telemetry::counters::Counter::ALL`] order.
+        work: [u64; COUNTER_COUNT],
+    },
+    /// Admission control refused the request.
+    Rejected {
+        /// Echoed request id.
+        request_id: u64,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// The request could not be decoded or was structurally invalid.
+    Error {
+        /// Echoed request id (0 when the id itself was unreadable).
+        request_id: u64,
+        /// Failure detail.
+        message: String,
+    },
+}
+
+/// A malformed frame or field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl WireError {
+    fn new(msg: impl Into<String>) -> WireError {
+        WireError(msg.into())
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------- cursors
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::new("truncated frame"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::new("trailing bytes in frame"))
+        }
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn check_header(c: &mut Cursor) -> Result<(), WireError> {
+    if c.take(4)? != MAGIC {
+        return Err(WireError::new("bad magic"));
+    }
+    let v = c.u16()?;
+    if v != VERSION {
+        return Err(WireError::new(format!("unsupported version {v}")));
+    }
+    Ok(())
+}
+
+// --------------------------------------------------------------- encoding
+
+/// Encodes a request as a full frame (length prefix included).
+pub fn encode_request(req: &PlanRequest) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64 + 12 * req.matrix.cols.len());
+    p.extend_from_slice(&MAGIC);
+    put_u16(&mut p, VERSION);
+    p.push(0); // kind: plan
+    put_u64(&mut p, req.request_id);
+    p.push(req.algo as u8);
+    put_u32(&mut p, req.platform.n1);
+    put_u32(&mut p, req.platform.n2);
+    put_f64(&mut p, req.platform.t1);
+    put_f64(&mut p, req.platform.t2);
+    put_f64(&mut p, req.platform.backbone);
+    put_f64(&mut p, req.platform.beta_seconds);
+    put_u32(&mut p, req.matrix.cols.len() as u32);
+    for &o in &req.matrix.row_ptr {
+        put_u32(&mut p, o);
+    }
+    for (&c, &b) in req.matrix.cols.iter().zip(&req.matrix.bytes) {
+        put_u32(&mut p, c);
+        put_u64(&mut p, b);
+    }
+    frame(p)
+}
+
+/// Decodes a request payload (no length prefix).
+pub fn decode_request(payload: &[u8]) -> Result<PlanRequest, WireError> {
+    let mut c = Cursor::new(payload);
+    check_header(&mut c)?;
+    let kind = c.u8()?;
+    if kind != 0 {
+        return Err(WireError::new(format!("unknown request kind {kind}")));
+    }
+    let request_id = c.u64()?;
+    let algo = Algo::from_u8(c.u8()?)?;
+    let n1 = c.u32()?;
+    let n2 = c.u32()?;
+    let t1 = c.f64()?;
+    let t2 = c.f64()?;
+    let backbone = c.f64()?;
+    let beta_seconds = c.f64()?;
+    if n1 == 0 || n2 == 0 {
+        return Err(WireError::new("empty cluster"));
+    }
+    if !(t1 > 0.0 && t1.is_finite() && t2 > 0.0 && t2.is_finite()) {
+        return Err(WireError::new("non-positive NIC throughput"));
+    }
+    if !(backbone > 0.0 && backbone.is_finite()) {
+        return Err(WireError::new("non-positive backbone throughput"));
+    }
+    if !(beta_seconds >= 0.0 && beta_seconds.is_finite()) {
+        return Err(WireError::new("invalid beta"));
+    }
+    let nnz = c.u32()? as usize;
+    // Cheap structural bound before allocating: every offset/entry must fit
+    // in the remaining payload.
+    let need = (n1 as usize + 1) * 4 + nnz * 12;
+    if payload.len() - c.pos != need {
+        return Err(WireError::new("matrix section length mismatch"));
+    }
+    let mut row_ptr = Vec::with_capacity(n1 as usize + 1);
+    for _ in 0..=n1 {
+        row_ptr.push(c.u32()?);
+    }
+    let mut cols = Vec::with_capacity(nnz);
+    let mut bytes = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        cols.push(c.u32()?);
+        bytes.push(c.u64()?);
+    }
+    c.done()?;
+    let matrix = CsrMatrix {
+        n1,
+        n2,
+        row_ptr,
+        cols,
+        bytes,
+    };
+    matrix.validate()?;
+    Ok(PlanRequest {
+        request_id,
+        algo,
+        platform: WirePlatform {
+            n1,
+            n2,
+            t1,
+            t2,
+            backbone,
+            beta_seconds,
+        },
+        matrix,
+    })
+}
+
+/// The deterministic byte encoding of a schedule — the exact bytes an `Ok`
+/// response carries, exposed so tests (and the cache-consistency check) can
+/// byte-compare a served schedule against a cold plan.
+pub fn encode_schedule(s: &Schedule) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, s.beta);
+    put_u32(&mut out, s.steps.len() as u32);
+    for step in &s.steps {
+        put_u32(&mut out, step.transfers.len() as u32);
+        for t in &step.transfers {
+            put_u32(&mut out, t.edge.0);
+            put_u64(&mut out, t.amount);
+        }
+    }
+    out
+}
+
+fn decode_schedule(c: &mut Cursor) -> Result<Schedule, WireError> {
+    let beta = c.u64()?;
+    let num_steps = c.u32()? as usize;
+    let mut steps = Vec::with_capacity(num_steps.min(1 << 16));
+    for _ in 0..num_steps {
+        let nt = c.u32()? as usize;
+        let mut transfers = Vec::with_capacity(nt.min(1 << 16));
+        for _ in 0..nt {
+            let edge = c.u32()?;
+            let amount = c.u64()?;
+            transfers.push(kpbs::Transfer {
+                edge: bipartite::EdgeId(edge),
+                amount,
+            });
+        }
+        steps.push(kpbs::Step { transfers });
+    }
+    Ok(Schedule { steps, beta })
+}
+
+/// Encodes a response as a full frame (length prefix included).
+pub fn encode_response(resp: &PlanResponse) -> Vec<u8> {
+    let mut p = Vec::new();
+    p.extend_from_slice(&MAGIC);
+    put_u16(&mut p, VERSION);
+    match resp {
+        PlanResponse::Ok {
+            request_id,
+            cached,
+            schedule,
+            cost,
+            lower_bound,
+            work,
+        } => {
+            put_u64(&mut p, *request_id);
+            p.push(0);
+            p.push(u8::from(*cached));
+            p.extend_from_slice(&encode_schedule(schedule));
+            put_u64(&mut p, *cost);
+            put_u64(&mut p, *lower_bound);
+            p.push(COUNTER_COUNT as u8);
+            for &w in work.iter() {
+                put_u64(&mut p, w);
+            }
+        }
+        PlanResponse::Rejected { request_id, reason } => {
+            put_u64(&mut p, *request_id);
+            p.push(match reason {
+                RejectReason::QueueFull => 1,
+                RejectReason::MatrixTooLarge => 2,
+            });
+        }
+        PlanResponse::Error {
+            request_id,
+            message,
+        } => {
+            put_u64(&mut p, *request_id);
+            p.push(3);
+            put_u32(&mut p, message.len() as u32);
+            p.extend_from_slice(message.as_bytes());
+        }
+    }
+    frame(p)
+}
+
+/// Decodes a response payload (no length prefix).
+pub fn decode_response(payload: &[u8]) -> Result<PlanResponse, WireError> {
+    let mut c = Cursor::new(payload);
+    check_header(&mut c)?;
+    let request_id = c.u64()?;
+    let status = c.u8()?;
+    let resp = match status {
+        0 => {
+            let cached = c.u8()? != 0;
+            let schedule = decode_schedule(&mut c)?;
+            let cost = c.u64()?;
+            let lower_bound = c.u64()?;
+            let n = c.u8()? as usize;
+            let mut work = [0u64; COUNTER_COUNT];
+            for slot in work.iter_mut().take(n) {
+                *slot = c.u64()?;
+            }
+            // Any counters beyond what this build knows are drained and
+            // dropped (forward compatibility with a longer table).
+            for _ in COUNTER_COUNT..n {
+                c.u64()?;
+            }
+            PlanResponse::Ok {
+                request_id,
+                cached,
+                schedule,
+                cost,
+                lower_bound,
+                work,
+            }
+        }
+        1 => PlanResponse::Rejected {
+            request_id,
+            reason: RejectReason::QueueFull,
+        },
+        2 => PlanResponse::Rejected {
+            request_id,
+            reason: RejectReason::MatrixTooLarge,
+        },
+        3 => {
+            let len = c.u32()? as usize;
+            let msg = String::from_utf8_lossy(c.take(len)?).into_owned();
+            PlanResponse::Error {
+                request_id,
+                message: msg,
+            }
+        }
+        other => return Err(WireError::new(format!("unknown status {other}"))),
+    };
+    c.done()?;
+    Ok(resp)
+}
+
+fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+// ------------------------------------------------------------------- i/o
+
+/// What the server read off a connection: a binary frame or the plaintext
+/// `STATS` command.
+#[derive(Debug)]
+pub enum Incoming {
+    /// A binary frame payload (length prefix stripped).
+    Frame(Vec<u8>),
+    /// The plaintext `STATS\n` admin command.
+    Stats,
+    /// Clean end of stream before any bytes of a new message.
+    Eof,
+}
+
+/// How long a reader keeps retrying timeouts *mid-message* before giving
+/// up on a stalled peer. Waits *between* messages are not covered: there a
+/// timeout surfaces immediately so the server can poll its shutdown flag.
+const MID_MESSAGE_PATIENCE: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Reads one incoming message. Sniffs the first four bytes: `STAT` selects
+/// the plaintext admin path, anything else is a frame length.
+///
+/// Timeout semantics: a `WouldBlock`/`TimedOut` while waiting for the
+/// *first byte* of a message propagates untouched (the server polls its
+/// shutdown flag on that path). Once a message has started, timeouts are
+/// retried — a frame briefly split across packets must not tear the
+/// stream's framing — up to a patience bound, after which the connection
+/// is abandoned as stalled.
+pub fn read_incoming<R: Read>(r: &mut R) -> io::Result<Incoming> {
+    let mut head = [0u8; 4];
+    match read_head(r, &mut head)? {
+        0 => return Ok(Incoming::Eof),
+        4 => {}
+        _ => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "torn header")),
+    }
+    if head == *b"STAT" {
+        let mut rest = [0u8; 2];
+        read_patiently(r, &mut rest)?;
+        if rest != *b"S\n" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "malformed admin command",
+            ));
+        }
+        return Ok(Incoming::Stats);
+    }
+    let len = u32::from_be_bytes(head);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_patiently(r, &mut payload)?;
+    Ok(Incoming::Frame(payload))
+}
+
+/// Reads one response frame (client side), returning the payload.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    match read_incoming(r)? {
+        Incoming::Frame(p) => Ok(p),
+        Incoming::Stats => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unexpected STATS on this stream",
+        )),
+        Incoming::Eof => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed",
+        )),
+    }
+}
+
+/// Writes pre-framed bytes and flushes.
+pub fn write_all<W: Write>(w: &mut W, bytes: &[u8]) -> io::Result<()> {
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads a message head: returns 0 on clean EOF before the first byte,
+/// propagates `WouldBlock`/`TimedOut` only while no byte has arrived, and
+/// switches to patient mode once the message has started.
+fn read_head<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut got = 0;
+    let mut deadline: Option<std::time::Instant> = None;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(0);
+                }
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "torn message"));
+            }
+            Ok(n) => {
+                got += n;
+                deadline.get_or_insert_with(|| std::time::Instant::now() + MID_MESSAGE_PATIENCE);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if got > 0
+                    && (e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut) =>
+            {
+                if deadline.is_some_and(|d| std::time::Instant::now() > d) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "stalled mid-message",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(buf.len())
+}
+
+/// Fills `buf` fully, retrying timeouts (mid-message reads) up to the
+/// patience bound. EOF is always an error here.
+fn read_patiently<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<()> {
+    let deadline = std::time::Instant::now() + MID_MESSAGE_PATIENCE;
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "torn message"));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if std::time::Instant::now() > deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "stalled mid-message",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpbs::{Step, Transfer};
+
+    fn sample_request() -> PlanRequest {
+        let mut t = TrafficMatrix::zeros(3, 2);
+        t.set(0, 0, 1_000_000);
+        t.set(0, 1, 2_000_000);
+        t.set(2, 1, 500_000);
+        PlanRequest {
+            request_id: 42,
+            algo: Algo::Oggp,
+            platform: WirePlatform {
+                n1: 3,
+                n2: 2,
+                t1: 100.0,
+                t2: 100.0,
+                backbone: 200.0,
+                beta_seconds: 0.05,
+            },
+            matrix: CsrMatrix::from_traffic(&t),
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = sample_request();
+        let bytes = encode_request(&req);
+        let payload = &bytes[4..];
+        assert_eq!(
+            u32::from_be_bytes(bytes[..4].try_into().unwrap()) as usize,
+            payload.len()
+        );
+        let back = decode_request(payload).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn csr_round_trips_dense() {
+        let mut t = TrafficMatrix::zeros(4, 4);
+        t.set(1, 3, 7);
+        t.set(3, 0, 9);
+        let csr = CsrMatrix::from_traffic(&t);
+        assert_eq!(csr.cells(), 16);
+        csr.validate().unwrap();
+        assert_eq!(csr.to_traffic(), t);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_request(&sample_request());
+        bytes[4] = b'X';
+        let err = decode_request(&bytes[4..]).unwrap_err();
+        assert!(err.0.contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode_request(&sample_request());
+        bytes[9] = 99;
+        let err = decode_request(&bytes[4..]).unwrap_err();
+        assert!(err.0.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode_request(&sample_request());
+        for cut in [5, 10, 20, bytes.len() - 5] {
+            assert!(decode_request(&bytes[4..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unsorted_columns_rejected() {
+        let m = CsrMatrix {
+            n1: 1,
+            n2: 3,
+            row_ptr: vec![0, 2],
+            cols: vec![2, 1],
+            bytes: vec![5, 5],
+        };
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn zero_bytes_rejected() {
+        let m = CsrMatrix {
+            n1: 1,
+            n2: 3,
+            row_ptr: vec![0, 1],
+            cols: vec![0],
+            bytes: vec![0],
+        };
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let schedule = Schedule {
+            steps: vec![Step {
+                transfers: vec![Transfer {
+                    edge: bipartite::EdgeId(3),
+                    amount: 17,
+                }],
+            }],
+            beta: 2,
+        };
+        let mut work = [0u64; COUNTER_COUNT];
+        work[0] = 5;
+        let cases = [
+            PlanResponse::Ok {
+                request_id: 7,
+                cached: true,
+                schedule,
+                cost: 19,
+                lower_bound: 17,
+                work,
+            },
+            PlanResponse::Rejected {
+                request_id: 8,
+                reason: RejectReason::QueueFull,
+            },
+            PlanResponse::Rejected {
+                request_id: 9,
+                reason: RejectReason::MatrixTooLarge,
+            },
+            PlanResponse::Error {
+                request_id: 10,
+                message: "bad things".into(),
+            },
+        ];
+        for case in &cases {
+            let bytes = encode_response(case);
+            let back = decode_response(&bytes[4..]).unwrap();
+            assert_eq!(&back, case);
+        }
+    }
+
+    #[test]
+    fn schedule_encoding_is_deterministic() {
+        let s = Schedule {
+            steps: vec![
+                Step {
+                    transfers: vec![
+                        Transfer {
+                            edge: bipartite::EdgeId(0),
+                            amount: 4,
+                        },
+                        Transfer {
+                            edge: bipartite::EdgeId(2),
+                            amount: 9,
+                        },
+                    ],
+                },
+                Step { transfers: vec![] },
+            ],
+            beta: 1,
+        };
+        assert_eq!(encode_schedule(&s), encode_schedule(&s.clone()));
+    }
+
+    #[test]
+    fn incoming_sniffs_stats_and_frames() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(STATS_COMMAND);
+        let mut r = &buf[..];
+        assert!(matches!(read_incoming(&mut r).unwrap(), Incoming::Stats));
+
+        let framed = encode_response(&PlanResponse::Rejected {
+            request_id: 1,
+            reason: RejectReason::QueueFull,
+        });
+        let mut r = &framed[..];
+        match read_incoming(&mut r).unwrap() {
+            Incoming::Frame(p) => {
+                assert_eq!(p.len(), framed.len() - 4);
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+
+        let empty: &[u8] = &[];
+        let mut r = empty;
+        assert!(matches!(read_incoming(&mut r).unwrap(), Incoming::Eof));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        let mut r = &buf[..];
+        assert!(read_incoming(&mut r).is_err());
+    }
+}

@@ -1,0 +1,355 @@
+//! Loopback integration tests: a real `redistd` server on 127.0.0.1 driven
+//! by real TCP clients, covering the acceptance criteria of the serving
+//! layer:
+//!
+//! (a) schedules returned over the wire are byte-identical to a cold local
+//!     plan of the same instance, whether served cold or from cache;
+//! (b) repeated matrices are served from the plan cache and counted;
+//! (c) overload with queue depth 1 produces `Rejected{queue_full}`
+//!     responses, not hangs;
+//! (d) graceful shutdown drains in-flight requests to their responses.
+
+use kpbs::traffic::TickScale;
+use kpbs::{Platform, TrafficMatrix};
+use redistd::client::{self, Client};
+use redistd::server::{self, ServerConfig};
+use redistd::wire::{self, Algo, PlanResponse, RejectReason};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const BETA: f64 = 0.05;
+
+/// Deterministic workload: `distinct` sparse matrices, none empty.
+fn make_matrices(distinct: usize, n: usize) -> Vec<TrafficMatrix> {
+    (0..distinct)
+        .map(|i| {
+            let mut t = TrafficMatrix::zeros(n, n);
+            let mut state = (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for r in 0..n {
+                for c in 0..n {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    if state % 5 < 2 {
+                        t.set(r, c, (1 + state % 32) * 1_000_000);
+                    }
+                }
+            }
+            t.set(i % n, (i * 3) % n, 7_000_000);
+            t
+        })
+        .collect()
+}
+
+fn cold_plan_bytes(traffic: &TrafficMatrix, platform: &Platform, algo: Algo) -> (Vec<u8>, u64) {
+    let (inst, _) = traffic.to_instance(platform, BETA, TickScale::MILLIS);
+    let schedule = match algo {
+        Algo::Oggp => kpbs::oggp(&inst),
+        Algo::Ggp => kpbs::ggp(&inst),
+    };
+    kpbs::validate::validate(&inst, &schedule).expect("cold plan validates");
+    let cost = schedule.cost();
+    (wire::encode_schedule(&schedule), cost)
+}
+
+/// (a) + (b): 64+ concurrent requests over a handful of distinct matrices;
+/// every response must byte-compare equal to the cold plan, and after a
+/// warm-up pass every repeat must be a counted cache hit.
+#[test]
+fn concurrent_requests_are_byte_identical_and_cached() {
+    telemetry::counters::enable();
+    let handle = server::start(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    let n = 10;
+    let distinct = 4;
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let matrices = make_matrices(distinct, n);
+    let expected: Vec<(Vec<u8>, u64)> = matrices
+        .iter()
+        .map(|t| cold_plan_bytes(t, &platform, Algo::Oggp))
+        .collect();
+
+    // Warm-up: plan each distinct matrix once so the concurrent phase is
+    // deterministic — every one of its requests must then hit the cache.
+    {
+        let mut c = Client::connect(addr).unwrap();
+        for (i, t) in matrices.iter().enumerate() {
+            let req = client::request(i as u64, Algo::Oggp, t, &platform, BETA);
+            match c.plan(&req).unwrap() {
+                PlanResponse::Ok {
+                    cached, schedule, ..
+                } => {
+                    assert!(!cached, "first sight of matrix {i} cannot be cached");
+                    assert_eq!(wire::encode_schedule(&schedule), expected[i].0);
+                }
+                other => panic!("warm-up {i}: {other:?}"),
+            }
+        }
+    }
+
+    let threads = 8;
+    let per_thread = 8; // 64 concurrent requests
+    let next_id = AtomicU64::new(1000);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut c = Client::connect(addr).unwrap();
+                for j in 0..per_thread {
+                    let id = next_id.fetch_add(1, Ordering::Relaxed);
+                    let which = (id as usize + j) % distinct;
+                    let req = client::request(id, Algo::Oggp, &matrices[which], &platform, BETA);
+                    match c.plan(&req).unwrap() {
+                        PlanResponse::Ok {
+                            request_id,
+                            cached,
+                            schedule,
+                            cost,
+                            work,
+                            ..
+                        } => {
+                            assert_eq!(request_id, id);
+                            assert!(cached, "request {id} should be a cache hit after warm-up");
+                            assert_eq!(
+                                wire::encode_schedule(&schedule),
+                                expected[which].0,
+                                "request {id}: cached schedule differs from cold plan"
+                            );
+                            assert_eq!(cost, expected[which].1);
+                            assert!(
+                                work.iter().all(|&w| w == 0),
+                                "cache hits report a zero work delta"
+                            );
+                        }
+                        other => panic!("request {id}: {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = handle.shutdown();
+    let total = (threads * per_thread + distinct) as u64;
+    assert_eq!(stats.served, total);
+    assert_eq!(stats.cache.hits, (threads * per_thread) as u64);
+    assert_eq!(stats.cache.misses, distinct as u64);
+    assert_eq!(stats.rejected_queue_full, 0);
+    assert_eq!(stats.errors, 0);
+}
+
+/// GGP and OGGP cache entries must not collide: the algorithm tag is part
+/// of the cache key, so the same matrix planned under both returns each
+/// algorithm's own schedule.
+#[test]
+fn cache_keys_separate_algorithms() {
+    let handle = server::start(ServerConfig::default()).unwrap();
+    let n = 8;
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let traffic = &make_matrices(1, n)[0];
+    let (oggp_bytes, _) = cold_plan_bytes(traffic, &platform, Algo::Oggp);
+    let (ggp_bytes, _) = cold_plan_bytes(traffic, &platform, Algo::Ggp);
+
+    let mut c = Client::connect(handle.addr()).unwrap();
+    for (id, algo, want) in [(1, Algo::Oggp, &oggp_bytes), (2, Algo::Ggp, &ggp_bytes)] {
+        match c
+            .plan(&client::request(id, algo, traffic, &platform, BETA))
+            .unwrap()
+        {
+            PlanResponse::Ok {
+                cached, schedule, ..
+            } => {
+                assert!(!cached);
+                assert_eq!(&wire::encode_schedule(&schedule), want);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+/// (c) overload: one slow worker, queue depth 1, a burst of concurrent
+/// requests. The surplus must be answered `Rejected{queue_full}` promptly —
+/// nothing may hang or be silently dropped.
+#[test]
+fn overload_rejects_rather_than_hangs() {
+    let handle = server::start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        worker_think_ms: 150,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let n = 6;
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let matrices = make_matrices(8, n);
+
+    let start = Instant::now();
+    let results: Vec<PlanResponse> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let m = &matrices[i];
+                let platform = &platform;
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    c.plan(&client::request(i as u64, Algo::Oggp, m, platform, BETA))
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed();
+
+    let ok = results
+        .iter()
+        .filter(|r| matches!(r, PlanResponse::Ok { .. }))
+        .count();
+    let rejected = results
+        .iter()
+        .filter(|r| {
+            matches!(
+                r,
+                PlanResponse::Rejected {
+                    reason: RejectReason::QueueFull,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(ok + rejected, 8, "every request gets exactly one answer");
+    assert!(ok >= 1, "the in-service request must complete");
+    assert!(
+        rejected >= 5,
+        "burst past depth-1 queue must be shed, got {rejected}"
+    );
+    // 8 sequential 150 ms plans would take 1.2 s; shedding keeps it well
+    // under that even on a loaded CI machine.
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "rejections must be immediate, took {elapsed:?}"
+    );
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.rejected_queue_full, rejected as u64);
+    assert_eq!(stats.served, ok as u64);
+}
+
+/// Oversized matrices are refused at admission with `matrix_too_large`.
+#[test]
+fn oversized_matrix_is_rejected() {
+    let handle = server::start(ServerConfig {
+        max_cells: 16,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let n = 6; // 36 cells > 16
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let traffic = &make_matrices(1, n)[0];
+    let mut c = Client::connect(handle.addr()).unwrap();
+    match c
+        .plan(&client::request(9, Algo::Oggp, traffic, &platform, BETA))
+        .unwrap()
+    {
+        PlanResponse::Rejected {
+            request_id,
+            reason: RejectReason::MatrixTooLarge,
+        } => assert_eq!(request_id, 9),
+        other => panic!("{other:?}"),
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.rejected_too_large, 1);
+    assert_eq!(stats.served, 0);
+}
+
+/// (d) graceful shutdown: a request in flight on a slow worker when
+/// shutdown begins still receives its (correct) response.
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let handle = server::start(ServerConfig {
+        workers: 1,
+        worker_think_ms: 300,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let n = 6;
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let traffic = make_matrices(1, n).remove(0);
+    let (expected_bytes, _) = cold_plan_bytes(&traffic, &platform, Algo::Oggp);
+
+    let client_thread = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.plan(&client::request(42, Algo::Oggp, &traffic, &platform, BETA))
+            .unwrap()
+    });
+    // Let the request reach the worker's think-sleep, then shut down while
+    // it is mid-plan.
+    std::thread::sleep(Duration::from_millis(100));
+    let stats = handle.shutdown();
+
+    match client_thread.join().unwrap() {
+        PlanResponse::Ok {
+            request_id,
+            schedule,
+            ..
+        } => {
+            assert_eq!(request_id, 42);
+            assert_eq!(wire::encode_schedule(&schedule), expected_bytes);
+        }
+        other => panic!("in-flight request lost in shutdown: {other:?}"),
+    }
+    assert_eq!(stats.served, 1, "drained request is counted");
+}
+
+/// The plaintext `STATS` admin command reports live server state.
+#[test]
+fn stats_command_reports_state() {
+    let handle = server::start(ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    let n = 6;
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let traffic = &make_matrices(1, n)[0];
+
+    let mut c = Client::connect(addr).unwrap();
+    for id in 0..3 {
+        let resp = c.plan(&client::request(id, Algo::Oggp, traffic, &platform, BETA));
+        assert!(matches!(resp, Ok(PlanResponse::Ok { .. })));
+    }
+    let report = client::fetch_stats(addr).unwrap();
+    assert_eq!(client::stats_field(&report, "served"), Some(3));
+    assert_eq!(client::stats_field(&report, "cache_hits"), Some(2));
+    assert_eq!(client::stats_field(&report, "cache_misses"), Some(1));
+    assert_eq!(client::stats_field(&report, "rejected_queue_full"), Some(0));
+    assert!(report.contains("service_us_p50"));
+    handle.shutdown();
+}
+
+/// Malformed frames get an error response (with the request id when it can
+/// be recovered) instead of a dropped connection.
+#[test]
+fn malformed_frame_gets_error_response() {
+    let handle = server::start(ServerConfig::default()).unwrap();
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    // Valid magic + version + kind + request id, then garbage.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&wire::MAGIC);
+    payload.extend_from_slice(&1u16.to_be_bytes());
+    payload.push(0);
+    payload.extend_from_slice(&77u64.to_be_bytes());
+    payload.extend_from_slice(&[0xAB; 7]);
+    let mut framed = (payload.len() as u32).to_be_bytes().to_vec();
+    framed.extend_from_slice(&payload);
+    wire::write_all(&mut stream, &framed).unwrap();
+    let frame = wire::read_frame(&mut stream).unwrap();
+    match wire::decode_response(&frame).unwrap() {
+        PlanResponse::Error { request_id, .. } => assert_eq!(request_id, 77),
+        other => panic!("{other:?}"),
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.errors, 1);
+}

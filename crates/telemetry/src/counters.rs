@@ -60,10 +60,18 @@ pub enum Counter {
     FlowsimEvents,
     /// Threads arriving at an mpilite barrier.
     BarrierWaits,
+    /// Planning requests admitted and served by the `redistd` serving layer
+    /// (cache hits and misses both count; rejected requests do not).
+    ServeRequests,
+    /// Served requests answered from the plan cache without re-planning.
+    ServeCacheHits,
+    /// Requests rejected by admission control (queue full or matrix too
+    /// large) before reaching a worker.
+    ServeRejected,
 }
 
 /// Number of distinct counters.
-pub const COUNTER_COUNT: usize = 13;
+pub const COUNTER_COUNT: usize = 16;
 
 impl Counter {
     /// Every counter, in declaration (and export) order.
@@ -81,6 +89,9 @@ impl Counter {
         Counter::FairshareRounds,
         Counter::FlowsimEvents,
         Counter::BarrierWaits,
+        Counter::ServeRequests,
+        Counter::ServeCacheHits,
+        Counter::ServeRejected,
     ];
 
     /// Stable snake_case key used in JSON exports and summary tables.
@@ -99,6 +110,9 @@ impl Counter {
             Counter::FairshareRounds => "fairshare_rounds",
             Counter::FlowsimEvents => "flowsim_events",
             Counter::BarrierWaits => "barrier_waits",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeCacheHits => "serve_cache_hits",
+            Counter::ServeRejected => "serve_rejected",
         }
     }
 }

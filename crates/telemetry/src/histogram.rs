@@ -1,0 +1,215 @@
+//! Fixed-bucket latency histograms.
+//!
+//! A [`Histogram`] is a lock-free, fixed-size array of power-of-two buckets
+//! over `u64` samples (the serving layer records microseconds). Recording is
+//! one relaxed atomic add — safe to call from many worker threads — and
+//! quantile queries read a consistent-enough snapshot for operational
+//! reporting (`STATS`, `BENCH_serve.json`). Memory is constant: no
+//! allocation ever happens after construction, matching the crate's
+//! zero-dependency, bounded-overhead discipline.
+//!
+//! Buckets are geometric: bucket `i` covers `[2^i, 2^(i+1))` with bucket 0
+//! additionally holding zero samples. 40 buckets therefore cover
+//! `[0, 2^40)` — in microseconds that is ~12.7 days, far beyond any service
+//! time worth distinguishing; larger samples clamp into the last bucket.
+//! A reported quantile is the *inclusive upper bound* of the bucket holding
+//! the requested rank, so quantiles are conservative (never understate).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of geometric buckets. Bucket `i` covers `[2^i, 2^(i+1))`.
+pub const BUCKET_COUNT: usize = 40;
+
+/// A fixed-bucket concurrent histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKET_COUNT],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a sample: `floor(log2(v))`, clamped to the table.
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            return 0;
+        }
+        ((63 - v.leading_zeros()) as usize).min(BUCKET_COUNT - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i` (the value a quantile reports).
+    /// The last bucket absorbs all clamped samples, so its bound is open.
+    fn bucket_upper(i: usize) -> u64 {
+        if i + 1 >= BUCKET_COUNT {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
+    /// Records one sample. One relaxed `fetch_add` per atomic — callable
+    /// concurrently from any number of threads.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0 with no samples.
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// containing that rank; 0 when empty. `quantile(0.5)` is the median
+    /// upper bound, `quantile(0.99)` the p99.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let snapshot: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the requested quantile among `total` ordered samples,
+        // 1-based and clamped: q = 0 → first sample, q = 1 → last.
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in snapshot.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(BUCKET_COUNT - 1)
+    }
+
+    /// Resets every bucket and the count/sum to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.mean(), 50);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // The true p50 is 50 (bucket [32,64) → upper 63); p99 is 99
+        // (bucket [64,128) → upper 127).
+        assert_eq!(p50, 63);
+        assert_eq!(p99, 127);
+        assert!(p50 <= p99);
+        // Never understate: the reported quantile covers the true one.
+        assert!(p50 >= 50);
+        assert!(p99 >= 99);
+    }
+
+    #[test]
+    fn single_sample_everywhere() {
+        let h = Histogram::new();
+        h.record(1000);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= 1000, "q={q} gave {v}");
+            assert!(v < 2048, "q={q} gave {v}");
+        }
+    }
+
+    #[test]
+    fn huge_samples_clamp_into_last_bucket() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(7);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.quantile(0.9), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -29,6 +29,10 @@
 //!   tables for spans and counters. [`json`] is the minimal JSON parser the
 //!   exporters' tests validate output with.
 //!
+//! * [`histogram`] — fixed-bucket concurrent latency histograms (p50/p99
+//!   without allocation), used by the `redistd` serving layer for its
+//!   `STATS` report and by `redistload` for `BENCH_serve.json`.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -61,8 +65,10 @@
 
 pub mod counters;
 pub mod export;
+pub mod histogram;
 pub mod json;
 pub mod spans;
 
 pub use counters::Counter;
+pub use histogram::Histogram;
 pub use spans::{instant, span, SpanEvent, SpanGuard, SpanPhase};

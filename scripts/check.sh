@@ -1,23 +1,40 @@
 #!/usr/bin/env bash
-# Repository gate: formatting, lints, release build, the full test suite and
-# the deterministic work-counter regression check.
+# Repository gate: formatting, lints, release build, the full test suite,
+# the deterministic work-counter regression check and the serving-layer
+# load test. Fails fast: the first failing step aborts the run with a
+# banner naming it.
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
+STEP=""
+
+banner() {
+  STEP="$1"
+  printf '\n===================================================================\n'
+  printf '==> %s\n' "$STEP"
+  printf '===================================================================\n'
+}
+
+trap 'status=$?; if [ $status -ne 0 ]; then printf "\nFAILED at step: %s (exit %d)\n" "$STEP" "$status" >&2; fi' EXIT
+
+banner "format check (cargo fmt --check)"
 cargo fmt --check
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+banner "lints (cargo clippy --workspace --all-targets -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
+banner "release build (cargo build --release)"
 cargo build --release
 
-echo "==> cargo test --workspace -q"
+banner "test suite (cargo test --workspace -q)"
 cargo test --workspace -q
 
-echo "==> work-counter regression (fixed-seed campaign vs BENCH_counters.json)"
+banner "work-counter regression (fixed-seed campaign vs BENCH_counters.json)"
 cargo run --release -p bench --bin counters_baseline -- --check
 
-echo "All checks passed."
+banner "serving-layer load test (redistload -> BENCH_serve.json)"
+cargo run --release -p redistd --bin redistload -- \
+  --requests 128 --connections 4 --distinct 8 --n 10 --out BENCH_serve.json
+
+printf '\nAll checks passed.\n'

@@ -8,7 +8,8 @@
 //! ```
 //!
 //! The CSV holds one row per sender with per-receiver byte counts
-//! (`k`/`M`/`G` suffixes allowed, `#` comments skipped). Without `--matrix`
+//! (`k`/`M`/`G` suffixes allowed, `#` comments skipped). `--matrix -` reads
+//! the matrix from stdin instead of a file (at most once). Without `--matrix`
 //! a small demo workload is used. `--matrix` may be repeated to plan a batch
 //! of redistributions in one invocation; `--jobs N` schedules the batch (and
 //! the `--compare` sweep) on `N` worker threads. Planning is deterministic
@@ -53,7 +54,8 @@ fn main() {
              The CSV holds one row per sender with per-receiver byte counts\n\
              (k/M/G suffixes allowed, '#' comments skipped). Without --matrix a\n\
              small demo workload is used. Repeat --matrix to plan a batch in one\n\
-             invocation.\n\
+             invocation. Pass '-' as the path to read one matrix from stdin\n\
+             (usable once per invocation, combinable with file paths).\n\
              \n\
              --jobs N        plan batches and --compare sweeps on N threads;\n\
              \x20               output is identical to --jobs 1\n\
@@ -76,11 +78,23 @@ fn main() {
         }
         vec![t]
     } else {
+        if matrix_paths.iter().filter(|p| **p == "-").count() > 1 {
+            die("--matrix - (stdin) can be given at most once");
+        }
         matrix_paths
             .iter()
             .map(|path| {
-                let text = std::fs::read_to_string(path)
-                    .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+                let text = if *path == "-" {
+                    use std::io::Read;
+                    let mut buf = String::new();
+                    std::io::stdin()
+                        .read_to_string(&mut buf)
+                        .unwrap_or_else(|e| die(&format!("cannot read stdin: {e}")));
+                    buf
+                } else {
+                    std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")))
+                };
                 parse_matrix_csv(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
             })
             .collect()
