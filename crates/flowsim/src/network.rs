@@ -48,6 +48,27 @@ impl CapacityProfile {
         }
     }
 
+    /// The profile with every capacity multiplied by `factor` — the fault
+    /// hook used to model backbone degradation (a slowdown of `s` scales
+    /// capacities by `1/s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite (a zero-capacity
+    /// network cannot drain any flow).
+    pub fn scaled(&self, factor: f64) -> CapacityProfile {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "capacity scale must be positive and finite"
+        );
+        match self {
+            CapacityProfile::Constant(c) => CapacityProfile::Constant(c * factor),
+            CapacityProfile::Piecewise(segs) => {
+                CapacityProfile::Piecewise(segs.iter().map(|&(t, c)| (t, c * factor)).collect())
+            }
+        }
+    }
+
     /// Validates monotone segment starts and positive capacities.
     pub fn validate(&self) -> Result<(), String> {
         match self {
@@ -128,6 +149,23 @@ impl NetworkSpec {
         self.nic_in.len()
     }
 
+    /// The network with every capacity (NICs and backbone) multiplied by
+    /// `factor`. Max–min fair allocations scale linearly with a uniform
+    /// capacity scale, so running a step on `scaled(1.0 / s)` models a
+    /// platform-wide slowdown of factor `s` exactly — this is the fault
+    /// hook the execution runtime's simulated transport injects through.
+    pub fn scaled(&self, factor: f64) -> NetworkSpec {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "capacity scale must be positive and finite"
+        );
+        NetworkSpec {
+            nic_out: self.nic_out.iter().map(|c| c * factor).collect(),
+            nic_in: self.nic_in.iter().map(|c| c * factor).collect(),
+            backbone: self.backbone.scaled(factor),
+        }
+    }
+
     /// Validates node counts and capacities.
     pub fn validate(&self) -> Result<(), String> {
         if self.nic_out.is_empty() || self.nic_in.is_empty() {
@@ -188,6 +226,27 @@ mod tests {
         assert_eq!(s.receivers(), 10);
         assert!((s.nic_out[0] - 20.0).abs() < 1e-9);
         assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_capacities() {
+        let p = CapacityProfile::Piecewise(vec![(0.0, 100.0), (5.0, 40.0)]);
+        let half = p.scaled(0.5);
+        assert_eq!(half.at(0.0), 50.0);
+        assert_eq!(half.at(6.0), 20.0);
+        assert_eq!(half.next_change_after(0.0), Some(5.0), "breakpoints keep");
+
+        let s = NetworkSpec::uniform(2, 3, 100.0, 80.0, 300.0).scaled(0.25);
+        assert_eq!(s.nic_out, vec![25.0, 25.0]);
+        assert_eq!(s.nic_in, vec![20.0, 20.0, 20.0]);
+        assert_eq!(s.backbone.at(0.0), 75.0);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_scale_rejected() {
+        NetworkSpec::uniform(1, 1, 1.0, 1.0, 1.0).scaled(0.0);
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod prelocal;
 pub mod problem;
 pub mod regularize;
 pub mod relax;
+pub mod residual;
 pub mod schedule;
 pub mod stats;
 pub mod traffic;
@@ -74,6 +75,7 @@ pub use lower_bound::lower_bound;
 pub use oggp::oggp;
 pub use platform::Platform;
 pub use problem::Instance;
+pub use residual::{residual_matrix, restrict_matrix, surviving_residual};
 pub use schedule::{Schedule, Step, Transfer};
 pub use traffic::TrafficMatrix;
 

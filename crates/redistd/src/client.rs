@@ -72,6 +72,15 @@ pub fn stats_field(report: &str, key: &str) -> Option<u64> {
     })
 }
 
+/// Like [`stats_field`] but for fractional fields (`cache_hit_rate`,
+/// `service_us_mean`).
+pub fn stats_field_f64(report: &str, key: &str) -> Option<f64> {
+    report.lines().find_map(|l| {
+        let (k, v) = l.split_once(": ")?;
+        (k == key).then(|| v.trim().parse().ok())?
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +92,13 @@ mod tests {
         assert_eq!(stats_field(report, "queue_depth"), Some(0));
         assert_eq!(stats_field(report, "cache_hit_rate"), None); // not an int
         assert_eq!(stats_field(report, "missing"), None);
+    }
+
+    #[test]
+    fn stats_field_f64_parses_fractions_and_integers() {
+        let report = "redistd stats\nserved: 12\ncache_hit_rate: 0.5000\nqueue_depth: 0\n";
+        assert_eq!(stats_field_f64(report, "cache_hit_rate"), Some(0.5));
+        assert_eq!(stats_field_f64(report, "served"), Some(12.0));
+        assert_eq!(stats_field_f64(report, "missing"), None);
     }
 }

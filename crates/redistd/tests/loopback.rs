@@ -325,7 +325,17 @@ fn stats_command_reports_state() {
     assert_eq!(client::stats_field(&report, "cache_hits"), Some(2));
     assert_eq!(client::stats_field(&report, "cache_misses"), Some(1));
     assert_eq!(client::stats_field(&report, "rejected_queue_full"), Some(0));
-    assert!(report.contains("service_us_p50"));
+    // The derived fields parse as numbers, not just appear as text: hit
+    // rate is hits/served, the idle queue is empty, and the latency
+    // quantiles are ordered and non-zero after three served plans.
+    let hit_rate = client::stats_field_f64(&report, "cache_hit_rate").unwrap();
+    assert!((hit_rate - 2.0 / 3.0).abs() < 1e-3, "hit rate {hit_rate}");
+    assert_eq!(client::stats_field(&report, "queue_depth"), Some(0));
+    let p50 = client::stats_field(&report, "service_us_p50").unwrap();
+    let p99 = client::stats_field(&report, "service_us_p99").unwrap();
+    assert!(p50 > 0, "p50 of served requests is positive");
+    assert!(p99 >= p50, "quantiles ordered: p99 {p99} >= p50 {p50}");
+    assert!(client::stats_field_f64(&report, "service_us_mean").unwrap() > 0.0);
     handle.shutdown();
 }
 

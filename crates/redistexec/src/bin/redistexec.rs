@@ -1,0 +1,337 @@
+//! Fault-injected schedule execution from the command line.
+//!
+//! Usage: redistexec [--n 8] [--t1 100] [--t2 100] [--backbone 400]
+//!            [--beta 0.05] [--lo-mb 5] [--hi-mb 30] [--seed 1]
+//!            [--algo oggp|ggp] [--transport loopback|sim]
+//!            [--faults SEED] [--timeout SECS] [--trace out.json]
+//!        redistexec --bench [--seeds 40] [--out BENCH_exec.json]
+//!
+//! Plans a deterministic uniform workload, then executes it under the fault
+//! plan generated from `--faults` (omit for a fault-free run). `--trace`
+//! records step/retry/replan spans and writes Chrome trace-event JSON
+//! (open in <https://ui.perfetto.dev>).
+//!
+//! `--bench` runs the fixed regression campaign behind `BENCH_exec.json`
+//! in `scripts/check.sh`: one zero-fault run (checked byte-identical to
+//! plain execution) plus one run per fault seed, all verified against the
+//! delivery invariant, with retry/replan/fault/splice counter totals.
+
+use kpbs::traffic::TickScale;
+use kpbs::{Platform, TrafficMatrix};
+use redistexec::{
+    plan_and_execute, ExecConfig, ExecReport, FaultPlan, FaultSpec, LoopbackTransport, PlanRecord,
+    ReplanAlgo, SimTransport, Transport,
+};
+use telemetry::counters::{self, Counter};
+use telemetry::{export, spans};
+
+/// xorshift64* workload generator (mirrors the `redistload` driver).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn uniform_matrix(seed: u64, n: usize, lo_mb: u64, hi_mb: u64) -> TrafficMatrix {
+    let mut rng = Rng::new(seed);
+    let mut m = TrafficMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let mb = lo_mb + rng.next() % (hi_mb - lo_mb + 1);
+            m.set(i, j, mb * 1_000_000);
+        }
+    }
+    m
+}
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == format!("--{name}") {
+            if let Some(v) = args.next() {
+                if let Ok(parsed) = v.parse() {
+                    return parsed;
+                }
+                eprintln!("redistexec: bad value for --{name}");
+                std::process::exit(2);
+            }
+        }
+    }
+    default
+}
+
+fn arg_str(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == format!("--{name}") {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+fn run<T: Transport>(
+    traffic: &TrafficMatrix,
+    platform: &Platform,
+    beta: f64,
+    transport: T,
+    faults: FaultPlan,
+    config: ExecConfig,
+) -> (PlanRecord, ExecReport) {
+    match plan_and_execute(
+        traffic,
+        platform,
+        beta,
+        TickScale::MILLIS,
+        transport,
+        faults,
+        config,
+    ) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("redistexec: execution failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn bench(seeds: u64, out_path: &str) {
+    counters::enable();
+    let n = 8;
+    let beta = 0.05;
+    let platform = Platform::new(n, n, 100.0, 100.0, 400.0);
+    let traffic = uniform_matrix(1, n, 5, 30);
+    let spec = FaultSpec::default();
+    // Tight enough that an ×8 slowdown on a large step breaches it (the
+    // largest fault-free step runs ~2.4 s), loose enough that unslowed
+    // steps never do — so the campaign exercises the abort path too.
+    let config = ExecConfig {
+        step_timeout_seconds: 15.0,
+        ..ExecConfig::default()
+    };
+
+    // Baseline: a fault-free run must be byte-identical to the plain
+    // byte_slices expansion of the plan.
+    let (initial, base) = run(
+        &traffic,
+        &platform,
+        beta,
+        LoopbackTransport::for_platform(&platform),
+        FaultPlan::none(),
+        config.clone(),
+    );
+    base.verify_against(&traffic).expect("zero-fault invariant");
+    let plain = initial.step_ops();
+    assert_eq!(base.steps.len(), plain.len(), "zero-fault step count");
+    for (got, want) in base.steps.iter().zip(&plain) {
+        assert_eq!(&got.ops, want, "zero-fault run diverged from plan");
+    }
+
+    let mut retries = 0u64;
+    let mut replans = 0u64;
+    let mut faults_injected = 0u64;
+    let mut spliced = 0u64;
+    let mut timeouts = 0u64;
+    let mut steps = 0u64;
+    let mut overhead_sum = 0.0;
+    for seed in 1..=seeds {
+        let faults = FaultPlan::generate(seed, n, n, &spec);
+        let (_, report) = run(
+            &traffic,
+            &platform,
+            beta,
+            LoopbackTransport::for_platform(&platform),
+            faults,
+            config.clone(),
+        );
+        report
+            .verify_against(&traffic)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        for rec in &report.plans {
+            rec.schedule
+                .validate(&rec.instance)
+                .unwrap_or_else(|e| panic!("seed {seed}: spliced schedule invalid: {e}"));
+        }
+        retries += report.retries;
+        replans += report.replans;
+        faults_injected += report.faults_injected;
+        spliced += report.steps_spliced;
+        timeouts += report.timeouts;
+        steps += report.steps.len() as u64;
+        overhead_sum += report.total_seconds / base.total_seconds;
+    }
+
+    // The work counters must agree with the per-report sums.
+    let snap = counters::global_snapshot();
+    assert_eq!(snap.get(Counter::ExecRetries), retries);
+    assert_eq!(snap.get(Counter::ExecReplans), replans);
+    assert_eq!(snap.get(Counter::ExecFaultsInjected), faults_injected);
+    assert_eq!(snap.get(Counter::ExecStepsSpliced), spliced);
+
+    let json = format!(
+        "{{\n  \"seeds\": {seeds},\n  \"n\": {n},\n  \"k\": {k},\n  \
+         \"beta_seconds\": {beta:.4},\n  \"zero_fault_steps\": {zf},\n  \
+         \"zero_fault_seconds\": {zs:.6},\n  \"total_steps_executed\": {steps},\n  \
+         \"total_retries\": {retries},\n  \"total_replans\": {replans},\n  \
+         \"total_faults_injected\": {faults_injected},\n  \
+         \"total_steps_spliced\": {spliced},\n  \"total_timeouts\": {timeouts},\n  \
+         \"mean_overhead_ratio\": {overhead:.6}\n}}\n",
+        k = platform.k(),
+        zf = base.steps.len(),
+        zs = base.total_seconds,
+        overhead = overhead_sum / seeds as f64,
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_exec.json");
+    eprintln!(
+        "redistexec: {seeds} fault seeds verified; {retries} retries, {replans} replans, \
+         {spliced} steps spliced -> {out_path}"
+    );
+    print!("{json}");
+}
+
+fn main() {
+    if flag("bench") {
+        let seeds: u64 = arg("seeds", 40);
+        let out: String = arg("out", "BENCH_exec.json".to_string());
+        bench(seeds.max(1), &out);
+        return;
+    }
+
+    let n: usize = arg("n", 8);
+    let t1: f64 = arg("t1", 100.0);
+    let t2: f64 = arg("t2", 100.0);
+    let backbone: f64 = arg("backbone", 400.0);
+    let beta: f64 = arg("beta", 0.05);
+    let lo_mb: u64 = arg("lo-mb", 5);
+    let hi_mb: u64 = arg("hi-mb", 30);
+    let seed: u64 = arg("seed", 1);
+    let timeout: f64 = arg("timeout", 3_600.0);
+    let algo = match arg("algo", "oggp".to_string()).as_str() {
+        "oggp" => ReplanAlgo::Oggp,
+        "ggp" => ReplanAlgo::Ggp,
+        other => {
+            eprintln!("redistexec: unknown --algo {other} (want oggp|ggp)");
+            std::process::exit(2);
+        }
+    };
+    if n == 0 || lo_mb == 0 || lo_mb > hi_mb {
+        eprintln!("redistexec: need --n >= 1 and 1 <= --lo-mb <= --hi-mb");
+        std::process::exit(2);
+    }
+
+    let trace_path = arg_str("trace");
+    if trace_path.is_some() {
+        spans::enable();
+    }
+
+    let platform = Platform::new(n, n, t1, t2, backbone);
+    let traffic = uniform_matrix(seed, n, lo_mb, hi_mb);
+    let faults = match arg_str("faults") {
+        Some(s) => {
+            let fseed: u64 = s.parse().unwrap_or_else(|_| {
+                eprintln!("redistexec: bad value for --faults");
+                std::process::exit(2);
+            });
+            FaultPlan::generate(fseed, n, n, &FaultSpec::default())
+        }
+        None => FaultPlan::none(),
+    };
+    let fault_events = faults.event_count();
+    let config = ExecConfig {
+        algo,
+        step_timeout_seconds: timeout,
+        ..ExecConfig::default()
+    };
+
+    let transport_kind = arg("transport", "loopback".to_string());
+    let (initial, report) = match transport_kind.as_str() {
+        "loopback" => run(
+            &traffic,
+            &platform,
+            beta,
+            LoopbackTransport::for_platform(&platform),
+            faults,
+            config,
+        ),
+        "sim" => run(
+            &traffic,
+            &platform,
+            beta,
+            SimTransport::for_platform(&platform),
+            faults,
+            config,
+        ),
+        other => {
+            eprintln!("redistexec: unknown --transport {other} (want loopback|sim)");
+            std::process::exit(2);
+        }
+    };
+
+    match report.verify_against(&traffic) {
+        Ok(()) => println!("delivery invariant: OK"),
+        Err(e) => {
+            eprintln!("redistexec: delivery invariant VIOLATED: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "platform: {n}x{n}, k={}, beta={beta}s, transport={transport_kind}",
+        platform.k()
+    );
+    println!(
+        "plan: {} steps, cost {} ticks; fault plan: {fault_events} events",
+        initial.schedule.num_steps(),
+        initial.schedule.cost()
+    );
+    println!(
+        "executed {} steps in {:.3}s virtual time ({} survivors of {} nodes)",
+        report.steps.len(),
+        report.total_seconds,
+        report
+            .senders_alive
+            .iter()
+            .chain(&report.receivers_alive)
+            .filter(|&&a| a)
+            .count(),
+        2 * n
+    );
+    println!(
+        "faults: {} injected; {} retries, {} timeouts, {} replans splicing {} steps",
+        report.faults_injected,
+        report.retries,
+        report.timeouts,
+        report.replans,
+        report.steps_spliced
+    );
+    println!(
+        "delivered {} of {} bytes",
+        report.delivered.total_bytes(),
+        traffic.total_bytes()
+    );
+
+    if let Some(path) = trace_path {
+        spans::disable();
+        let events = spans::drain_all();
+        let json = export::chrome_trace(&events);
+        std::fs::write(&path, &json).expect("write trace file");
+        println!(
+            "trace: {} events written to {path} (open in https://ui.perfetto.dev)",
+            events.len()
+        );
+    }
+}

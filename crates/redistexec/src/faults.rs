@@ -1,0 +1,268 @@
+//! Deterministic fault plans.
+//!
+//! Fault injection here is *plan-driven*, not probabilistic-at-runtime: a
+//! [`FaultPlan`] is a finite, explicit list of events generated once from a
+//! seed, and execution merely looks events up by position. Two runs with the
+//! same seed therefore inject byte-identical fault sequences — the property
+//! the 200-case campaign proptest and `BENCH_exec.json` regression lean on —
+//! and a plan's finiteness is what guarantees the runtime terminates (every
+//! replan is triggered by the consumption of at least one event).
+//!
+//! Events are keyed by the *execution slot*: a monotone counter of steps the
+//! runtime has started, which keeps counting across residual re-planning
+//! splices. A fault scheduled at slot 7 therefore hits whatever step is
+//! seventh to execute, whether it came from the original schedule or was
+//! spliced in by a replan.
+
+use std::collections::BTreeMap;
+
+/// A node of one of the two clusters, as fault-injection target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRef {
+    /// Sender `i` of cluster `C1`.
+    Sender(usize),
+    /// Receiver `j` of cluster `C2`.
+    Receiver(usize),
+}
+
+/// Knobs for [`FaultPlan::generate`]: how many events of each kind to place
+/// within the first `horizon` execution slots.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Number of transient transfer-failure events.
+    pub transients: usize,
+    /// Consecutive failures per transient event are drawn from
+    /// `1..=max_consecutive` (crossing a runtime's `max_attempts` turns the
+    /// event into a permanent failure).
+    pub max_consecutive: u32,
+    /// Number of permanent node-drop events.
+    pub node_drops: usize,
+    /// Number of per-step slowdown events.
+    pub slowdowns: usize,
+    /// Execution-slot horizon events are placed in (`0..horizon`).
+    pub horizon: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            transients: 6,
+            max_consecutive: 3,
+            node_drops: 1,
+            slowdowns: 2,
+            horizon: 32,
+        }
+    }
+}
+
+/// A finite, fully deterministic fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// `(slot, op_index) → consecutive transient failures` for the op at
+    /// that position of the step executed at that slot.
+    transients: BTreeMap<(u64, usize), u32>,
+    /// Permanent node drops, sorted by slot; a drop at slot `s` takes effect
+    /// just before the step at slot `s` executes. Applied once (the runtime
+    /// walks this list with a cursor).
+    drops: Vec<(u64, NodeRef)>,
+    /// `slot → slowdown factor` (> 1.0) applied to the whole step.
+    slowdowns: BTreeMap<u64, f64>,
+}
+
+/// Minimal xorshift64* generator — keeps the crate std-only while matching
+/// the deterministic-workload idiom of the `redistload` driver.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, execution degenerates to plain schedule
+    /// execution.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Generates a plan from `seed` for a `n1 × n2` platform. The same
+    /// `(seed, n1, n2, spec)` always yields the same plan.
+    pub fn generate(seed: u64, n1: usize, n2: usize, spec: &FaultSpec) -> FaultPlan {
+        let mut rng = Rng::new(seed);
+        let mut plan = FaultPlan::default();
+        for _ in 0..spec.transients {
+            let slot = rng.below(spec.horizon);
+            // Early op positions so small steps are hit too.
+            let op = rng.below(4) as usize;
+            let fails = 1 + rng.below(spec.max_consecutive.max(1) as u64) as u32;
+            plan.transients.insert((slot, op), fails);
+        }
+        let mut dropped: Vec<NodeRef> = Vec::new();
+        for _ in 0..spec.node_drops {
+            let slot = rng.below(spec.horizon);
+            let idx = rng.below((n1 + n2) as u64) as usize;
+            let node = if idx < n1 {
+                NodeRef::Sender(idx)
+            } else {
+                NodeRef::Receiver(idx - n1)
+            };
+            if !dropped.contains(&node) {
+                dropped.push(node);
+                plan.drops.push((slot, node));
+            }
+        }
+        plan.drops.sort_by_key(|&(slot, _)| slot);
+        for _ in 0..spec.slowdowns {
+            let slot = rng.below(spec.horizon);
+            let factor = [2.0, 4.0, 8.0][rng.below(3) as usize];
+            plan.slowdowns.insert(slot, factor);
+        }
+        plan
+    }
+
+    /// Places a transient event by hand: `fails` consecutive failures for
+    /// op `op` of the step at `slot` (builder for tests and bespoke plans).
+    pub fn insert_transient(&mut self, slot: u64, op: usize, fails: u32) {
+        assert!(fails >= 1, "a transient event fails at least once");
+        self.transients.insert((slot, op), fails);
+    }
+
+    /// Places a node-drop event by hand, keeping drops sorted by slot.
+    pub fn push_drop(&mut self, slot: u64, node: NodeRef) {
+        self.drops.push((slot, node));
+        self.drops.sort_by_key(|&(s, _)| s);
+    }
+
+    /// Places a slowdown event by hand.
+    pub fn push_slowdown(&mut self, slot: u64, factor: f64) {
+        assert!(factor > 1.0, "a slowdown stretches the step");
+        self.slowdowns.insert(slot, factor);
+    }
+
+    /// Consecutive transient failures for op `op` of the step at `slot`
+    /// (zero almost everywhere).
+    pub fn transient_failures(&self, slot: u64, op: usize) -> u32 {
+        self.transients.get(&(slot, op)).copied().unwrap_or(0)
+    }
+
+    /// The node drops taking effect at `slot`, in generation order.
+    /// `drop_cursor` / [`Self::drops`] give the runtime ordered access.
+    pub fn drops(&self) -> &[(u64, NodeRef)] {
+        &self.drops
+    }
+
+    /// The slowdown factor for the step at `slot` (1.0 when none).
+    pub fn slowdown_at(&self, slot: u64) -> f64 {
+        self.slowdowns.get(&slot).copied().unwrap_or(1.0)
+    }
+
+    /// Total number of events in the plan — an upper bound on how many
+    /// replans an execution can possibly need.
+    pub fn event_count(&self) -> usize {
+        self.transients.len() + self.drops.len() + self.slowdowns.len()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.event_count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.event_count(), 0);
+        assert_eq!(p.transient_failures(0, 0), 0);
+        assert_eq!(p.slowdown_at(3), 1.0);
+        assert!(p.drops().is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = FaultSpec::default();
+        let a = FaultPlan::generate(42, 4, 4, &spec);
+        let b = FaultPlan::generate(42, 4, 4, &spec);
+        assert_eq!(a.transients, b.transients);
+        assert_eq!(a.drops, b.drops);
+        assert_eq!(a.slowdowns, b.slowdowns);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = FaultSpec {
+            transients: 12,
+            ..FaultSpec::default()
+        };
+        let a = FaultPlan::generate(1, 4, 4, &spec);
+        let b = FaultPlan::generate(2, 4, 4, &spec);
+        assert!(a.transients != b.transients || a.drops != b.drops || a.slowdowns != b.slowdowns);
+    }
+
+    #[test]
+    fn events_respect_spec_bounds() {
+        let spec = FaultSpec {
+            transients: 20,
+            max_consecutive: 2,
+            node_drops: 3,
+            slowdowns: 5,
+            horizon: 10,
+        };
+        let p = FaultPlan::generate(7, 3, 5, &spec);
+        for (&(slot, _), &fails) in &p.transients {
+            assert!(slot < 10);
+            assert!((1..=2).contains(&fails));
+        }
+        for &(slot, node) in p.drops() {
+            assert!(slot < 10);
+            match node {
+                NodeRef::Sender(i) => assert!(i < 3),
+                NodeRef::Receiver(j) => assert!(j < 5),
+            }
+        }
+        for (&slot, &f) in &p.slowdowns {
+            assert!(slot < 10);
+            assert!(f > 1.0);
+        }
+        // Collisions may merge map entries but never exceed the spec counts.
+        assert!(p.transients.len() <= 20);
+        assert!(p.drops.len() <= 3);
+        assert!(p.slowdowns.len() <= 5);
+    }
+
+    #[test]
+    fn drops_sorted_and_distinct() {
+        let spec = FaultSpec {
+            node_drops: 6,
+            ..FaultSpec::default()
+        };
+        let p = FaultPlan::generate(99, 4, 4, &spec);
+        for w in p.drops().windows(2) {
+            assert!(w[0].0 <= w[1].0, "drops sorted by slot");
+        }
+        for (i, &(_, a)) in p.drops().iter().enumerate() {
+            for &(_, b) in &p.drops()[i + 1..] {
+                assert_ne!(a, b, "each node dropped at most once");
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Node liveness and residual-demand extraction.
+//!
+//! The matrix arithmetic (subtract delivered, zero dead rows/columns) lives
+//! in [`kpbs::residual`] so every planner shares one definition of
+//! "residual"; this module adds the runtime-side bookkeeping: which nodes a
+//! fault plan has permanently dropped, and the glue that turns a transport's
+//! delivery ledger into the matrix the next replan schedules.
+
+use crate::faults::NodeRef;
+use crate::transport::Transport;
+use kpbs::TrafficMatrix;
+
+/// Which nodes of the two clusters are still alive.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    senders: Vec<bool>,
+    receivers: Vec<bool>,
+}
+
+impl Liveness {
+    /// All nodes of an `n1 × n2` platform alive.
+    pub fn all_alive(n1: usize, n2: usize) -> Self {
+        Liveness {
+            senders: vec![true; n1],
+            receivers: vec![true; n2],
+        }
+    }
+
+    /// Marks `node` dead. Returns `true` if it was alive (i.e. this call
+    /// changed state), `false` for a repeated drop.
+    pub fn kill(&mut self, node: NodeRef) -> bool {
+        let flag = match node {
+            NodeRef::Sender(i) => &mut self.senders[i],
+            NodeRef::Receiver(j) => &mut self.receivers[j],
+        };
+        std::mem::replace(flag, false)
+    }
+
+    /// True when both endpoints of a `(sender, receiver)` pair are alive.
+    pub fn pair_alive(&self, src: usize, dst: usize) -> bool {
+        self.senders[src] && self.receivers[dst]
+    }
+
+    /// Per-sender liveness flags.
+    pub fn senders(&self) -> &[bool] {
+        &self.senders
+    }
+
+    /// Per-receiver liveness flags.
+    pub fn receivers(&self) -> &[bool] {
+        &self.receivers
+    }
+
+    /// True when no node has been dropped.
+    pub fn intact(&self) -> bool {
+        self.senders.iter().chain(&self.receivers).all(|&a| a)
+    }
+}
+
+/// The demand still owed after what `transport` has delivered, restricted
+/// to the nodes `liveness` reports alive — exactly the matrix a residual
+/// replan schedules.
+pub fn outstanding(
+    original: &TrafficMatrix,
+    transport: &dyn Transport,
+    liveness: &Liveness,
+) -> TrafficMatrix {
+    kpbs::surviving_residual(
+        original,
+        transport.delivered(),
+        liveness.senders(),
+        liveness.receivers(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{LoopbackTransport, TransferOp};
+
+    #[test]
+    fn kill_is_idempotent() {
+        let mut l = Liveness::all_alive(2, 2);
+        assert!(l.intact());
+        assert!(l.kill(NodeRef::Sender(1)), "first drop changes state");
+        assert!(!l.kill(NodeRef::Sender(1)), "second drop is a no-op");
+        assert!(!l.intact());
+        assert!(!l.pair_alive(1, 0));
+        assert!(l.pair_alive(0, 0));
+        assert_eq!(l.senders(), &[true, false]);
+        assert_eq!(l.receivers(), &[true, true]);
+    }
+
+    #[test]
+    fn outstanding_subtracts_ledger_and_dead_nodes() {
+        let mut m = TrafficMatrix::zeros(2, 2);
+        m.set(0, 0, 100);
+        m.set(0, 1, 50);
+        m.set(1, 0, 30);
+        let mut t = LoopbackTransport::new(2, 2, 1e6);
+        t.deliver(
+            &[TransferOp {
+                src: 0,
+                dst: 0,
+                bytes: 40,
+            }],
+            1.0,
+        );
+        let mut l = Liveness::all_alive(2, 2);
+        l.kill(NodeRef::Receiver(1));
+        let r = outstanding(&m, &t, &l);
+        assert_eq!(r.get(0, 0), 60, "delivered bytes subtracted");
+        assert_eq!(r.get(0, 1), 0, "dead receiver excluded");
+        assert_eq!(r.get(1, 0), 30);
+    }
+}

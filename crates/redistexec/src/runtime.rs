@@ -1,0 +1,607 @@
+//! The step-driven execution loop.
+//!
+//! [`Runtime::execute`] drives a validated schedule to completion over a
+//! [`Transport`], consulting a [`FaultPlan`] at every step:
+//!
+//! 1. **Node drops** due at the current slot mark nodes dead and force a
+//!    residual replan before anything else runs.
+//! 2. **Slowdowns** stretch the step; if the projected duration exceeds the
+//!    per-step timeout the step is aborted (no bytes move) and a replan is
+//!    forced.
+//! 3. **Transient failures** hit individual transfers: each failed attempt
+//!    is retried with capped exponential backoff (virtual time, in ticks)
+//!    up to `max_attempts`; exhaustion turns the failure permanent, the
+//!    op's bytes fall through to the residual, and a replan is forced.
+//!
+//! A *replan* computes the residual matrix (original demand minus the
+//! transport's delivery ledger, restricted to surviving nodes — see
+//! [`kpbs::residual`]), schedules it through GGP/OGGP under the
+//! [`kpbs::batch`] discipline, validates the result, and splices the new
+//! steps in place of everything not yet executed. Execution slots keep
+//! counting across splices, so later fault events land on spliced steps.
+//!
+//! Termination is structural: every replan is triggered by the consumption
+//! of at least one event of the (finite) fault plan, and a budget —
+//! `event_count() + 4` by default — turns any pathological configuration
+//! (e.g. a timeout shorter than any step can run) into
+//! [`ExecError::BudgetExhausted`] instead of a loop.
+//!
+//! With an empty fault plan the loop degenerates to plain schedule
+//! execution: the executed steps are byte-identical to
+//! [`kpbs::Schedule::byte_slices`] of the initial plan — the invariant the
+//! campaign proptest pins.
+
+use std::collections::VecDeque;
+
+use crate::faults::FaultPlan;
+use crate::replan::{self, PlanRecord, ReplanAlgo};
+use crate::residual::{outstanding, Liveness};
+use crate::transport::{TransferOp, Transport};
+use kpbs::traffic::TickScale;
+use kpbs::validate::ValidationError;
+use kpbs::{Platform, Schedule, TrafficMatrix};
+use telemetry::counters::{self, Counter};
+use telemetry::spans;
+
+/// Retry, backoff, timeout and re-planning knobs.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Scheduler used for residual re-planning.
+    pub algo: ReplanAlgo,
+    /// Attempts per transfer before a transient failure turns permanent
+    /// (≥ 1; the first attempt counts).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in ticks.
+    pub backoff_base_ticks: u64,
+    /// Backoff ceiling, in ticks (`min(cap, base << attempt)`).
+    pub backoff_cap_ticks: u64,
+    /// A step whose projected duration exceeds this is aborted and
+    /// re-planned.
+    pub step_timeout_seconds: f64,
+    /// Maximum replan rounds; `0` means automatic
+    /// (`fault_plan.event_count() + 4`).
+    pub replan_budget: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            algo: ReplanAlgo::Oggp,
+            max_attempts: 4,
+            backoff_base_ticks: 50,
+            backoff_cap_ticks: 1_600,
+            step_timeout_seconds: 3_600.0,
+            replan_budget: 0,
+        }
+    }
+}
+
+/// One executed (or aborted) step.
+#[derive(Debug, Clone)]
+pub struct ExecutedStep {
+    /// Execution slot the step ran at (monotone across splices).
+    pub slot: u64,
+    /// The transfers actually delivered (empty for aborted steps).
+    pub ops: Vec<TransferOp>,
+    /// Transport time of the step, seconds.
+    pub seconds: f64,
+    /// Virtual time spent in retry backoff during the step, seconds.
+    pub backoff_seconds: f64,
+    /// True when the step was aborted by the per-step timeout.
+    pub timed_out: bool,
+}
+
+/// Everything an execution produced, for reporting and verification.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// Executed steps in order (one entry per slot, including aborted and
+    /// empty steps).
+    pub steps: Vec<ExecutedStep>,
+    /// Total virtual time: per-step β + transport time + backoff.
+    pub total_seconds: f64,
+    /// Transfer re-attempts after transient faults.
+    pub retries: u64,
+    /// Residual re-planning rounds.
+    pub replans: u64,
+    /// Fault events injected (transients, drops, slowdowns).
+    pub faults_injected: u64,
+    /// Steps spliced into the running schedule by replans.
+    pub steps_spliced: u64,
+    /// Steps aborted by the per-step timeout.
+    pub timeouts: u64,
+    /// Per-sender liveness at the end of the run.
+    pub senders_alive: Vec<bool>,
+    /// Per-receiver liveness at the end of the run.
+    pub receivers_alive: Vec<bool>,
+    /// Every residual replan round, in order (initial plan excluded).
+    pub plans: Vec<PlanRecord>,
+    /// Final per-pair delivery ledger.
+    pub delivered: TrafficMatrix,
+}
+
+impl ExecReport {
+    /// Checks the delivery invariant against the original demand: pairs
+    /// whose endpoints survived received *exactly* their bytes; pairs with
+    /// a dead endpoint received at most theirs (partial delivery before
+    /// the drop is fine).
+    pub fn verify_against(&self, original: &TrafficMatrix) -> Result<(), String> {
+        for i in 0..original.senders() {
+            for j in 0..original.receivers() {
+                let want = original.get(i, j);
+                let got = self.delivered.get(i, j);
+                let alive = self.senders_alive[i] && self.receivers_alive[j];
+                if alive && got != want {
+                    return Err(format!(
+                        "pair ({i},{j}) alive but delivered {got} of {want} bytes"
+                    ));
+                }
+                if !alive && got > want {
+                    return Err(format!(
+                        "pair ({i},{j}) over-delivered: {got} of {want} bytes"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Execution failures.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The initial schedule does not validate against the traffic matrix's
+    /// instance.
+    InvalidSchedule(ValidationError),
+    /// Traffic matrix and platform dimensions disagree.
+    DimensionMismatch(String),
+    /// A residual replan produced an invalid schedule (a planner bug).
+    ReplanFailed(ValidationError),
+    /// More replan rounds than the budget allows — the configuration cannot
+    /// make progress (e.g. a timeout shorter than any step can run).
+    BudgetExhausted {
+        /// Replan rounds performed before giving up.
+        replans: u64,
+    },
+    /// The loop drained with surviving-pair bytes still owed (a runtime
+    /// bug; surfaced rather than silently under-delivered).
+    Incomplete {
+        /// Bytes still owed to surviving pairs.
+        missing_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::InvalidSchedule(e) => write!(f, "initial schedule invalid: {e}"),
+            ExecError::DimensionMismatch(m) => write!(f, "dimension mismatch: {m}"),
+            ExecError::ReplanFailed(e) => write!(f, "residual replan invalid: {e}"),
+            ExecError::BudgetExhausted { replans } => {
+                write!(f, "replan budget exhausted after {replans} rounds")
+            }
+            ExecError::Incomplete { missing_bytes } => {
+                write!(
+                    f,
+                    "execution drained with {missing_bytes} bytes undelivered"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A fault-tolerant schedule executor over a transport.
+#[derive(Debug)]
+pub struct Runtime<T: Transport> {
+    transport: T,
+    faults: FaultPlan,
+    config: ExecConfig,
+}
+
+impl<T: Transport> Runtime<T> {
+    /// Builds a runtime from a transport, a fault plan and config.
+    pub fn new(transport: T, faults: FaultPlan, config: ExecConfig) -> Self {
+        assert!(config.max_attempts >= 1, "need at least one attempt");
+        Runtime {
+            transport,
+            faults,
+            config,
+        }
+    }
+
+    /// Consumes the runtime, returning the transport (and its ledger).
+    pub fn into_transport(self) -> T {
+        self.transport
+    }
+
+    /// Executes `schedule` — produced for `traffic` on `platform` with the
+    /// given `beta_seconds`/`scale` — to completion under the fault plan.
+    pub fn execute(
+        &mut self,
+        traffic: &TrafficMatrix,
+        platform: &Platform,
+        beta_seconds: f64,
+        scale: TickScale,
+        schedule: &Schedule,
+    ) -> Result<ExecReport, ExecError> {
+        if traffic.senders() != platform.n1 || traffic.receivers() != platform.n2 {
+            return Err(ExecError::DimensionMismatch(format!(
+                "traffic {}×{} vs platform {}×{}",
+                traffic.senders(),
+                traffic.receivers(),
+                platform.n1,
+                platform.n2
+            )));
+        }
+        let (instance, endpoints) = traffic.to_instance(platform, beta_seconds, scale);
+        schedule
+            .validate(&instance)
+            .map_err(ExecError::InvalidSchedule)?;
+        let bytes: Vec<u64> = endpoints.iter().map(|&(i, j)| traffic.get(i, j)).collect();
+        let initial = PlanRecord {
+            instance,
+            endpoints,
+            bytes,
+            schedule: schedule.clone(),
+            work: Default::default(),
+        };
+        self.run(traffic, platform, beta_seconds, scale, &initial)
+    }
+
+    fn run(
+        &mut self,
+        traffic: &TrafficMatrix,
+        platform: &Platform,
+        beta_seconds: f64,
+        scale: TickScale,
+        initial: &PlanRecord,
+    ) -> Result<ExecReport, ExecError> {
+        let budget = if self.config.replan_budget > 0 {
+            self.config.replan_budget as u64
+        } else {
+            self.faults.event_count() as u64 + 4
+        };
+        let mut queue: VecDeque<Vec<TransferOp>> = initial.step_ops().into();
+        let mut liveness = Liveness::all_alive(traffic.senders(), traffic.receivers());
+        let mut report = ExecReport {
+            steps: Vec::new(),
+            total_seconds: 0.0,
+            retries: 0,
+            replans: 0,
+            faults_injected: 0,
+            steps_spliced: 0,
+            timeouts: 0,
+            senders_alive: Vec::new(),
+            receivers_alive: Vec::new(),
+            plans: Vec::new(),
+            delivered: TrafficMatrix::zeros(traffic.senders(), traffic.receivers()),
+        };
+        let mut drop_cursor = 0usize;
+        let mut needs_replan = false;
+        let mut slot: u64 = 0;
+
+        loop {
+            // Node drops due at (or before) this slot take effect first.
+            while drop_cursor < self.faults.drops().len()
+                && self.faults.drops()[drop_cursor].0 <= slot
+            {
+                let (_, node) = self.faults.drops()[drop_cursor];
+                drop_cursor += 1;
+                if liveness.kill(node) {
+                    report.faults_injected += 1;
+                    counters::incr(Counter::ExecFaultsInjected);
+                    needs_replan = true;
+                }
+            }
+
+            if needs_replan {
+                needs_replan = false;
+                report.replans += 1;
+                counters::incr(Counter::ExecReplans);
+                if report.replans > budget {
+                    return Err(ExecError::BudgetExhausted {
+                        replans: report.replans,
+                    });
+                }
+                let _g = spans::span("redistexec.replan");
+                let residual = outstanding(traffic, &self.transport, &liveness);
+                queue.clear();
+                if residual.total_bytes() > 0 {
+                    let rec =
+                        replan::plan(&residual, platform, beta_seconds, scale, self.config.algo)
+                            .map_err(ExecError::ReplanFailed)?;
+                    let steps = rec.step_ops();
+                    report.steps_spliced += steps.len() as u64;
+                    counters::add(Counter::ExecStepsSpliced, steps.len() as u64);
+                    queue.extend(steps);
+                    report.plans.push(rec);
+                }
+            }
+
+            let Some(ops) = queue.pop_front() else {
+                break;
+            };
+            let _sg = spans::span("redistexec.step");
+
+            // Defensive: a pair with a dead endpoint can never deliver; its
+            // bytes fall through to the residual of the forced replan.
+            let alive_ops: Vec<TransferOp> = ops
+                .iter()
+                .copied()
+                .filter(|op| liveness.pair_alive(op.src, op.dst))
+                .collect();
+            if alive_ops.len() != ops.len() {
+                needs_replan = true;
+            }
+
+            let slowdown = self.faults.slowdown_at(slot);
+            if slowdown != 1.0 {
+                report.faults_injected += 1;
+                counters::incr(Counter::ExecFaultsInjected);
+            }
+
+            if !alive_ops.is_empty() {
+                let projected = self.transport.estimate(&alive_ops, slowdown);
+                if projected > self.config.step_timeout_seconds {
+                    report.timeouts += 1;
+                    needs_replan = true;
+                    report.total_seconds += beta_seconds;
+                    report.steps.push(ExecutedStep {
+                        slot,
+                        ops: Vec::new(),
+                        seconds: 0.0,
+                        backoff_seconds: 0.0,
+                        timed_out: true,
+                    });
+                    slot += 1;
+                    continue;
+                }
+            }
+
+            let mut deliver_ops = Vec::with_capacity(alive_ops.len());
+            let mut backoff_ticks: u64 = 0;
+            for (idx, op) in alive_ops.iter().enumerate() {
+                let fails = self.faults.transient_failures(slot, idx);
+                if fails == 0 {
+                    deliver_ops.push(*op);
+                    continue;
+                }
+                report.faults_injected += 1;
+                counters::incr(Counter::ExecFaultsInjected);
+                let _rg = spans::span("redistexec.retry");
+                let permanent = fails >= self.config.max_attempts;
+                let retry_count = if permanent {
+                    self.config.max_attempts - 1
+                } else {
+                    fails
+                };
+                report.retries += retry_count as u64;
+                counters::add(Counter::ExecRetries, retry_count as u64);
+                let mut b = self.config.backoff_base_ticks;
+                for _ in 0..retry_count {
+                    backoff_ticks += b.min(self.config.backoff_cap_ticks);
+                    b = b.saturating_mul(2).min(self.config.backoff_cap_ticks);
+                }
+                if permanent {
+                    needs_replan = true;
+                } else {
+                    deliver_ops.push(*op);
+                }
+            }
+
+            let seconds = if deliver_ops.is_empty() {
+                0.0
+            } else {
+                self.transport.deliver(&deliver_ops, slowdown)
+            };
+            let backoff_seconds = backoff_ticks as f64 / scale.ticks_per_second;
+            report.total_seconds += beta_seconds + seconds + backoff_seconds;
+            report.steps.push(ExecutedStep {
+                slot,
+                ops: deliver_ops,
+                seconds,
+                backoff_seconds,
+                timed_out: false,
+            });
+            slot += 1;
+        }
+
+        let leftover = outstanding(traffic, &self.transport, &liveness);
+        if leftover.total_bytes() > 0 {
+            return Err(ExecError::Incomplete {
+                missing_bytes: leftover.total_bytes(),
+            });
+        }
+        report.senders_alive = liveness.senders().to_vec();
+        report.receivers_alive = liveness.receivers().to_vec();
+        report.delivered = self.transport.delivered().clone();
+        Ok(report)
+    }
+}
+
+/// Plans `traffic` with `config.algo` and executes the plan in one call —
+/// the convenience entry the CLI and benches use.
+pub fn plan_and_execute<T: Transport>(
+    traffic: &TrafficMatrix,
+    platform: &Platform,
+    beta_seconds: f64,
+    scale: TickScale,
+    transport: T,
+    faults: FaultPlan,
+    config: ExecConfig,
+) -> Result<(PlanRecord, ExecReport), ExecError> {
+    let initial = replan::plan(traffic, platform, beta_seconds, scale, config.algo)
+        .map_err(ExecError::InvalidSchedule)?;
+    let mut rt = Runtime::new(transport, faults, config);
+    let report = rt.run(traffic, platform, beta_seconds, scale, &initial)?;
+    Ok((initial, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultSpec, NodeRef};
+    use crate::transport::LoopbackTransport;
+
+    fn workload() -> (TrafficMatrix, Platform) {
+        let mut m = TrafficMatrix::zeros(3, 3);
+        m.set(0, 0, 12_000_000);
+        m.set(0, 1, 5_000_000);
+        m.set(1, 0, 8_000_000);
+        m.set(1, 2, 9_000_000);
+        m.set(2, 1, 6_000_000);
+        m.set(2, 2, 11_000_000);
+        (m, Platform::new(3, 3, 100.0, 100.0, 200.0))
+    }
+
+    fn run_with(faults: FaultPlan, config: ExecConfig) -> (TrafficMatrix, ExecReport) {
+        let (m, p) = workload();
+        let transport = LoopbackTransport::for_platform(&p);
+        let (_, report) =
+            plan_and_execute(&m, &p, 0.05, TickScale::MILLIS, transport, faults, config).unwrap();
+        (m, report)
+    }
+
+    #[test]
+    fn zero_faults_is_plain_execution() {
+        let (m, p) = workload();
+        let initial = replan::plan(&m, &p, 0.05, TickScale::MILLIS, ReplanAlgo::Oggp).unwrap();
+        let transport = LoopbackTransport::for_platform(&p);
+        let mut rt = Runtime::new(transport, FaultPlan::none(), ExecConfig::default());
+        let report = rt
+            .execute(&m, &p, 0.05, TickScale::MILLIS, &initial.schedule)
+            .unwrap();
+        report.verify_against(&m).unwrap();
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.replans, 0);
+        assert_eq!(report.faults_injected, 0);
+        assert_eq!(report.steps_spliced, 0);
+        assert_eq!(report.timeouts, 0);
+        // Byte-identical to the plain byte_slices expansion of the plan.
+        let plain = initial.step_ops();
+        assert_eq!(report.steps.len(), plain.len());
+        for (got, want) in report.steps.iter().zip(&plain) {
+            assert_eq!(&got.ops, want);
+            assert!((got.backoff_seconds) == 0.0);
+            assert!(!got.timed_out);
+        }
+    }
+
+    #[test]
+    fn transient_fault_retries_and_recovers() {
+        let mut faults = FaultPlan::none();
+        // Two consecutive failures on op 0 of slot 0: recovered on the
+        // third attempt (max_attempts 4) — no replan.
+        faults.insert_transient(0, 0, 2);
+        let (m, report) = run_with(faults, ExecConfig::default());
+        report.verify_against(&m).unwrap();
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.replans, 0);
+        assert_eq!(report.faults_injected, 1);
+        // Backoff of 50 + 100 ticks = 0.15 s at millisecond scale.
+        let backoff: f64 = report.steps.iter().map(|s| s.backoff_seconds).sum();
+        assert!((backoff - 0.15).abs() < 1e-9, "backoff {backoff}");
+    }
+
+    #[test]
+    fn retry_exhaustion_forces_replan() {
+        let mut faults = FaultPlan::none();
+        faults.insert_transient(0, 0, 10); // >= max_attempts
+        let (m, report) = run_with(faults, ExecConfig::default());
+        report.verify_against(&m).unwrap();
+        assert_eq!(report.replans, 1);
+        assert_eq!(report.retries, 3, "max_attempts - 1 re-attempts");
+        assert!(report.steps_spliced > 0, "residual steps spliced");
+        assert_eq!(report.plans.len(), 1);
+        for rec in &report.plans {
+            rec.schedule.validate(&rec.instance).unwrap();
+        }
+    }
+
+    #[test]
+    fn node_drop_replans_on_survivors() {
+        let mut faults = FaultPlan::none();
+        faults.push_drop(1, NodeRef::Sender(2));
+        let (m, report) = run_with(faults, ExecConfig::default());
+        report.verify_against(&m).unwrap();
+        assert_eq!(report.senders_alive, vec![true, true, false]);
+        assert!(report.replans >= 1);
+        // Dead sender's rows never over-deliver; surviving rows complete.
+        assert_eq!(report.delivered.get(0, 0), m.get(0, 0));
+        assert!(report.delivered.get(2, 1) <= m.get(2, 1));
+    }
+
+    #[test]
+    fn slowdown_beyond_timeout_aborts_and_replans() {
+        let mut faults = FaultPlan::none();
+        faults.push_slowdown(0, 8.0);
+        let config = ExecConfig {
+            // The largest first-step op at 12.5 MB/s runs ~1 s; ×8 breaches
+            // a 5 s timeout.
+            step_timeout_seconds: 5.0,
+            ..ExecConfig::default()
+        };
+        let (m, report) = run_with(faults, config);
+        report.verify_against(&m).unwrap();
+        assert_eq!(report.timeouts, 1);
+        assert!(report.steps[0].timed_out);
+        assert!(report.steps[0].ops.is_empty(), "aborted step moved nothing");
+        assert!(report.replans >= 1);
+    }
+
+    #[test]
+    fn impossible_timeout_exhausts_budget() {
+        let config = ExecConfig {
+            step_timeout_seconds: 1e-9,
+            ..ExecConfig::default()
+        };
+        let (m, p) = workload();
+        let transport = LoopbackTransport::for_platform(&p);
+        let err = plan_and_execute(
+            &m,
+            &p,
+            0.05,
+            TickScale::MILLIS,
+            transport,
+            FaultPlan::none(),
+            config,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn invalid_schedule_rejected() {
+        let (m, p) = workload();
+        let transport = LoopbackTransport::for_platform(&p);
+        let mut rt = Runtime::new(transport, FaultPlan::none(), ExecConfig::default());
+        let err = rt
+            .execute(&m, &p, 0.05, TickScale::MILLIS, &Schedule::new(50))
+            .unwrap_err();
+        assert!(matches!(err, ExecError::InvalidSchedule(_)), "{err}");
+    }
+
+    #[test]
+    fn seeded_campaign_smoke() {
+        for seed in 0..20 {
+            let (m, p) = workload();
+            let faults = FaultPlan::generate(seed, 3, 3, &FaultSpec::default());
+            let transport = LoopbackTransport::for_platform(&p);
+            let (_, report) = plan_and_execute(
+                &m,
+                &p,
+                0.05,
+                TickScale::MILLIS,
+                transport,
+                faults,
+                ExecConfig::default(),
+            )
+            .unwrap();
+            report.verify_against(&m).unwrap();
+            for rec in &report.plans {
+                rec.schedule.validate(&rec.instance).unwrap();
+            }
+        }
+    }
+}

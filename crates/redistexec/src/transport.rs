@@ -1,0 +1,241 @@
+//! Pluggable transfer transports.
+//!
+//! The runtime hands a transport one *step* at a time: a set of byte-valued
+//! transfer operations forming a matching (1-port: each node appears at most
+//! once). The transport answers two questions — how long would this step
+//! take ([`Transport::estimate`]), and actually move the bytes
+//! ([`Transport::deliver`]) — and keeps the authoritative ledger of bytes
+//! delivered per `(sender, receiver)` pair, which is exactly the matrix
+//! [`kpbs::residual_matrix`] subtracts from the original demand when the
+//! runtime re-plans.
+//!
+//! Two implementations ship: a loopback transport with analytic 1-port
+//! timing, and a [`flowsim`]-backed transport that runs every step through
+//! the max–min fair fluid engine (the same machinery behind
+//! `flowsim::executor::scheduled_time`). Slowdown faults are injected into
+//! the latter via [`NetworkSpec::scaled`] — a uniform capacity scale of
+//! `1/s` models a platform-wide slowdown of `s` exactly.
+
+use flowsim::{Engine, Flow, NetworkSpec, SimConfig};
+use kpbs::{Platform, TrafficMatrix};
+
+/// One byte-valued transfer of a step: `bytes` from sender `src` to
+/// receiver `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferOp {
+    /// Sending node (cluster `C1` index).
+    pub src: usize,
+    /// Receiving node (cluster `C2` index).
+    pub dst: usize,
+    /// Bytes to move.
+    pub bytes: u64,
+}
+
+/// A medium that can carry a step's transfers.
+pub trait Transport {
+    /// Projected duration of the step in seconds under `slowdown` (≥ 1.0),
+    /// without moving any bytes. The runtime uses this for its per-step
+    /// timeout check before committing to the step.
+    fn estimate(&mut self, ops: &[TransferOp], slowdown: f64) -> f64;
+
+    /// Carries the step: records every op's bytes as delivered and returns
+    /// the step duration in seconds under `slowdown`.
+    fn deliver(&mut self, ops: &[TransferOp], slowdown: f64) -> f64;
+
+    /// The bytes delivered so far, per `(sender, receiver)` pair.
+    fn delivered(&self) -> &TrafficMatrix;
+}
+
+/// In-memory transport with analytic 1-port timing: the ops of a step run
+/// in parallel, each at the fixed per-transfer rate, so the step lasts as
+/// long as its largest op (times the slowdown).
+#[derive(Debug, Clone)]
+pub struct LoopbackTransport {
+    rate_bytes_per_s: f64,
+    ledger: TrafficMatrix,
+}
+
+impl LoopbackTransport {
+    /// A loopback transport for an `n1 × n2` platform at `rate_bytes_per_s`
+    /// per transfer.
+    pub fn new(n1: usize, n2: usize, rate_bytes_per_s: f64) -> Self {
+        assert!(rate_bytes_per_s > 0.0 && rate_bytes_per_s.is_finite());
+        LoopbackTransport {
+            rate_bytes_per_s,
+            ledger: TrafficMatrix::zeros(n1, n2),
+        }
+    }
+
+    /// A loopback transport matching a [`Platform`]'s per-transfer speed
+    /// `t = min(t1, t2)` Mbit/s.
+    pub fn for_platform(p: &Platform) -> Self {
+        LoopbackTransport::new(p.n1, p.n2, p.transfer_speed() * 1e6 / 8.0)
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn estimate(&mut self, ops: &[TransferOp], slowdown: f64) -> f64 {
+        let largest = ops.iter().map(|op| op.bytes).max().unwrap_or(0);
+        largest as f64 / self.rate_bytes_per_s * slowdown
+    }
+
+    fn deliver(&mut self, ops: &[TransferOp], slowdown: f64) -> f64 {
+        let seconds = self.estimate(ops, slowdown);
+        for op in ops {
+            let sofar = self.ledger.get(op.src, op.dst);
+            self.ledger.set(op.src, op.dst, sofar + op.bytes);
+        }
+        seconds
+    }
+
+    fn delivered(&self) -> &TrafficMatrix {
+        &self.ledger
+    }
+}
+
+/// Transport backed by the [`flowsim`] fluid engine: each step becomes one
+/// batch of flows run to completion under max–min fair sharing on the
+/// network spec, so NIC and backbone contention shape the step duration.
+/// Slowdowns run the step on [`NetworkSpec::scaled`]`(1/s)`.
+#[derive(Debug, Clone)]
+pub struct SimTransport {
+    spec: NetworkSpec,
+    config: SimConfig,
+    ledger: TrafficMatrix,
+}
+
+impl SimTransport {
+    /// A simulated transport over `spec` with the given engine config.
+    pub fn new(spec: NetworkSpec, config: SimConfig) -> Self {
+        let ledger = TrafficMatrix::zeros(spec.senders(), spec.receivers());
+        SimTransport {
+            spec,
+            config,
+            ledger,
+        }
+    }
+
+    /// A simulated transport for a [`Platform`] with default engine config.
+    pub fn for_platform(p: &Platform) -> Self {
+        SimTransport::new(NetworkSpec::from_platform(p), SimConfig::default())
+    }
+}
+
+impl Transport for SimTransport {
+    fn estimate(&mut self, ops: &[TransferOp], slowdown: f64) -> f64 {
+        if ops.is_empty() {
+            return 0.0;
+        }
+        let flows: Vec<Flow> = ops
+            .iter()
+            .map(|op| Flow::new(op.src, op.dst, op.bytes as f64))
+            .collect();
+        let spec = self.spec.scaled(1.0 / slowdown);
+        Engine::new(spec, self.config.clone()).run(&flows).makespan
+    }
+
+    fn deliver(&mut self, ops: &[TransferOp], slowdown: f64) -> f64 {
+        let seconds = self.estimate(ops, slowdown);
+        for op in ops {
+            let sofar = self.ledger.get(op.src, op.dst);
+            self.ledger.set(op.src, op.dst, sofar + op.bytes);
+        }
+        seconds
+    }
+
+    fn delivered(&self) -> &TrafficMatrix {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_timing_is_largest_op() {
+        // 12.5 MB/s; ops of 25 MB and 12.5 MB in parallel → 2 s.
+        let mut t = LoopbackTransport::new(2, 2, 12.5e6);
+        let ops = [
+            TransferOp {
+                src: 0,
+                dst: 0,
+                bytes: 25_000_000,
+            },
+            TransferOp {
+                src: 1,
+                dst: 1,
+                bytes: 12_500_000,
+            },
+        ];
+        assert!((t.estimate(&ops, 1.0) - 2.0).abs() < 1e-9);
+        assert!((t.estimate(&ops, 4.0) - 8.0).abs() < 1e-9, "slowdown ×4");
+        let secs = t.deliver(&ops, 1.0);
+        assert!((secs - 2.0).abs() < 1e-9);
+        assert_eq!(t.delivered().get(0, 0), 25_000_000);
+        assert_eq!(t.delivered().get(1, 1), 12_500_000);
+        assert_eq!(t.delivered().get(0, 1), 0);
+    }
+
+    #[test]
+    fn loopback_ledger_accumulates() {
+        let mut t = LoopbackTransport::new(1, 1, 1e6);
+        let op = [TransferOp {
+            src: 0,
+            dst: 0,
+            bytes: 500,
+        }];
+        t.deliver(&op, 1.0);
+        t.deliver(&op, 1.0);
+        assert_eq!(t.delivered().get(0, 0), 1000);
+    }
+
+    #[test]
+    fn loopback_empty_step_is_instant() {
+        let mut t = LoopbackTransport::new(1, 1, 1e6);
+        assert_eq!(t.estimate(&[], 1.0), 0.0);
+        assert_eq!(t.deliver(&[], 2.0), 0.0);
+    }
+
+    #[test]
+    fn sim_transport_matches_loopback_when_uncontended() {
+        // One 25 MB flow on 100 Mbit/s NICs and ample backbone: both
+        // transports see 2 s.
+        let p = Platform::new(2, 2, 100.0, 100.0, 1000.0);
+        let mut sim = SimTransport::for_platform(&p);
+        let mut loop_ = LoopbackTransport::for_platform(&p);
+        let ops = [TransferOp {
+            src: 0,
+            dst: 1,
+            bytes: 25_000_000,
+        }];
+        let a = sim.deliver(&ops, 1.0);
+        let b = loop_.deliver(&ops, 1.0);
+        assert!((a - b).abs() < 1e-6, "sim {a} vs loopback {b}");
+        assert_eq!(sim.delivered().get(0, 1), 25_000_000);
+    }
+
+    #[test]
+    fn sim_slowdown_scales_linearly() {
+        let p = Platform::new(2, 2, 100.0, 100.0, 150.0);
+        let mut sim = SimTransport::for_platform(&p);
+        let ops = [
+            TransferOp {
+                src: 0,
+                dst: 0,
+                bytes: 10_000_000,
+            },
+            TransferOp {
+                src: 1,
+                dst: 1,
+                bytes: 10_000_000,
+            },
+        ];
+        let base = sim.estimate(&ops, 1.0);
+        let slowed = sim.estimate(&ops, 3.0);
+        assert!(
+            (slowed - 3.0 * base).abs() < 1e-6 * base.max(1.0),
+            "max–min fairness scales linearly under uniform capacity scaling"
+        );
+    }
+}

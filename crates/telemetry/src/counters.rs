@@ -68,10 +68,21 @@ pub enum Counter {
     /// Requests rejected by admission control (queue full or matrix too
     /// large) before reaching a worker.
     ServeRejected,
+    /// Transfer attempts re-issued by the execution runtime after a
+    /// transient fault (each re-attempt counts one).
+    ExecRetries,
+    /// Residual re-planning rounds run by the execution runtime (node drop,
+    /// retry exhaustion or step timeout each force at most one round).
+    ExecReplans,
+    /// Fault events injected into an execution (transient failures, node
+    /// drops and step slowdowns all count one each).
+    ExecFaultsInjected,
+    /// Steps spliced into a running schedule by residual re-planning.
+    ExecStepsSpliced,
 }
 
 /// Number of distinct counters.
-pub const COUNTER_COUNT: usize = 16;
+pub const COUNTER_COUNT: usize = 20;
 
 impl Counter {
     /// Every counter, in declaration (and export) order.
@@ -92,6 +103,10 @@ impl Counter {
         Counter::ServeRequests,
         Counter::ServeCacheHits,
         Counter::ServeRejected,
+        Counter::ExecRetries,
+        Counter::ExecReplans,
+        Counter::ExecFaultsInjected,
+        Counter::ExecStepsSpliced,
     ];
 
     /// Stable snake_case key used in JSON exports and summary tables.
@@ -113,6 +128,10 @@ impl Counter {
             Counter::ServeRequests => "serve_requests",
             Counter::ServeCacheHits => "serve_cache_hits",
             Counter::ServeRejected => "serve_rejected",
+            Counter::ExecRetries => "exec_retries",
+            Counter::ExecReplans => "exec_replans",
+            Counter::ExecFaultsInjected => "exec_faults_injected",
+            Counter::ExecStepsSpliced => "exec_steps_spliced",
         }
     }
 }

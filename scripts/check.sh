@@ -37,4 +37,8 @@ banner "serving-layer load test (redistload -> BENCH_serve.json)"
 cargo run --release -p redistd --bin redistload -- \
   --requests 128 --connections 4 --distinct 8 --n 10 --out BENCH_serve.json
 
+banner "execution-runtime fault campaign (redistexec -> BENCH_exec.json)"
+cargo run --release -p redistexec --bin redistexec -- \
+  --bench --seeds 40 --out BENCH_exec.json
+
 printf '\nAll checks passed.\n'
