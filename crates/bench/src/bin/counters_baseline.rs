@@ -80,6 +80,19 @@ fn main() {
         cases.push((name.into(), counters::global_snapshot().delta(&before)));
     };
 
+    // Hierarchical arm: the block-decomposed planner over a fixed-seed
+    // clustered sparse instance. Partition assigns, block plans and
+    // composed steps are pure functions of the seed, like everything else
+    // here.
+    let mut rng = SmallRng::seed_from_u64(0x41e5);
+    let hier_inst = kpbs::instances::sparse_clustered(&mut rng, 64, 8, 4, 0.1, 100, 8, 1);
+    record("hier_clustered_n64", &mut || {
+        std::hint::black_box(kpbs::hier::hier(
+            &hier_inst,
+            &kpbs::hier::HierConfig::new(8),
+        ));
+    });
+
     // Simulator arm: OGGP schedule executed on the ideal fluid network.
     let mut rng = SmallRng::seed_from_u64(0xf10e);
     let platform = Platform::testbed(4);

@@ -16,6 +16,8 @@
 //!   scratch buffers reused across the peels of one WRGP run,
 //! * [`generate`] — seeded random graph generators used by the simulation
 //!   campaigns (Figures 7–9),
+//! * [`partition`] — cheap affinity-based block partitioning, the
+//!   relabeling pre-pass of the hierarchical planner,
 //! * [`properties`] — `P(G)`, `W(G)`, `Δ(G)` and weight-regularity checks,
 //! * [`dot`] — Graphviz export for debugging and examples.
 //!
@@ -44,12 +46,14 @@ pub mod graph;
 pub mod greedy;
 pub mod hopcroft_karp;
 pub mod matching;
+pub mod partition;
 pub mod properties;
 
 pub use csr::{CsrAdj, SearchState};
 pub use engine::MatchingEngine;
 pub use graph::{EdgeId, Graph, Side, Weight};
 pub use matching::Matching;
+pub use partition::{partition_affinity, Bipartition};
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -66,6 +66,107 @@ pub fn power_law<R: Rng + ?Sized>(
     Instance::new(g, k, beta)
 }
 
+/// Sparse power-law instance: `messages` edges whose endpoints are drawn
+/// with Zipf-like preference (node `i` proportional to `1/(i+1)`) and whose
+/// sizes follow the same `max_w / rank` decay as [`power_law`]. A few hub
+/// senders/receivers carry most of the traffic — the shape of real
+/// aggregated backbone matrices — while the edge count stays `O(messages)`,
+/// so `n = 4096` is representable without an `n²` dense matrix.
+///
+/// Duplicate endpoint draws create parallel edges (the [`Graph`] is a
+/// multigraph), which is exactly what repeated messages between one pair
+/// look like.
+pub fn sparse_power_law<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    messages: usize,
+    max_w: Weight,
+    k: usize,
+    beta: Weight,
+) -> Instance {
+    assert!(n >= 1 && messages >= 1);
+    let mut g = Graph::new(n, n);
+    for rank in 1..=messages {
+        let w = (max_w / rank as Weight).max(1);
+        g.add_edge(zipf(rng, n), zipf(rng, n), w);
+    }
+    Instance::new(g, k, beta)
+}
+
+/// Draws a node index with Zipf-like preference: index `i` with probability
+/// proportional to `1/(i+1)`. Inverse-CDF on the harmonic series via a
+/// float draw — `O(log n)` per sample through the analytic approximation.
+fn zipf<R: Rng + ?Sized>(rng: &mut R, n: usize) -> usize {
+    // H(x) ≈ ln(x + 1); invert u·H(n) to x = exp(u·ln(n+1)) - 1.
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let x = ((n as f64 + 1.0).ln() * u).exp() - 1.0;
+    (x as usize).min(n - 1)
+}
+
+/// Sparse clustered instance: block-diagonal-plus-noise. Nodes are split
+/// into `clusters` equal groups; each node sends `per_node` messages, each
+/// of which stays inside its own cluster with probability `1 - noise` and
+/// goes to a uniformly random receiver otherwise. Weights are uniform in
+/// `1..=max_w`. This is the family hierarchical planning is built for: a
+/// good partition captures the `1 - noise` fraction of the traffic on the
+/// block diagonal.
+///
+/// `noise` is clamped to `[0, 1]`. Cluster labels are *not* contiguous in
+/// node order: cluster `c` owns the nodes `{i : i mod clusters == c}`, so
+/// the partition pass has real relabeling work to do.
+#[allow(clippy::too_many_arguments)]
+pub fn sparse_clustered<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    clusters: usize,
+    per_node: usize,
+    noise: f64,
+    max_w: Weight,
+    k: usize,
+    beta: Weight,
+) -> Instance {
+    assert!(n >= 1 && clusters >= 1 && clusters <= n && per_node >= 1);
+    let noise = noise.clamp(0.0, 1.0);
+    let mut g = Graph::new(n, n);
+    for l in 0..n {
+        let c = l % clusters;
+        for _ in 0..per_node {
+            let r = if rng.gen_range(0.0..1.0) < noise {
+                rng.gen_range(0..n)
+            } else {
+                // A uniformly random member of cluster c (the nodes whose
+                // index is ≡ c mod clusters).
+                let members = (n - c).div_ceil(clusters);
+                c + clusters * rng.gen_range(0..members)
+            };
+            g.add_edge(l, r, rng.gen_range(1..=max_w.max(1)));
+        }
+    }
+    Instance::new(g, k, beta)
+}
+
+/// Sparse uniform instance: `degree` messages per sender, receivers drawn
+/// uniformly, weights uniform in `1..=max_w`. The unstructured baseline —
+/// no hubs, no clusters — where hierarchy pays its worst evaluation-ratio
+/// price.
+pub fn sparse_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    degree: usize,
+    max_w: Weight,
+    k: usize,
+    beta: Weight,
+) -> Instance {
+    assert!(n >= 1 && degree >= 1);
+    let mut g = Graph::new(n, n);
+    for l in 0..n {
+        for _ in 0..degree {
+            g.add_edge(l, rng.gen_range(0..n), rng.gen_range(1..=max_w.max(1)));
+        }
+    }
+    Instance::new(g, k, beta)
+}
+
 /// The staircase family: message `i` has weight `2^i`, all sharing one
 /// receiver. Exercises the normalisation and the preemption bookkeeping
 /// across widely mixed scales.
@@ -90,6 +191,15 @@ pub fn regression_corpus() -> Vec<(&'static str, Instance)> {
         ("uniform_6", uniform_all_to_all(6, 7, 3, 1)),
         ("power_law_8", power_law(&mut rng, 8, 24, 256, 4, 2)),
         ("staircase_12", staircase(12, 3)),
+        ("sparse_pl_12", sparse_power_law(&mut rng, 12, 30, 64, 4, 1)),
+        (
+            "sparse_cluster_12",
+            sparse_clustered(&mut rng, 12, 3, 3, 0.2, 20, 4, 1),
+        ),
+        (
+            "sparse_uniform_12",
+            sparse_uniform(&mut rng, 12, 2, 16, 4, 1),
+        ),
     ]
 }
 
@@ -149,6 +259,39 @@ mod tests {
                 let finishes = inst.graph.weight(t.edge) % inst.beta == t.amount % inst.beta;
                 assert!(t.amount >= inst.beta || finishes);
             }
+        }
+    }
+
+    #[test]
+    fn sparse_families_scale_without_density() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(41);
+        let n = 512;
+        let pl = sparse_power_law(&mut rng, n, 4 * n, 1000, 16, 1);
+        let cl = sparse_clustered(&mut rng, n, 16, 4, 0.1, 50, 16, 1);
+        let un = sparse_uniform(&mut rng, n, 3, 50, 16, 1);
+        for (name, inst) in [("pl", &pl), ("cl", &cl), ("un", &un)] {
+            let m = inst.graph.edge_count();
+            assert!(m >= n, "{name}: too few edges ({m})");
+            assert!(m <= 8 * n, "{name}: density blow-up ({m} edges)");
+        }
+        // Power-law: hub node 0 should carry far more traffic than the tail.
+        let hub_edges = pl.graph.edges_of_left(0).count();
+        let tail_edges = pl.graph.edges_of_left(n - 1).count();
+        assert!(
+            hub_edges > tail_edges,
+            "no hub: {hub_edges} vs {tail_edges}"
+        );
+    }
+
+    #[test]
+    fn sparse_clustered_noise_zero_stays_in_cluster() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let clusters = 4;
+        let inst = sparse_clustered(&mut rng, 32, clusters, 5, 0.0, 10, 8, 1);
+        for (_, l, r, _) in inst.graph.edges() {
+            assert_eq!(l % clusters, r % clusters, "edge {l}->{r} left cluster");
         }
     }
 

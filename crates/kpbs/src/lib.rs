@@ -17,8 +17,9 @@
 //! [`regularize`] (Section 4.2.2 graph augmentation), [`normalize`]
 //! (β-normalisation), [`lower_bound`] (the Cohen–Jeannot–Padoy bound used as
 //! the denominator of the paper's *evaluation ratio*), [`exact`] (an optimal
-//! branch-and-bound solver for tiny instances), [`baselines`], and the
-//! future-work extensions [`adaptive`] (time-varying `k`) and [`relax`]
+//! branch-and-bound solver for tiny instances), [`baselines`], [`hier`] (the
+//! hierarchical block-decomposed planner for large sparse instances), and
+//! the future-work extensions [`adaptive`] (time-varying `k`) and [`relax`]
 //! (barrier weakening).
 //!
 //! # Quickstart
@@ -50,6 +51,7 @@ pub mod coloring;
 pub mod exact;
 pub mod fingerprint;
 pub mod ggp;
+pub mod hier;
 pub mod instances;
 pub mod lower_bound;
 pub mod normalize;
@@ -71,6 +73,7 @@ pub mod wrgp;
 pub use batch::{plan_many, plan_many_with, BatchReport};
 pub use fingerprint::{cache_key, fingerprint};
 pub use ggp::ggp;
+pub use hier::{hier, hier_report, HierConfig, HierReport};
 pub use lower_bound::lower_bound;
 pub use oggp::oggp;
 pub use platform::Platform;

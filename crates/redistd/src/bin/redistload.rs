@@ -2,7 +2,7 @@
 //! `redistd`.
 //!
 //! ```sh
-//! redistload [--addr HOST:PORT] [--connections 4] [--requests 256]
+//! redistload [--addr HOST:PORT] [--connections 16] [--requests 256]
 //!            [--distinct 16] [--n 12] [--out BENCH_serve.json]
 //! ```
 //!
@@ -202,18 +202,36 @@ fn run_connection(
     }
 }
 
-fn main() {
-    let connections: usize = arg("connections", 4);
-    let requests: u64 = arg("requests", 256);
-    let distinct: usize = arg("distinct", 16);
-    let n: usize = arg("n", 12);
-    let out_path: String = arg("out", "BENCH_serve.json".to_string());
-    let external_addr = arg_str("addr");
-
-    if connections == 0 || requests == 0 || distinct == 0 || n == 0 {
-        eprintln!("redistload: --connections/--requests/--distinct/--n must be at least 1");
+/// Rejects a zero flag value with a flag-specific message (the same
+/// discipline as `bench::jobs_or`): zero connections or requests cannot
+/// make progress, so it is a configuration error, not a degenerate load.
+fn nonzero(value: u64, flag: &str, why: &str) -> u64 {
+    if value == 0 {
+        eprintln!("redistload: --{flag} must be at least 1 ({why})");
         std::process::exit(2);
     }
+    value
+}
+
+fn main() {
+    let connections: usize = nonzero(
+        arg("connections", 16),
+        "connections",
+        "0 client threads send nothing",
+    ) as usize;
+    let requests: u64 = nonzero(
+        arg("requests", 256),
+        "requests",
+        "an empty campaign checks nothing",
+    );
+    let distinct: usize = nonzero(
+        arg("distinct", 16),
+        "distinct",
+        "at least one matrix is needed",
+    ) as usize;
+    let n: usize = nonzero(arg("n", 12), "n", "matrices need at least one node") as usize;
+    let out_path: String = arg("out", "BENCH_serve.json".to_string());
+    let external_addr = arg_str("addr");
 
     let platform = Platform::new(n, n, 100.0, 100.0, 400.0);
     eprintln!("redistload: planning {distinct} cold reference instances (n={n})...");
@@ -277,12 +295,15 @@ fn main() {
          \"connections\": {connections},\n  \"distinct_matrices\": {distinct},\n  \
          \"matrix_n\": {n},\n  \"elapsed_s\": {:.4},\n  \"throughput_rps\": {:.2},\n  \
          \"latency_us_p50\": {},\n  \"latency_us_p99\": {},\n  \"latency_us_mean\": {},\n  \
+         \"latency_us_max\": {},\n  \"saturated\": {},\n  \
          \"cache_hits\": {hits},\n  \"cache_hit_rate\": {:.4},\n  \"failures\": {failures}\n}}\n",
         elapsed.as_secs_f64(),
         throughput,
         latency_us.quantile(0.5),
         latency_us.quantile(0.99),
         latency_us.mean(),
+        latency_us.max(),
+        latency_us.saturated(),
         hit_rate,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");

@@ -214,7 +214,12 @@ pub enum RejectReason {
 }
 
 /// A decoded response.
+///
+/// The `Ok` variant carries the inline `work` counter array (~200 bytes);
+/// responses live one at a time per connection, never in bulk, so the
+/// variant size imbalance costs nothing.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
 pub enum PlanResponse {
     /// The request was planned (or served from cache).
     Ok {

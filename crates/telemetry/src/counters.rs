@@ -79,10 +79,19 @@ pub enum Counter {
     ExecFaultsInjected,
     /// Steps spliced into a running schedule by residual re-planning.
     ExecStepsSpliced,
+    /// Node-to-block assignments performed by the hierarchical planner's
+    /// partition pass (initial placement and every affinity-sweep move
+    /// count one each).
+    HierPartitionAssigns,
+    /// Block sub-instances planned by the hierarchical planner (one per
+    /// active block pair).
+    HierBlockPlans,
+    /// Steps emitted by the hierarchical planner's composition phase.
+    HierComposeSteps,
 }
 
 /// Number of distinct counters.
-pub const COUNTER_COUNT: usize = 20;
+pub const COUNTER_COUNT: usize = 23;
 
 impl Counter {
     /// Every counter, in declaration (and export) order.
@@ -107,6 +116,9 @@ impl Counter {
         Counter::ExecReplans,
         Counter::ExecFaultsInjected,
         Counter::ExecStepsSpliced,
+        Counter::HierPartitionAssigns,
+        Counter::HierBlockPlans,
+        Counter::HierComposeSteps,
     ];
 
     /// Stable snake_case key used in JSON exports and summary tables.
@@ -132,6 +144,9 @@ impl Counter {
             Counter::ExecReplans => "exec_replans",
             Counter::ExecFaultsInjected => "exec_faults_injected",
             Counter::ExecStepsSpliced => "exec_steps_spliced",
+            Counter::HierPartitionAssigns => "hier_partition",
+            Counter::HierBlockPlans => "hier_block_plans",
+            Counter::HierComposeSteps => "hier_compose",
         }
     }
 }

@@ -35,7 +35,10 @@ cargo run --release -p bench --bin counters_baseline -- --check
 
 banner "serving-layer load test (redistload -> BENCH_serve.json)"
 cargo run --release -p redistd --bin redistload -- \
-  --requests 128 --connections 4 --distinct 8 --n 10 --out BENCH_serve.json
+  --requests 128 --connections 16 --distinct 8 --n 10 --out BENCH_serve.json
+
+banner "hierarchical-planner scale smoke (scale_bench --smoke, n=256 only)"
+cargo run --release -p bench --bin scale_bench -- --smoke
 
 banner "execution-runtime fault campaign (redistexec -> BENCH_exec.json)"
 cargo run --release -p redistexec --bin redistexec -- \

@@ -2,8 +2,8 @@
 //!
 //! ```sh
 //! redistplan --matrix traffic.csv --t1 100 --t2 100 --backbone 300 \
-//!            [--beta 0.05] [--algo oggp|ggp|list|greedy|sequential] \
-//!            [--jobs N] [--gantt] [--simulate] [--compare] \
+//!            [--beta 0.05] [--algo oggp|ggp|list|greedy|sequential|hier] \
+//!            [--blocks B] [--jobs N] [--gantt] [--simulate] [--compare] \
 //!            [--trace out.json] [--counters]
 //! ```
 //!
@@ -36,6 +36,7 @@ fn algo_from(name: &str) -> Option<Algorithm> {
         "sequential" => Some(Algorithm::Sequential),
         "list" => Some(Algorithm::List),
         "greedy" => Some(Algorithm::Greedy),
+        "hier" => Some(Algorithm::Hier),
         _ => None,
     }
 }
@@ -47,8 +48,8 @@ fn main() {
             "redistplan — plan a data redistribution from the command line\n\
              \n\
              usage: redistplan --matrix traffic.csv --t1 100 --t2 100 --backbone 300\n\
-             \x20                [--beta 0.05] [--algo oggp|ggp|list|greedy|sequential]\n\
-             \x20                [--jobs N] [--gantt] [--simulate] [--compare]\n\
+             \x20                [--beta 0.05] [--algo oggp|ggp|list|greedy|sequential|hier]\n\
+             \x20                [--blocks B] [--jobs N] [--gantt] [--simulate] [--compare]\n\
              \x20                [--trace out.json] [--counters]\n\
              \n\
              The CSV holds one row per sender with per-receiver byte counts\n\
@@ -57,6 +58,8 @@ fn main() {
              invocation. Pass '-' as the path to read one matrix from stdin\n\
              (usable once per invocation, combinable with file paths).\n\
              \n\
+             --blocks B      block count for --algo hier (default: auto, ~sqrt(n);\n\
+             \x20               1 reproduces flat oggp)\n\
              --jobs N        plan batches and --compare sweeps on N threads;\n\
              \x20               output is identical to --jobs 1\n\
              --trace <path>  record spans and write Chrome trace-event JSON\n\
@@ -119,6 +122,13 @@ fn main() {
         }
         n
     });
+    let blocks: usize = opt_value(&args, "blocks").map_or(0, |v| {
+        let b = v.parse().unwrap_or_else(|_| die("bad --blocks"));
+        if b == 0 {
+            die("--blocks must be at least 1")
+        }
+        b
+    });
 
     // Telemetry must be armed before planning so the spans and counters see
     // the scheduler's work (worker threads observe the same global switches).
@@ -138,7 +148,7 @@ fn main() {
         .collect();
     let inputs: Vec<(TrafficMatrix, Platform)> = traffics.into_iter().zip(platforms).collect();
 
-    let planner = Planner::new(algo).with_beta(beta);
+    let planner = Planner::new(algo).with_beta(beta).with_blocks(blocks);
     // The fan-out: all plans are computed before anything is printed, and
     // printed in input order, keeping the output independent of --jobs.
     let plans: Vec<Plan> = parallel_map(&inputs, jobs, |(t, p)| planner.plan(t, p));

@@ -61,6 +61,11 @@ pub enum Algorithm {
     List,
     /// Preemptive greedy peeling without regularisation (ablation).
     Greedy,
+    /// Hierarchical block-decomposed planning (see [`kpbs::hier`]) — for
+    /// large sparse instances where flat OGGP's peeling is too slow. Block
+    /// count defaults to `⌈√n⌉` and can be overridden with
+    /// [`Planner::with_blocks`].
+    Hier,
 }
 
 /// Builds [`Plan`]s from traffic matrices.
@@ -69,6 +74,7 @@ pub struct Planner {
     algorithm: Algorithm,
     beta_seconds: f64,
     scale: TickScale,
+    blocks: usize,
 }
 
 impl Planner {
@@ -79,7 +85,16 @@ impl Planner {
             algorithm,
             beta_seconds: 0.05,
             scale: TickScale::MILLIS,
+            blocks: 0,
         }
+    }
+
+    /// Overrides the block count used by [`Algorithm::Hier`] (`0` — the
+    /// default — picks `⌈√n⌉` per [`kpbs::hier::default_blocks`]; `1`
+    /// reproduces flat OGGP). Ignored by the other algorithms.
+    pub fn with_blocks(mut self, blocks: usize) -> Self {
+        self.blocks = blocks;
+        self
     }
 
     /// Overrides the per-step setup delay β (seconds).
@@ -104,6 +119,18 @@ impl Planner {
             Algorithm::Sequential => kpbs::baselines::sequential(&instance),
             Algorithm::List => kpbs::baselines::nonpreemptive_list(&instance),
             Algorithm::Greedy => kpbs::baselines::preemptive_greedy(&instance),
+            Algorithm::Hier => {
+                let n = instance
+                    .graph
+                    .left_count()
+                    .max(instance.graph.right_count());
+                let blocks = if self.blocks == 0 {
+                    kpbs::hier::default_blocks(n)
+                } else {
+                    self.blocks
+                };
+                kpbs::hier(&instance, &kpbs::HierConfig::new(blocks))
+            }
         };
         debug_assert!(schedule.validate(&instance).is_ok());
         Plan {
@@ -249,6 +276,7 @@ mod tests {
             Algorithm::Sequential,
             Algorithm::List,
             Algorithm::Greedy,
+            Algorithm::Hier,
         ] {
             let plan = Planner::new(algo).plan(&t, &p);
             plan.schedule
@@ -256,6 +284,14 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{algo:?}: {e}"));
             assert!(plan.evaluation_ratio() >= 1.0 - 1e-9, "{algo:?}");
         }
+    }
+
+    #[test]
+    fn hier_blocks_one_matches_oggp() {
+        let (t, p) = demo_traffic();
+        let hier = Planner::new(Algorithm::Hier).with_blocks(1).plan(&t, &p);
+        let oggp = Planner::new(Algorithm::Oggp).plan(&t, &p);
+        assert_eq!(hier.schedule, oggp.schedule);
     }
 
     #[test]
