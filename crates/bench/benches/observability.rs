@@ -1,0 +1,103 @@
+//! Criterion benches of the observability layer's hot paths.
+//!
+//! The claims under test: registry updates are cheap enough to sit on the
+//! serving fast path (a counter bump is one atomic add, a summary
+//! observation two atomic-indexed histogram records), a flight-recorder
+//! push costs one ticket fetch-add plus one uncontended slot lock, and the
+//! disabled path — a registry that exists but is never scraped — adds
+//! nothing beyond those updates (there is no background thread; windows
+//! only advance on scrape).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use telemetry::flight::{FlightOutcome, FlightRecord, FlightRecorder};
+use telemetry::metrics::{Registry, RegistryConfig};
+
+fn bench_registry_updates(c: &mut Criterion) {
+    let registry = Registry::new(RegistryConfig {
+        auto_advance: false,
+        ..RegistryConfig::default()
+    });
+    let counter = registry.counter("bench_requests_total", "Bench counter.", &[]);
+    let labelled = registry.counter(
+        "bench_outcomes_total",
+        "Bench labelled counter.",
+        &[("outcome", "planned")],
+    );
+    let gauge = registry.gauge("bench_queue_depth", "Bench gauge.", &[]);
+    let summary = registry.summary("bench_service_us", "Bench summary.", &[]);
+
+    let mut group = c.benchmark_group("observability");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    group.bench_function("counter_labelled_add", |b| {
+        b.iter(|| labelled.add(black_box(3)))
+    });
+    group.bench_function("gauge_set", |b| b.iter(|| gauge.set(black_box(42.0))));
+    group.bench_function("summary_observe", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 7) % 10_000;
+            summary.observe(black_box(v));
+        })
+    });
+    group.finish();
+}
+
+fn bench_flight_push(c: &mut Criterion) {
+    let ring = FlightRecorder::new(1024);
+    let mut rec = FlightRecord::new(1, FlightOutcome::Planned);
+    rec.bytes = 1_000_000;
+    rec.queue_wait_us = 12;
+    rec.plan_us = 340;
+
+    let mut group = c.benchmark_group("observability");
+    group.bench_function("flight_push", |b| {
+        b.iter(|| {
+            rec.rid += 1;
+            ring.push(black_box(rec));
+        })
+    });
+    group.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    // A populated registry of realistic size: the full redistd family set
+    // is ~20 series. Rendering happens per scrape, not per request, but it
+    // must stay cheap enough for aggressive scrape intervals.
+    let registry = Registry::new(RegistryConfig {
+        auto_advance: false,
+        ..RegistryConfig::default()
+    });
+    for outcome in ["planned", "cache_hit", "shed_queue_full", "error"] {
+        registry
+            .counter(
+                "bench_requests_total",
+                "Requests by outcome.",
+                &[("outcome", outcome)],
+            )
+            .add(17);
+    }
+    for name in ["bench_service_us", "bench_queue_wait_us", "bench_plan_us"] {
+        let s = registry.summary(name, "Bench summary.", &[]);
+        for v in 0..1000u64 {
+            s.observe(v * 13 % 7919);
+        }
+    }
+    for name in ["bench_queue_depth", "bench_workers", "bench_cache_entries"] {
+        registry.gauge(name, "Bench gauge.", &[]).set(8.0);
+    }
+
+    let mut group = c.benchmark_group("observability");
+    group.bench_function("registry_render", |b| {
+        b.iter(|| black_box(registry.render()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_registry_updates,
+    bench_flight_push,
+    bench_render
+);
+criterion_main!(benches);

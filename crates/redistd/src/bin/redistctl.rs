@@ -1,0 +1,100 @@
+//! `redistctl` — admin CLI for a running `redistd`.
+//!
+//! ```sh
+//! redistctl <stats|metrics|flight> --addr HOST:PORT [--validate]
+//!           [--expect-requests N]
+//! ```
+//!
+//! Fetches one of the plaintext admin reports and prints it to stdout.
+//! `--validate` (metrics) additionally checks Prometheus exposition
+//! well-formedness; `--expect-requests N` (flight) asserts the recorder
+//! has seen at least N requests. Both exit non-zero on failure, which is
+//! how `scripts/check.sh` turns a scrape into a CI gate.
+
+use redistd::client;
+use telemetry::metrics;
+
+fn opt_str(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == format!("--{name}") {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: redistctl <stats|metrics|flight> --addr HOST:PORT\n\
+         \x20                [--validate] [--expect-requests N]\n\
+         \n\
+         stats               fetch the plaintext STATS report\n\
+         metrics             fetch Prometheus text exposition (METRICS)\n\
+         flight              fetch the flight-recorder dump (FLIGHT)\n\
+         --validate          (metrics) check exposition well-formedness\n\
+         --expect-requests N (flight) require >= N recorded requests"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let command = match std::env::args().nth(1) {
+        Some(c) if ["stats", "metrics", "flight"].contains(&c.as_str()) => c,
+        _ => usage(),
+    };
+    let addr = opt_str("addr").unwrap_or_else(|| usage());
+
+    let body = match command.as_str() {
+        "stats" => client::fetch_stats(&addr),
+        "metrics" => client::fetch_metrics(&addr),
+        "flight" => client::fetch_flight(&addr),
+        _ => unreachable!(),
+    };
+    let body = match body {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("redistctl: cannot fetch {command} from {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{body}");
+
+    if command == "metrics" && flag("validate") {
+        if let Err(e) = metrics::validate_exposition(&body) {
+            eprintln!("redistctl: exposition invalid: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("redistctl: exposition well-formed");
+    }
+
+    if command == "flight" {
+        if let Some(min) = opt_str("expect-requests") {
+            let min: u64 = min.parse().unwrap_or_else(|_| usage());
+            // The dump header carries the lifetime total:
+            // `redistd flight records=K capacity=C total=T`.
+            let total = body
+                .lines()
+                .next()
+                .and_then(|h| h.rsplit_once("total=").map(|(_, t)| t.trim().to_string()))
+                .and_then(|t| t.parse::<u64>().ok());
+            match total {
+                Some(t) if t >= min => {
+                    eprintln!("redistctl: flight recorder saw {t} requests (>= {min})");
+                }
+                Some(t) => {
+                    eprintln!("redistctl: flight recorder saw {t} requests, expected >= {min}");
+                    std::process::exit(1);
+                }
+                None => {
+                    eprintln!("redistctl: malformed flight header");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

@@ -8,7 +8,9 @@
 //! Accepts length-prefixed binary planning requests (see `redistd::wire`),
 //! plans them with OGGP/GGP on a fixed worker pool behind a bounded
 //! admission queue, and serves repeated instances from a sharded LRU plan
-//! cache. `STATS\n` on a connection returns a plaintext operational report.
+//! cache. Plaintext admin commands on a connection: `STATS\n` returns an
+//! operational report, `METRICS\n` Prometheus text exposition, `FLIGHT\n`
+//! a dump of the always-on per-request flight recorder.
 //!
 //! SIGTERM or ctrl-c triggers a graceful shutdown: the listener closes,
 //! every admitted request is drained to its response, then the process
@@ -87,10 +89,14 @@ fn main() {
              --max-cells N       reject matrices with more than N cells\n\
              \x20                   (default 1048576)\n\
              --trace PATH        record spans; write Chrome trace JSON on exit\n\
+             --flight-capacity N flight-recorder ring size (default 1024)\n\
+             --flight-dump PATH  write the flight-recorder dump on drain\n\
+             --port-file PATH    write the bound address once listening\n\
+             \x20                   (lets scripts use --addr host:0)\n\
              \n\
-             Send the 6 ASCII bytes 'STATS\\n' on a connection for a plaintext\n\
-             operational report. SIGTERM / ctrl-c drains in-flight requests\n\
-             and exits."
+             Plaintext admin commands on a connection: 'STATS\\n' (report),\n\
+             'METRICS\\n' (Prometheus exposition), 'FLIGHT\\n' (flight dump).\n\
+             SIGTERM / ctrl-c drains in-flight requests and exits."
         );
         return;
     }
@@ -102,9 +108,12 @@ fn main() {
         queue_depth: opt("queue-depth", defaults.queue_depth),
         cache_capacity: opt("cache-capacity", defaults.cache_capacity),
         max_cells: opt("max-cells", defaults.max_cells),
+        flight_capacity: opt("flight-capacity", defaults.flight_capacity),
         ..defaults
     };
     let trace_path = opt_str("trace");
+    let flight_dump = opt_str("flight-dump");
+    let port_file = opt_str("port-file");
 
     // Work counters power the per-request deltas in every response; spans
     // only when a trace is requested (they buffer events).
@@ -128,12 +137,26 @@ fn main() {
         config.queue_depth,
         config.cache_capacity
     );
+    if let Some(path) = &port_file {
+        // Written last, atomically enough for a poll loop: scripts binding
+        // port 0 wait for this file to learn the real address.
+        if let Err(e) = std::fs::write(path, format!("{}\n", handle.addr())) {
+            eprintln!("redistd: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 
     while !SHUTDOWN.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(50));
     }
     eprintln!("redistd: shutting down (draining in-flight requests)");
-    let stats = handle.shutdown();
+    let (stats, flight) = handle.shutdown_with_flight();
+    if let Some(path) = &flight_dump {
+        match std::fs::write(path, &flight) {
+            Ok(()) => eprintln!("redistd: flight records written to {path}"),
+            Err(e) => eprintln!("redistd: cannot write {path}: {e}"),
+        }
+    }
     eprintln!(
         "redistd: served {} requests ({} cache hits, {} rejected), p99 {} us",
         stats.served,

@@ -18,9 +18,16 @@
 //! * the schedule passes [`kpbs::validate`] and its cost is bounded below
 //!   by [`kpbs::lower_bound`].
 //!
-//! It then writes a `BENCH_serve.json` campaign file (throughput,
-//! latency quantiles, cache hit rate) and exits non-zero on any
-//! incorrect response or on a suspiciously cold cache.
+//! * every `Ok` response carries a non-zero `server_id` (the server-minted
+//!   correlation id that joins the response to the server's flight record
+//!   and span timeline).
+//!
+//! After the run it scrapes the server's `METRICS` exposition, validates
+//! its well-formedness, and writes a `BENCH_serve.json` campaign file with
+//! the client-side view (throughput, latency quantiles, cache hit rate)
+//! *and* the scraped server-side view (queue wait, service time, outcome
+//! counts) side by side. Exits non-zero on any incorrect response, a
+//! suspiciously cold cache, or a malformed exposition.
 
 use kpbs::traffic::TickScale;
 use kpbs::{Platform, TrafficMatrix};
@@ -30,7 +37,7 @@ use redistd::wire::{self, Algo, PlanResponse};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use telemetry::Histogram;
+use telemetry::{metrics, Histogram};
 
 const BETA_SECONDS: f64 = 0.05;
 
@@ -125,6 +132,9 @@ fn build_workload(distinct: usize, n: usize, platform: &Platform) -> Vec<WorkIte
 struct Outcome {
     hits: u64,
     failures: u64,
+    /// Distinct-looking correlation check: how many `Ok` responses carried
+    /// a non-zero server-minted id (must equal the responses received).
+    correlated: u64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -143,12 +153,14 @@ fn run_connection(
             return Outcome {
                 hits: 0,
                 failures: 1,
+                correlated: 0,
             };
         }
     };
     let mut out = Outcome {
         hits: 0,
         failures: 0,
+        correlated: 0,
     };
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -174,6 +186,7 @@ fn run_connection(
                 schedule,
                 cost,
                 lower_bound,
+                server_id,
                 ..
             } => {
                 let bytes = wire::encode_schedule(&schedule);
@@ -189,6 +202,14 @@ fn run_connection(
                         item.expected_cost, item.lower_bound
                     );
                     out.failures += 1;
+                }
+                // v2 responses must be correlated: the server mints ids
+                // from 1, so 0 means the header field went missing.
+                if server_id == 0 {
+                    eprintln!("redistload: request {i} carried no server_id");
+                    out.failures += 1;
+                } else {
+                    out.correlated += 1;
                 }
                 if cached {
                     out.hits += 1;
@@ -276,9 +297,51 @@ fn main() {
     let elapsed = wall.elapsed();
 
     let hits: u64 = outcomes.iter().map(|o| o.hits).sum();
-    let failures: u64 = outcomes.iter().map(|o| o.failures).sum();
+    let mut failures: u64 = outcomes.iter().map(|o| o.failures).sum();
+    let correlated: u64 = outcomes.iter().map(|o| o.correlated).sum();
     let hit_rate = hits as f64 / requests as f64;
     let throughput = requests as f64 / elapsed.as_secs_f64();
+
+    // Scrape the server-side view while the daemon is still up: validate
+    // the exposition and lift the fields BENCH_serve.json embeds.
+    let server_json = match client::fetch_metrics(addr) {
+        Ok(text) => match metrics::validate_exposition(&text) {
+            Ok(()) => {
+                let sample = |name: &str, labels: &[(&str, &str)]| {
+                    metrics::find_sample(&text, name, labels).unwrap_or(0.0)
+                };
+                format!(
+                    "{{\n    \"requests_planned\": {},\n    \
+                     \"requests_cache_hit\": {},\n    \
+                     \"requests_shed\": {},\n    \
+                     \"queue_wait_us_p50\": {},\n    \
+                     \"queue_wait_us_p99\": {},\n    \
+                     \"service_us_p50\": {},\n    \
+                     \"service_us_p99\": {},\n    \
+                     \"request_bytes_total\": {}\n  }}",
+                    sample("redistd_requests_total", &[("outcome", "planned")]),
+                    sample("redistd_requests_total", &[("outcome", "cache_hit")]),
+                    sample("redistd_requests_total", &[("outcome", "shed_queue_full")])
+                        + sample("redistd_requests_total", &[("outcome", "shed_too_large")]),
+                    sample("redistd_queue_wait_us", &[("quantile", "0.5")]),
+                    sample("redistd_queue_wait_us", &[("quantile", "0.99")]),
+                    sample("redistd_service_us", &[("quantile", "0.5")]),
+                    sample("redistd_service_us", &[("quantile", "0.99")]),
+                    sample("redistd_request_bytes_total", &[]),
+                )
+            }
+            Err(e) => {
+                eprintln!("redistload: METRICS exposition invalid: {e}");
+                failures += 1;
+                "null".to_string()
+            }
+        },
+        Err(e) => {
+            eprintln!("redistload: METRICS scrape failed: {e}");
+            failures += 1;
+            "null".to_string()
+        }
+    };
 
     if let Some(h) = hosted {
         let stats = h.shutdown();
@@ -296,7 +359,8 @@ fn main() {
          \"matrix_n\": {n},\n  \"elapsed_s\": {:.4},\n  \"throughput_rps\": {:.2},\n  \
          \"latency_us_p50\": {},\n  \"latency_us_p99\": {},\n  \"latency_us_mean\": {},\n  \
          \"latency_us_max\": {},\n  \"saturated\": {},\n  \
-         \"cache_hits\": {hits},\n  \"cache_hit_rate\": {:.4},\n  \"failures\": {failures}\n}}\n",
+         \"cache_hits\": {hits},\n  \"cache_hit_rate\": {:.4},\n  \"failures\": {failures},\n  \
+         \"correlated_responses\": {correlated},\n  \"server\": {server_json}\n}}\n",
         elapsed.as_secs_f64(),
         throughput,
         latency_us.quantile(0.5),

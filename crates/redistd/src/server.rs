@@ -44,7 +44,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use telemetry::counters::{self, Counter, COUNTER_COUNT};
-use telemetry::Histogram;
+use telemetry::flight::{FlightOutcome, FlightRecord, FlightRecorder};
+use telemetry::metrics::{CounterHandle, GaugeHandle, Registry, RegistryConfig, SummaryHandle};
 
 /// How long a blocked read waits before re-checking the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
@@ -70,6 +71,9 @@ pub struct ServerConfig {
     /// provoke deterministic overload/drain behaviour in tests. 0 in
     /// production.
     pub worker_think_ms: u64,
+    /// Flight-recorder capacity: how many per-request records the `FLIGHT`
+    /// admin command (and `--flight-dump`) can look back over.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +89,7 @@ impl Default for ServerConfig {
             cache_shards: 8,
             max_cells: 1 << 20,
             worker_think_ms: 0,
+            flight_capacity: 1024,
         }
     }
 }
@@ -100,6 +105,110 @@ struct PlanOutcome {
 struct Job {
     req: PlanRequest,
     reply: mpsc::Sender<PlanResponse>,
+    /// Server-minted request id — the correlation key across the response
+    /// (`server_id`), spans (`rid` arg), and the flight record.
+    rid: u64,
+    /// When admission succeeded; worker pickup measures queue wait from it.
+    admitted: Instant,
+    /// Queue depth observed at admission (this job excluded).
+    depth_at_admission: usize,
+}
+
+/// The server's registered instruments — the single source of truth for
+/// every count `STATS` and `METRICS` report. Names are part of the
+/// observable surface (golden-tested); keep them in sync with DESIGN.md §14.
+struct ServerMetrics {
+    requests_planned: CounterHandle,
+    requests_cache_hit: CounterHandle,
+    requests_shed_queue_full: CounterHandle,
+    requests_shed_too_large: CounterHandle,
+    requests_error: CounterHandle,
+    admissions_total: CounterHandle,
+    request_bytes: CounterHandle,
+    service_us: SummaryHandle,
+    queue_wait_us: SummaryHandle,
+    plan_us: SummaryHandle,
+    // Gauges refreshed on every render (see `refresh_gauges`).
+    queue_depth: GaugeHandle,
+    queue_capacity: GaugeHandle,
+    workers: GaugeHandle,
+    uptime_seconds: GaugeHandle,
+    requests_per_second: GaugeHandle,
+    cache_hits: GaugeHandle,
+    cache_misses: GaugeHandle,
+    cache_insertions: GaugeHandle,
+    cache_evictions: GaugeHandle,
+    cache_entries: GaugeHandle,
+}
+
+impl ServerMetrics {
+    fn register(r: &Registry) -> ServerMetrics {
+        let req = |outcome| {
+            r.counter(
+                "redistd_requests_total",
+                "Requests by final outcome.",
+                &[("outcome", outcome)],
+            )
+        };
+        ServerMetrics {
+            requests_planned: req("planned"),
+            requests_cache_hit: req("cache_hit"),
+            requests_shed_queue_full: req("shed_queue_full"),
+            requests_shed_too_large: req("shed_too_large"),
+            requests_error: req("error"),
+            admissions_total: r.counter(
+                "redistd_admissions_total",
+                "Frames that reached admission control (every rid minted).",
+                &[],
+            ),
+            request_bytes: r.counter(
+                "redistd_request_bytes_total",
+                "Total payload bytes across admitted traffic matrices.",
+                &[],
+            ),
+            service_us: r.summary(
+                "redistd_service_us",
+                "Admission to response-ready, microseconds.",
+                &[],
+            ),
+            queue_wait_us: r.summary(
+                "redistd_queue_wait_us",
+                "Admission to worker pickup, microseconds.",
+                &[],
+            ),
+            plan_us: r.summary(
+                "redistd_plan_us",
+                "Planning time on the worker (cache misses), microseconds.",
+                &[],
+            ),
+            queue_depth: r.gauge("redistd_queue_depth", "Requests queued right now.", &[]),
+            queue_capacity: r.gauge("redistd_queue_capacity", "Configured queue bound.", &[]),
+            workers: r.gauge("redistd_workers", "Configured worker threads.", &[]),
+            uptime_seconds: r.gauge("redistd_uptime_seconds", "Seconds since start.", &[]),
+            requests_per_second: r.gauge(
+                "redistd_requests_per_second",
+                "Admission rate over the sliding window.",
+                &[],
+            ),
+            cache_hits: r.gauge("redistd_cache_hits", "Plan-cache hits since start.", &[]),
+            cache_misses: r.gauge(
+                "redistd_cache_misses",
+                "Plan-cache misses since start.",
+                &[],
+            ),
+            cache_insertions: r.gauge(
+                "redistd_cache_insertions",
+                "Plan-cache insertions since start.",
+                &[],
+            ),
+            cache_evictions: r.gauge(
+                "redistd_cache_evictions",
+                "Plan-cache evictions since start.",
+                &[],
+            ),
+            cache_entries: r.gauge("redistd_cache_entries", "Plan-cache entries resident.", &[]),
+        }
+    }
 }
 
 struct Shared {
@@ -108,11 +217,41 @@ struct Shared {
     queue: BoundedQueue<Job>,
     cache: ShardedLru<PlanOutcome>,
     started: Instant,
-    served: AtomicU64,
-    rejected_queue_full: AtomicU64,
-    rejected_too_large: AtomicU64,
-    errors: AtomicU64,
-    service_us: Histogram,
+    /// Request-id mint: the next rid is `admissions + 1`, so rid 0 never
+    /// occurs and can mean "not correlated" on the wire.
+    admissions: AtomicU64,
+    registry: Registry,
+    metrics: ServerMetrics,
+    flight: FlightRecorder,
+}
+
+impl Shared {
+    fn mint_rid(&self) -> u64 {
+        self.admissions.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Refreshes point-in-time gauges, then renders the registry. Called
+    /// for both `METRICS` responses and the typed stats snapshot.
+    fn refresh_gauges(&self) {
+        let cache = self.cache.stats();
+        let m = &self.metrics;
+        m.queue_depth.set(self.queue.len() as f64);
+        m.queue_capacity.set(self.queue.capacity() as f64);
+        m.workers.set(self.config.workers as f64);
+        m.uptime_seconds.set(self.started.elapsed().as_secs_f64());
+        m.requests_per_second.set(m.admissions_total.rate());
+        m.cache_hits.set(cache.hits as f64);
+        m.cache_misses.set(cache.misses as f64);
+        m.cache_insertions.set(cache.insertions as f64);
+        m.cache_evictions.set(cache.evictions as f64);
+        m.cache_entries.set(cache.len as f64);
+    }
+
+    fn render_metrics(&self) -> String {
+        self.registry.tick();
+        self.refresh_gauges();
+        self.registry.render()
+    }
 }
 
 /// A point-in-time operational report (the typed form of `STATS`).
@@ -140,62 +279,74 @@ pub struct ServerStats {
     pub p99_us: u64,
     /// Mean service time in microseconds.
     pub mean_us: u64,
+    /// Queue-wait p50 in microseconds (admission to worker pickup).
+    pub queue_wait_p50_us: u64,
+    /// Queue-wait p99 in microseconds.
+    pub queue_wait_p99_us: u64,
+    /// Mean queue wait in microseconds.
+    pub queue_wait_mean_us: u64,
 }
 
 impl ServerStats {
     fn gather(shared: &Shared) -> ServerStats {
+        let m = &shared.metrics;
+        let mean = |s: &SummaryHandle| s.sum().checked_div(s.count()).unwrap_or(0);
         ServerStats {
-            served: shared.served.load(Ordering::Relaxed),
+            served: m.requests_planned.value() + m.requests_cache_hit.value(),
             cache: shared.cache.stats(),
-            rejected_queue_full: shared.rejected_queue_full.load(Ordering::Relaxed),
-            rejected_too_large: shared.rejected_too_large.load(Ordering::Relaxed),
-            errors: shared.errors.load(Ordering::Relaxed),
+            rejected_queue_full: m.requests_shed_queue_full.value(),
+            rejected_too_large: m.requests_shed_too_large.value(),
+            errors: m.requests_error.value(),
             queue_depth: shared.queue.len(),
             queue_capacity: shared.queue.capacity(),
             workers: shared.config.workers,
-            p50_us: shared.service_us.quantile(0.5),
-            p99_us: shared.service_us.quantile(0.99),
-            mean_us: shared.service_us.mean(),
+            p50_us: m.service_us.quantile(0.5),
+            p99_us: m.service_us.quantile(0.99),
+            mean_us: mean(&m.service_us),
+            queue_wait_p50_us: m.queue_wait_us.quantile(0.5),
+            queue_wait_p99_us: m.queue_wait_us.quantile(0.99),
+            queue_wait_mean_us: mean(&m.queue_wait_us),
         }
     }
 
-    /// The plaintext rendering sent in answer to `STATS`.
+    /// The `key: value` pairs of the `STATS` report, in render order. The
+    /// order is fixed — append-only across versions — so the plaintext
+    /// report is golden-testable and `stats_field` lookups are unambiguous.
+    pub fn fields(&self, uptime: Duration) -> Vec<(&'static str, String)> {
+        vec![
+            ("uptime_s", format!("{:.1}", uptime.as_secs_f64())),
+            ("workers", self.workers.to_string()),
+            ("queue_depth", self.queue_depth.to_string()),
+            ("queue_capacity", self.queue_capacity.to_string()),
+            ("served", self.served.to_string()),
+            ("cache_hits", self.cache.hits.to_string()),
+            ("cache_misses", self.cache.misses.to_string()),
+            ("cache_hit_rate", format!("{:.4}", self.cache.hit_rate())),
+            ("cache_len", self.cache.len.to_string()),
+            ("cache_evictions", self.cache.evictions.to_string()),
+            ("rejected_queue_full", self.rejected_queue_full.to_string()),
+            ("rejected_too_large", self.rejected_too_large.to_string()),
+            ("errors", self.errors.to_string()),
+            ("service_us_p50", self.p50_us.to_string()),
+            ("service_us_p99", self.p99_us.to_string()),
+            ("service_us_mean", self.mean_us.to_string()),
+            ("queue_wait_us_p50", self.queue_wait_p50_us.to_string()),
+            ("queue_wait_us_p99", self.queue_wait_p99_us.to_string()),
+            ("queue_wait_us_mean", self.queue_wait_mean_us.to_string()),
+        ]
+    }
+
+    /// The plaintext rendering sent in answer to `STATS`: a banner line,
+    /// then [`ServerStats::fields`] one per line.
     pub fn render(&self, uptime: Duration) -> String {
-        format!(
-            "redistd stats\n\
-             uptime_s: {:.1}\n\
-             workers: {}\n\
-             queue_depth: {}\n\
-             queue_capacity: {}\n\
-             served: {}\n\
-             cache_hits: {}\n\
-             cache_misses: {}\n\
-             cache_hit_rate: {:.4}\n\
-             cache_len: {}\n\
-             cache_evictions: {}\n\
-             rejected_queue_full: {}\n\
-             rejected_too_large: {}\n\
-             errors: {}\n\
-             service_us_p50: {}\n\
-             service_us_p99: {}\n\
-             service_us_mean: {}\n",
-            uptime.as_secs_f64(),
-            self.workers,
-            self.queue_depth,
-            self.queue_capacity,
-            self.served,
-            self.cache.hits,
-            self.cache.misses,
-            self.cache.hit_rate(),
-            self.cache.len,
-            self.cache.evictions,
-            self.rejected_queue_full,
-            self.rejected_too_large,
-            self.errors,
-            self.p50_us,
-            self.p99_us,
-            self.mean_us,
-        )
+        let mut out = String::from("redistd stats\n");
+        for (k, v) in self.fields(uptime) {
+            out.push_str(k);
+            out.push_str(": ");
+            out.push_str(&v);
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -216,16 +367,17 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let registry = Registry::new(RegistryConfig::default());
+    let metrics = ServerMetrics::register(&registry);
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(config.queue_depth),
         cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
-        served: AtomicU64::new(0),
-        rejected_queue_full: AtomicU64::new(0),
-        rejected_too_large: AtomicU64::new(0),
-        errors: AtomicU64::new(0),
-        service_us: Histogram::new(),
+        admissions: AtomicU64::new(0),
+        registry,
+        metrics,
+        flight: FlightRecorder::new(config.flight_capacity),
         config,
     });
 
@@ -234,7 +386,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
             let shared = shared.clone();
             std::thread::Builder::new()
                 .name(format!("redistd-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
+                .spawn(move || worker_loop(&shared, i as u32))
                 .expect("spawn worker")
         })
         .collect();
@@ -269,6 +421,17 @@ impl ServerHandle {
         ServerStats::gather(&self.shared)
     }
 
+    /// The Prometheus text exposition the `METRICS` admin command serves
+    /// (gauges refreshed to now).
+    pub fn metrics_text(&self) -> String {
+        self.shared.render_metrics()
+    }
+
+    /// The flight-recorder dump the `FLIGHT` admin command serves.
+    pub fn flight_text(&self) -> String {
+        self.shared.flight.render()
+    }
+
     /// Asks the server to shut down without waiting (used by signal
     /// handlers); follow with [`ServerHandle::shutdown`] to drain and join.
     pub fn request_shutdown(&self) {
@@ -277,7 +440,14 @@ impl ServerHandle {
 
     /// Graceful shutdown: stop accepting, drain every admitted request to
     /// its response, join all threads. Returns the final statistics.
-    pub fn shutdown(mut self) -> ServerStats {
+    pub fn shutdown(self) -> ServerStats {
+        self.shutdown_with_flight().0
+    }
+
+    /// [`ServerHandle::shutdown`], additionally returning the post-drain
+    /// flight-recorder dump — taken *after* workers joined, so it covers
+    /// every request the server ever answered (`--flight-dump` uses this).
+    pub fn shutdown_with_flight(mut self) -> (ServerStats, String) {
         self.request_shutdown();
         if let Some(a) = self.accept.take() {
             let _ = a.join();
@@ -296,7 +466,10 @@ impl ServerHandle {
         for h in handles {
             let _ = h.join();
         }
-        ServerStats::gather(&self.shared)
+        (
+            ServerStats::gather(&self.shared),
+            self.shared.flight.render(),
+        )
     }
 }
 
@@ -335,11 +508,19 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
             Ok(Incoming::Stats) => {
                 let stats = ServerStats::gather(shared);
                 let _ = stream.write_all(stats.render(shared.started.elapsed()).as_bytes());
-                return; // stats connections are one-shot
+                return; // admin connections are one-shot
+            }
+            Ok(Incoming::Metrics) => {
+                let _ = stream.write_all(shared.render_metrics().as_bytes());
+                return;
+            }
+            Ok(Incoming::Flight) => {
+                let _ = stream.write_all(shared.flight.render().as_bytes());
+                return;
             }
             Ok(Incoming::Frame(payload)) => {
-                let resp = handle_frame(shared, &payload);
-                if wire::write_all(&mut stream, &wire::encode_response(&resp)).is_err() {
+                let (resp, version) = handle_frame(shared, &payload);
+                if wire::write_all(&mut stream, &wire::encode_response(&resp, version)).is_err() {
                     return;
                 }
             }
@@ -357,41 +538,80 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
 }
 
 /// Decodes, admits and executes one request, blocking until its response
-/// is ready (or producing a rejection immediately).
-fn handle_frame(shared: &Arc<Shared>, payload: &[u8]) -> PlanResponse {
+/// is ready (or producing a rejection immediately). Returns the response
+/// and the wire version to encode it in (the request's own version, so an
+/// old client never sees v2 fields).
+fn handle_frame(shared: &Arc<Shared>, payload: &[u8]) -> (PlanResponse, u16) {
     let start = Instant::now();
+    shared.registry.tick();
+    let rid = shared.mint_rid();
+    shared.metrics.admissions_total.inc();
     let req = match wire::decode_request(payload) {
         Ok(r) => r,
         Err(e) => {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
-            return PlanResponse::Error {
-                request_id: peek_request_id(payload),
-                message: e.0,
-            };
+            shared.metrics.requests_error.inc();
+            let client_id = peek_request_id(payload);
+            let mut rec = FlightRecord::new(rid, FlightOutcome::Error);
+            rec.client_id = client_id;
+            rec.queue_depth = shared.queue.len() as u32;
+            shared.flight.push(rec);
+            return (
+                PlanResponse::Error {
+                    request_id: client_id,
+                    message: e.0,
+                },
+                peek_version(payload),
+            );
         }
     };
     let request_id = req.request_id;
+    let version = req.wire_version;
+    let bytes: u64 = req.matrix.bytes.iter().sum();
+    let mut rec = FlightRecord::new(rid, FlightOutcome::Error);
+    rec.client_id = request_id;
+    rec.bytes = bytes;
+    rec.n1 = req.matrix.n1;
+    rec.n2 = req.matrix.n2;
+    rec.queue_depth = shared.queue.len() as u32;
 
     // Admission control, cheapest check first. Rejections answer
     // immediately — the whole point is never to buffer beyond the bound.
     if req.matrix.cells() > shared.config.max_cells {
         counters::incr(Counter::ServeRejected);
-        shared.rejected_too_large.fetch_add(1, Ordering::Relaxed);
-        return PlanResponse::Rejected {
-            request_id,
-            reason: RejectReason::MatrixTooLarge,
-        };
-    }
-
-    let (tx, rx) = mpsc::channel();
-    match shared.queue.try_push(Job { req, reply: tx }) {
-        Err(PushError::Full(_)) | Err(PushError::Closed(_)) => {
-            counters::incr(Counter::ServeRejected);
-            shared.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.requests_shed_too_large.inc();
+        rec.outcome = FlightOutcome::ShedTooLarge;
+        shared.flight.push(rec);
+        return (
             PlanResponse::Rejected {
                 request_id,
-                reason: RejectReason::QueueFull,
-            }
+                reason: RejectReason::MatrixTooLarge,
+            },
+            version,
+        );
+    }
+
+    shared.metrics.request_bytes.add(bytes);
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        req,
+        reply: tx,
+        rid,
+        admitted: start,
+        depth_at_admission: shared.queue.len(),
+    };
+    match shared.queue.try_push(job) {
+        Err(PushError::Full(_)) | Err(PushError::Closed(_)) => {
+            counters::incr(Counter::ServeRejected);
+            shared.metrics.requests_shed_queue_full.inc();
+            rec.outcome = FlightOutcome::ShedQueueFull;
+            shared.flight.push(rec);
+            (
+                PlanResponse::Rejected {
+                    request_id,
+                    reason: RejectReason::QueueFull,
+                },
+                version,
+            )
         }
         Ok(()) => {
             // The worker pool drains every accepted job (even through
@@ -401,24 +621,57 @@ fn handle_frame(shared: &Arc<Shared>, payload: &[u8]) -> PlanResponse {
                 message: "worker failed".into(),
             });
             if matches!(resp, PlanResponse::Ok { .. }) {
-                shared.served.fetch_add(1, Ordering::Relaxed);
                 shared
+                    .metrics
                     .service_us
-                    .record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                    .observe(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
             } else {
-                shared.errors.fetch_add(1, Ordering::Relaxed);
+                // A worker failure after admission; the worker never pushed
+                // a flight record, so account for the request here.
+                shared.metrics.requests_error.inc();
+                shared.flight.push(rec);
             }
-            resp
+            (resp, version)
         }
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, worker: u32) {
     while let Some(job) = shared.queue.pop() {
+        let queue_wait_us = job.admitted.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        shared.metrics.queue_wait_us.observe(queue_wait_us);
         if shared.config.worker_think_ms > 0 {
             std::thread::sleep(Duration::from_millis(shared.config.worker_think_ms));
         }
-        let resp = plan_request(shared, &job.req);
+        let plan_start = Instant::now();
+        let resp = plan_request(shared, &job.req, job.rid);
+        let plan_us = plan_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+
+        let cached = matches!(resp, PlanResponse::Ok { cached: true, .. });
+        if cached {
+            shared.metrics.requests_cache_hit.inc();
+        } else {
+            shared.metrics.requests_planned.inc();
+            shared.metrics.plan_us.observe(plan_us);
+        }
+        let mut rec = FlightRecord::new(
+            job.rid,
+            if cached {
+                FlightOutcome::CacheHit
+            } else {
+                FlightOutcome::Planned
+            },
+        );
+        rec.client_id = job.req.request_id;
+        rec.bytes = job.req.matrix.bytes.iter().sum();
+        rec.n1 = job.req.matrix.n1;
+        rec.n2 = job.req.matrix.n2;
+        rec.queue_depth = job.depth_at_admission as u32;
+        rec.queue_wait_us = queue_wait_us;
+        rec.plan_us = if cached { 0 } else { plan_us };
+        rec.worker = worker;
+        shared.flight.push(rec);
+
         // A closed reply channel means the connection died; the plan is
         // still cached, so the work is not wasted.
         let _ = job.reply.send(resp);
@@ -427,9 +680,10 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 /// Plans one admitted request: canonical instance, cache lookup, cold plan
 /// on a miss. Pure per request — the response does not depend on which
-/// worker ran it.
-fn plan_request(shared: &Arc<Shared>, req: &PlanRequest) -> PlanResponse {
-    let _span = telemetry::span("redistd.plan");
+/// worker ran it. `rid` labels the span timeline and the response's
+/// `server_id`, tying both to the flight record.
+fn plan_request(shared: &Arc<Shared>, req: &PlanRequest, rid: u64) -> PlanResponse {
+    let _span = telemetry::span_with("redistd.plan", &[("rid", rid)]);
     counters::incr(Counter::ServeRequests);
     let platform = Platform::new(
         req.platform.n1 as usize,
@@ -445,6 +699,7 @@ fn plan_request(shared: &Arc<Shared>, req: &PlanRequest) -> PlanResponse {
 
     if let Some(hit) = shared.cache.get(key) {
         counters::incr(Counter::ServeCacheHits);
+        telemetry::instant_with("redistd.cache_hit", &[("rid", rid)]);
         return PlanResponse::Ok {
             request_id: req.request_id,
             cached: true,
@@ -453,8 +708,10 @@ fn plan_request(shared: &Arc<Shared>, req: &PlanRequest) -> PlanResponse {
             lower_bound: hit.lower_bound,
             // A hit does no planning work; the delta is genuinely zero.
             work: [0; COUNTER_COUNT],
+            server_id: rid,
         };
     }
+    telemetry::instant_with("redistd.cache_miss", &[("rid", rid)]);
 
     let before = counters::local_snapshot();
     let schedule = match req.algo {
@@ -479,6 +736,7 @@ fn plan_request(shared: &Arc<Shared>, req: &PlanRequest) -> PlanResponse {
         cost: outcome.cost,
         lower_bound: outcome.lower_bound,
         work,
+        server_id: rid,
     }
 }
 
@@ -491,4 +749,18 @@ fn peek_request_id(payload: &[u8]) -> u64 {
     } else {
         0
     }
+}
+
+/// Best-effort extraction of the wire version from a frame that failed to
+/// decode, so the error response is encoded in a version the sender can
+/// parse. Unreadable or unsupported versions fall back to [`wire::MIN_VERSION`],
+/// which every client accepts.
+fn peek_version(payload: &[u8]) -> u16 {
+    if payload.len() >= 6 && payload[..4] == wire::MAGIC {
+        let v = u16::from_be_bytes(payload[4..6].try_into().unwrap());
+        if (wire::MIN_VERSION..=wire::VERSION).contains(&v) {
+            return v;
+        }
+    }
+    wire::MIN_VERSION
 }

@@ -3,19 +3,29 @@
 //! Every frame on the wire is a big-endian `u32` payload length followed by
 //! the payload. Payloads open with the 4-byte magic `RDST` and a `u16`
 //! protocol version, so a stray client speaking the wrong protocol fails
-//! loudly instead of being misparsed. The one exception is the plaintext
-//! admin command: a client may send the literal ASCII bytes `STATS\n`
-//! instead of a frame, and the server answers with a human-readable report
-//! and closes the connection (the magic's first byte `R` can never collide
-//! with `S`, and the server sniffs the first four bytes before committing
-//! to a length).
+//! loudly instead of being misparsed. The exception is the plaintext admin
+//! commands: a client may send the literal ASCII bytes `STATS\n`,
+//! `METRICS\n`, or `FLIGHT\n` instead of a frame, and the server answers
+//! with a plain-text report and closes the connection (the magic's first
+//! byte `R` can never collide with the commands' first bytes, and the
+//! server sniffs the first four bytes before committing to a length).
+//!
+//! # Versioning
+//!
+//! The current version is 2; the server accepts 1 and 2 and **replies in
+//! the version the request was sent with**, so old clients keep working
+//! unchanged. Version 2 adds one field: `Ok` responses carry a trailing
+//! `server_id` — the request id the server minted at admission, the key
+//! that joins a client-observed response to its flight-recorder record,
+//! span timeline, and metric deltas. Version-1 responses omit the field
+//! and decode with `server_id = 0` ("not correlated").
 //!
 //! # Plan request payload
 //!
 //! | field       | type           | notes                                   |
 //! |-------------|----------------|-----------------------------------------|
 //! | magic       | `[u8; 4]`      | `RDST`                                  |
-//! | version     | `u16`          | currently 1                             |
+//! | version     | `u16`          | 1 or 2 (layout identical)               |
 //! | kind        | `u8`           | 0 = plan                                |
 //! | request id  | `u64`          | echoed verbatim in the response         |
 //! | algorithm   | `u8`           | 0 = OGGP, 1 = GGP                       |
@@ -30,7 +40,7 @@
 //! | field       | type      | notes                                        |
 //! |-------------|-----------|----------------------------------------------|
 //! | magic       | `[u8; 4]` | `RDST`                                       |
-//! | version     | `u16`     | 1                                            |
+//! | version     | `u16`     | echoes the request's version                 |
 //! | request id  | `u64`     | copied from the request                      |
 //! | status      | `u8`      | 0 = ok, 1 = queue full, 2 = matrix too large, 3 = error |
 //! | ok: cached  | `u8`      | 1 when served from the plan cache            |
@@ -38,6 +48,7 @@
 //! | ok: cost    | `u64`     | `Σ (β + step duration)` in ticks             |
 //! | ok: lower bound | `u64` | Cohen–Jeannot–Padoy bound in ticks           |
 //! | ok: work    | `u8` + `u64 × n` | per-request counter deltas, [`Counter::ALL`](telemetry::counters::Counter::ALL) order |
+//! | ok: server id | `u64`   | **v2 only**: server-minted correlation id    |
 //! | error: message | `u32` + utf-8 | decode/validation failure detail         |
 //!
 //! The CSR encoding is the *canonical* construction: rows in sender order,
@@ -52,13 +63,19 @@ use telemetry::counters::COUNTER_COUNT;
 
 /// Frame magic: first four payload bytes of every binary frame.
 pub const MAGIC: [u8; 4] = *b"RDST";
-/// Protocol version.
-pub const VERSION: u16 = 1;
+/// Current protocol version (what new clients send).
+pub const VERSION: u16 = 2;
+/// Oldest version the server still accepts.
+pub const MIN_VERSION: u16 = 1;
 /// Hard ceiling on any frame payload (16 MiB) — a malformed length prefix
 /// must not make the server allocate unboundedly.
 pub const MAX_FRAME: u32 = 16 << 20;
-/// The plaintext admin command accepted in place of a frame.
+/// The plaintext admin command requesting the human-readable stats report.
 pub const STATS_COMMAND: &[u8] = b"STATS\n";
+/// The plaintext admin command requesting Prometheus text exposition.
+pub const METRICS_COMMAND: &[u8] = b"METRICS\n";
+/// The plaintext admin command requesting a flight-recorder dump.
+pub const FLIGHT_COMMAND: &[u8] = b"FLIGHT\n";
 
 /// Scheduling algorithm requested on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,6 +211,9 @@ impl CsrMatrix {
 /// A decoded planning request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanRequest {
+    /// Protocol version this request speaks ([`MIN_VERSION`]`..=`[`VERSION`]).
+    /// The server replies in the same version.
+    pub wire_version: u16,
     /// Client-chosen identifier, echoed in the response.
     pub request_id: u64,
     /// Requested algorithm.
@@ -235,6 +255,9 @@ pub enum PlanResponse {
         lower_bound: u64,
         /// Work-counter deltas of *this* request, [`telemetry::counters::Counter::ALL`] order.
         work: [u64; COUNTER_COUNT],
+        /// Server-minted request id (v2 frames only; 0 from a v1 response).
+        /// Joins this response to the server's flight record and spans.
+        server_id: u64,
     },
     /// Admission control refused the request.
     Rejected {
@@ -333,15 +356,15 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
-fn check_header(c: &mut Cursor) -> Result<(), WireError> {
+fn check_header(c: &mut Cursor) -> Result<u16, WireError> {
     if c.take(4)? != MAGIC {
         return Err(WireError::new("bad magic"));
     }
     let v = c.u16()?;
-    if v != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&v) {
         return Err(WireError::new(format!("unsupported version {v}")));
     }
-    Ok(())
+    Ok(v)
 }
 
 // --------------------------------------------------------------- encoding
@@ -350,7 +373,7 @@ fn check_header(c: &mut Cursor) -> Result<(), WireError> {
 pub fn encode_request(req: &PlanRequest) -> Vec<u8> {
     let mut p = Vec::with_capacity(64 + 12 * req.matrix.cols.len());
     p.extend_from_slice(&MAGIC);
-    put_u16(&mut p, VERSION);
+    put_u16(&mut p, req.wire_version);
     p.push(0); // kind: plan
     put_u64(&mut p, req.request_id);
     p.push(req.algo as u8);
@@ -374,7 +397,7 @@ pub fn encode_request(req: &PlanRequest) -> Vec<u8> {
 /// Decodes a request payload (no length prefix).
 pub fn decode_request(payload: &[u8]) -> Result<PlanRequest, WireError> {
     let mut c = Cursor::new(payload);
-    check_header(&mut c)?;
+    let wire_version = check_header(&mut c)?;
     let kind = c.u8()?;
     if kind != 0 {
         return Err(WireError::new(format!("unknown request kind {kind}")));
@@ -426,6 +449,7 @@ pub fn decode_request(payload: &[u8]) -> Result<PlanRequest, WireError> {
     };
     matrix.validate()?;
     Ok(PlanRequest {
+        wire_version,
         request_id,
         algo,
         platform: WirePlatform {
@@ -477,11 +501,14 @@ fn decode_schedule(c: &mut Cursor) -> Result<Schedule, WireError> {
     Ok(Schedule { steps, beta })
 }
 
-/// Encodes a response as a full frame (length prefix included).
-pub fn encode_response(resp: &PlanResponse) -> Vec<u8> {
+/// Encodes a response as a full frame (length prefix included), in the
+/// given protocol `version` — the version of the request being answered,
+/// so an old client never sees fields it cannot parse.
+pub fn encode_response(resp: &PlanResponse, version: u16) -> Vec<u8> {
+    debug_assert!((MIN_VERSION..=VERSION).contains(&version));
     let mut p = Vec::new();
     p.extend_from_slice(&MAGIC);
-    put_u16(&mut p, VERSION);
+    put_u16(&mut p, version);
     match resp {
         PlanResponse::Ok {
             request_id,
@@ -490,6 +517,7 @@ pub fn encode_response(resp: &PlanResponse) -> Vec<u8> {
             cost,
             lower_bound,
             work,
+            server_id,
         } => {
             put_u64(&mut p, *request_id);
             p.push(0);
@@ -500,6 +528,9 @@ pub fn encode_response(resp: &PlanResponse) -> Vec<u8> {
             p.push(COUNTER_COUNT as u8);
             for &w in work.iter() {
                 put_u64(&mut p, w);
+            }
+            if version >= 2 {
+                put_u64(&mut p, *server_id);
             }
         }
         PlanResponse::Rejected { request_id, reason } => {
@@ -525,7 +556,7 @@ pub fn encode_response(resp: &PlanResponse) -> Vec<u8> {
 /// Decodes a response payload (no length prefix).
 pub fn decode_response(payload: &[u8]) -> Result<PlanResponse, WireError> {
     let mut c = Cursor::new(payload);
-    check_header(&mut c)?;
+    let version = check_header(&mut c)?;
     let request_id = c.u64()?;
     let status = c.u8()?;
     let resp = match status {
@@ -544,6 +575,7 @@ pub fn decode_response(payload: &[u8]) -> Result<PlanResponse, WireError> {
             for _ in COUNTER_COUNT..n {
                 c.u64()?;
             }
+            let server_id = if version >= 2 { c.u64()? } else { 0 };
             PlanResponse::Ok {
                 request_id,
                 cached,
@@ -551,6 +583,7 @@ pub fn decode_response(payload: &[u8]) -> Result<PlanResponse, WireError> {
                 cost,
                 lower_bound,
                 work,
+                server_id,
             }
         }
         1 => PlanResponse::Rejected {
@@ -584,14 +617,18 @@ fn frame(payload: Vec<u8>) -> Vec<u8> {
 
 // ------------------------------------------------------------------- i/o
 
-/// What the server read off a connection: a binary frame or the plaintext
-/// `STATS` command.
+/// What the server read off a connection: a binary frame or one of the
+/// plaintext admin commands.
 #[derive(Debug)]
 pub enum Incoming {
     /// A binary frame payload (length prefix stripped).
     Frame(Vec<u8>),
     /// The plaintext `STATS\n` admin command.
     Stats,
+    /// The plaintext `METRICS\n` admin command (Prometheus exposition).
+    Metrics,
+    /// The plaintext `FLIGHT\n` admin command (flight-recorder dump).
+    Flight,
     /// Clean end of stream before any bytes of a new message.
     Eof,
 }
@@ -601,8 +638,10 @@ pub enum Incoming {
 /// timeout surfaces immediately so the server can poll its shutdown flag.
 const MID_MESSAGE_PATIENCE: std::time::Duration = std::time::Duration::from_secs(10);
 
-/// Reads one incoming message. Sniffs the first four bytes: `STAT` selects
-/// the plaintext admin path, anything else is a frame length.
+/// Reads one incoming message. Sniffs the first four bytes: `STAT`, `METR`
+/// and `FLIG` select the plaintext admin paths, anything else is a frame
+/// length. (None of those byte patterns is a plausible length: each decodes
+/// to >1 GiB, far beyond [`MAX_FRAME`].)
 ///
 /// Timeout semantics: a `WouldBlock`/`TimedOut` while waiting for the
 /// *first byte* of a message propagates untouched (the server polls its
@@ -617,16 +656,22 @@ pub fn read_incoming<R: Read>(r: &mut R) -> io::Result<Incoming> {
         4 => {}
         _ => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "torn header")),
     }
-    if head == *b"STAT" {
-        let mut rest = [0u8; 2];
+    let admin: Option<(&[u8], Incoming)> = match &head {
+        b"STAT" => Some((b"S\n", Incoming::Stats)),
+        b"METR" => Some((b"ICS\n", Incoming::Metrics)),
+        b"FLIG" => Some((b"HT\n", Incoming::Flight)),
+        _ => None,
+    };
+    if let Some((tail, incoming)) = admin {
+        let mut rest = vec![0u8; tail.len()];
         read_patiently(r, &mut rest)?;
-        if rest != *b"S\n" {
+        if rest != tail {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "malformed admin command",
             ));
         }
-        return Ok(Incoming::Stats);
+        return Ok(incoming);
     }
     let len = u32::from_be_bytes(head);
     if len > MAX_FRAME {
@@ -644,9 +689,9 @@ pub fn read_incoming<R: Read>(r: &mut R) -> io::Result<Incoming> {
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
     match read_incoming(r)? {
         Incoming::Frame(p) => Ok(p),
-        Incoming::Stats => Err(io::Error::new(
+        Incoming::Stats | Incoming::Metrics | Incoming::Flight => Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            "unexpected STATS on this stream",
+            "unexpected admin command on this stream",
         )),
         Incoming::Eof => Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
@@ -737,6 +782,7 @@ mod tests {
         t.set(0, 1, 2_000_000);
         t.set(2, 1, 500_000);
         PlanRequest {
+            wire_version: VERSION,
             request_id: 42,
             algo: Algo::Oggp,
             platform: WirePlatform {
@@ -844,6 +890,7 @@ mod tests {
                 cost: 19,
                 lower_bound: 17,
                 work,
+                server_id: 991,
             },
             PlanResponse::Rejected {
                 request_id: 8,
@@ -859,9 +906,45 @@ mod tests {
             },
         ];
         for case in &cases {
-            let bytes = encode_response(case);
+            let bytes = encode_response(case, VERSION);
             let back = decode_response(&bytes[4..]).unwrap();
             assert_eq!(&back, case);
+        }
+    }
+
+    #[test]
+    fn v1_round_trips_without_server_id() {
+        // A v1 request encodes with version 1 and decodes back unchanged —
+        // old clients keep working against the v2 server.
+        let mut req = sample_request();
+        req.wire_version = 1;
+        let bytes = encode_request(&req);
+        let back = decode_request(&bytes[4..]).unwrap();
+        assert_eq!(back, req);
+
+        // A v1-encoded Ok response omits the server id; decoding yields 0.
+        let resp = PlanResponse::Ok {
+            request_id: 7,
+            cached: false,
+            schedule: Schedule {
+                steps: vec![],
+                beta: 1,
+            },
+            cost: 1,
+            lower_bound: 1,
+            work: [0u64; COUNTER_COUNT],
+            server_id: 555,
+        };
+        let v1 = encode_response(&resp, 1);
+        let v2 = encode_response(&resp, 2);
+        assert_eq!(v2.len(), v1.len() + 8, "v2 appends exactly the id");
+        match decode_response(&v1[4..]).unwrap() {
+            PlanResponse::Ok { server_id, .. } => assert_eq!(server_id, 0),
+            other => panic!("expected Ok, got {other:?}"),
+        }
+        match decode_response(&v2[4..]).unwrap() {
+            PlanResponse::Ok { server_id, .. } => assert_eq!(server_id, 555),
+            other => panic!("expected Ok, got {other:?}"),
         }
     }
 
@@ -890,15 +973,23 @@ mod tests {
 
     #[test]
     fn incoming_sniffs_stats_and_frames() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(STATS_COMMAND);
-        let mut r = &buf[..];
+        let mut r = STATS_COMMAND;
         assert!(matches!(read_incoming(&mut r).unwrap(), Incoming::Stats));
+        let mut r = METRICS_COMMAND;
+        assert!(matches!(read_incoming(&mut r).unwrap(), Incoming::Metrics));
+        let mut r = FLIGHT_COMMAND;
+        assert!(matches!(read_incoming(&mut r).unwrap(), Incoming::Flight));
+        // A torn admin command is an error, not a frame.
+        let mut r: &[u8] = b"METRxxx\n";
+        assert!(read_incoming(&mut r).is_err());
 
-        let framed = encode_response(&PlanResponse::Rejected {
-            request_id: 1,
-            reason: RejectReason::QueueFull,
-        });
+        let framed = encode_response(
+            &PlanResponse::Rejected {
+                request_id: 1,
+                reason: RejectReason::QueueFull,
+            },
+            VERSION,
+        );
         let mut r = &framed[..];
         match read_incoming(&mut r).unwrap() {
             Incoming::Frame(p) => {

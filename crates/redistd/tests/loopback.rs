@@ -336,6 +336,188 @@ fn stats_command_reports_state() {
     assert!(p50 > 0, "p50 of served requests is positive");
     assert!(p99 >= p50, "quantiles ordered: p99 {p99} >= p50 {p50}");
     assert!(client::stats_field_f64(&report, "service_us_mean").unwrap() > 0.0);
+    // Queue-wait is measured admission -> worker pickup; on an idle server
+    // the fields exist and parse even when the waits round to zero.
+    assert!(client::stats_field(&report, "queue_wait_us_p50").is_some());
+    assert!(client::stats_field(&report, "queue_wait_us_p99").is_some());
+    assert!(client::stats_field_f64(&report, "queue_wait_us_mean").is_some());
+    handle.shutdown();
+}
+
+/// The `METRICS` admin command renders well-formed Prometheus text
+/// exposition whose values agree with the traffic just served.
+#[test]
+fn metrics_command_exposes_live_registry() {
+    let handle = server::start(ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    let n = 6;
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let traffic = &make_matrices(1, n)[0];
+
+    let mut c = Client::connect(addr).unwrap();
+    for id in 0..3 {
+        let resp = c.plan(&client::request(id, Algo::Oggp, traffic, &platform, BETA));
+        assert!(matches!(resp, Ok(PlanResponse::Ok { .. })));
+    }
+
+    let text = client::fetch_metrics(addr).unwrap();
+    telemetry::metrics::validate_exposition(&text).expect("exposition well-formed");
+    let sample = |name: &str, labels: &[(&str, &str)]| {
+        telemetry::metrics::find_sample(&text, name, labels)
+            .unwrap_or_else(|| panic!("sample {name} {labels:?} missing"))
+    };
+    assert_eq!(sample("redistd_admissions_total", &[]), 3.0);
+    assert_eq!(
+        sample("redistd_requests_total", &[("outcome", "planned")]),
+        1.0
+    );
+    assert_eq!(
+        sample("redistd_requests_total", &[("outcome", "cache_hit")]),
+        2.0
+    );
+    assert_eq!(
+        sample("redistd_requests_total", &[("outcome", "shed_queue_full")]),
+        0.0
+    );
+    assert_eq!(sample("redistd_cache_entries", &[]), 1.0);
+    assert_eq!(sample("redistd_service_us_count", &[]), 3.0);
+    assert_eq!(sample("redistd_queue_wait_us_count", &[]), 3.0);
+    assert!(sample("redistd_service_us", &[("quantile", "0.99")]) > 0.0);
+    // Quantile legs exist for the queue-wait summary too (values may round
+    // to zero on an idle server).
+    telemetry::metrics::find_sample(&text, "redistd_queue_wait_us", &[("quantile", "0.5")])
+        .expect("queue-wait p50 exported");
+    handle.shutdown();
+}
+
+/// Tentpole acceptance: the `server_id` carried on a v2 `Ok` response is
+/// the server-minted request id, and it joins the response to exactly one
+/// flight record holding that request's admission-to-reply story.
+#[test]
+fn flight_records_correlate_with_server_ids() {
+    let handle = server::start(ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    let n = 6;
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let traffic = &make_matrices(1, n)[0];
+
+    let mut c = Client::connect(addr).unwrap();
+    let mut seen: Vec<(u64, u64, bool)> = Vec::new(); // (client id, rid, cached)
+    for id in 10..14 {
+        match c
+            .plan(&client::request(id, Algo::Oggp, traffic, &platform, BETA))
+            .unwrap()
+        {
+            PlanResponse::Ok {
+                request_id,
+                cached,
+                server_id,
+                ..
+            } => {
+                assert_eq!(request_id, id);
+                assert_ne!(server_id, 0, "every admitted request gets a rid");
+                seen.push((id, server_id, cached));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    let rids: std::collections::HashSet<u64> = seen.iter().map(|&(_, rid, _)| rid).collect();
+    assert_eq!(rids.len(), seen.len(), "rids are unique");
+
+    let dump = client::fetch_flight(addr).unwrap();
+    let header = dump.lines().next().unwrap();
+    assert!(header.starts_with("redistd flight records=4"), "{header}");
+    assert!(header.ends_with("total=4"), "{header}");
+    for &(id, rid, cached) in &seen {
+        let line = dump
+            .lines()
+            .find(|l| l.contains(&format!(" rid={rid} ")))
+            .unwrap_or_else(|| panic!("no flight record for rid {rid}"));
+        assert!(line.contains(&format!("client_id={id} ")), "{line}");
+        let outcome = if cached { "cache_hit" } else { "planned" };
+        assert!(line.contains(&format!("outcome={outcome} ")), "{line}");
+        assert!(line.contains(&format!("n1={n} n2={n} ")), "{line}");
+        if !cached {
+            // A cold plan records its planning time; a hit records zero.
+            let plan_us: u64 = line
+                .split_whitespace()
+                .find_map(|kv| kv.strip_prefix("plan_us="))
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(plan_us > 0, "cold plan has a timed plan phase: {line}");
+        }
+    }
+    handle.shutdown();
+}
+
+/// Shed and malformed requests leave flight records too, and the ring
+/// survives wraparound keeping the newest entries.
+#[test]
+fn flight_ring_records_sheds_and_wraps() {
+    let handle = server::start(ServerConfig {
+        max_cells: 16,
+        flight_capacity: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let n = 6; // 36 cells > 16 -> every request is shed
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let traffic = &make_matrices(1, n)[0];
+
+    let mut c = Client::connect(addr).unwrap();
+    for id in 0..6 {
+        let resp = c
+            .plan(&client::request(id, Algo::Oggp, traffic, &platform, BETA))
+            .unwrap();
+        assert!(matches!(resp, PlanResponse::Rejected { .. }));
+    }
+    let dump = client::fetch_flight(addr).unwrap();
+    let header = dump.lines().next().unwrap();
+    assert!(
+        header.starts_with("redistd flight records=4 capacity=4 total=6"),
+        "{header}"
+    );
+    let body: Vec<&str> = dump.lines().skip(1).collect();
+    assert_eq!(body.len(), 4, "ring keeps the newest capacity records");
+    for line in &body {
+        assert!(line.contains("outcome=shed_too_large "), "{line}");
+        assert!(line.contains("worker=-1 "), "never reached a worker");
+    }
+    // Oldest two records (client ids 0 and 1) were overwritten.
+    assert!(!dump.contains("client_id=0 "), "{dump}");
+    assert!(!dump.contains("client_id=1 "), "{dump}");
+    assert!(dump.contains("client_id=5 "), "{dump}");
+    handle.shutdown();
+}
+
+/// A v1 client (no `server_id` field on `Ok`) still gets valid, byte-equal
+/// schedules from a v2 server — the extension is invisible to old clients.
+#[test]
+fn v1_clients_are_served_compatibly() {
+    let handle = server::start(ServerConfig::default()).unwrap();
+    let n = 6;
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let traffic = &make_matrices(1, n)[0];
+    let (expected_bytes, _) = cold_plan_bytes(traffic, &platform, Algo::Oggp);
+
+    let mut req = client::request(7, Algo::Oggp, traffic, &platform, BETA);
+    req.wire_version = 1;
+    let mut c = Client::connect(handle.addr()).unwrap();
+    match c.plan(&req).unwrap() {
+        PlanResponse::Ok {
+            request_id,
+            schedule,
+            server_id,
+            ..
+        } => {
+            assert_eq!(request_id, 7);
+            assert_eq!(server_id, 0, "v1 responses carry no server_id");
+            assert_eq!(wire::encode_schedule(&schedule), expected_bytes);
+        }
+        other => panic!("{other:?}"),
+    }
     handle.shutdown();
 }
 

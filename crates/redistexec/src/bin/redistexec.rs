@@ -4,12 +4,18 @@
 //!            [--beta 0.05] [--lo-mb 5] [--hi-mb 30] [--seed 1]
 //!            [--algo oggp|ggp] [--transport loopback|sim]
 //!            [--faults SEED] [--timeout SECS] [--trace out.json]
+//!            [--rid N] [--metrics out.prom]
 //!        redistexec --bench [--seeds 40] [--out BENCH_exec.json]
 //!
 //! Plans a deterministic uniform workload, then executes it under the fault
 //! plan generated from `--faults` (omit for a fault-free run). `--trace`
-//! records step/retry/replan spans and writes Chrome trace-event JSON
-//! (open in <https://ui.perfetto.dev>).
+//! records step/retry/backoff/replan spans — every one labelled with the
+//! owning request id (`--rid`, default: the workload `--seed`), the
+//! execution slot, and for retries the failing transfer's `src`/`dst` —
+//! and writes Chrome trace-event JSON (open in
+//! <https://ui.perfetto.dev>). `--metrics` publishes the per-step
+//! `redistexec_*` counters into a registry and writes its Prometheus text
+//! exposition after the run.
 //!
 //! `--bench` runs the fixed regression campaign behind `BENCH_exec.json`
 //! in `scripts/check.sh`: one zero-fault run (checked byte-identical to
@@ -19,10 +25,11 @@
 use kpbs::traffic::TickScale;
 use kpbs::{Platform, TrafficMatrix};
 use redistexec::{
-    plan_and_execute, ExecConfig, ExecReport, FaultPlan, FaultSpec, LoopbackTransport, PlanRecord,
-    ReplanAlgo, SimTransport, Transport,
+    plan_and_execute_observed, ExecConfig, ExecMetrics, ExecReport, FaultPlan, FaultSpec,
+    LoopbackTransport, PlanRecord, ReplanAlgo, SimTransport, Transport,
 };
 use telemetry::counters::{self, Counter};
+use telemetry::metrics::Registry;
 use telemetry::{export, spans};
 
 /// xorshift64* workload generator (mirrors the `redistload` driver).
@@ -85,6 +92,7 @@ fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == format!("--{name}"))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run<T: Transport>(
     traffic: &TrafficMatrix,
     platform: &Platform,
@@ -92,8 +100,10 @@ fn run<T: Transport>(
     transport: T,
     faults: FaultPlan,
     config: ExecConfig,
+    metrics: Option<ExecMetrics>,
+    rid: u64,
 ) -> (PlanRecord, ExecReport) {
-    match plan_and_execute(
+    match plan_and_execute_observed(
         traffic,
         platform,
         beta,
@@ -101,6 +111,8 @@ fn run<T: Transport>(
         transport,
         faults,
         config,
+        metrics,
+        rid,
     ) {
         Ok(out) => out,
         Err(e) => {
@@ -134,6 +146,8 @@ fn bench(seeds: u64, out_path: &str) {
         LoopbackTransport::for_platform(&platform),
         FaultPlan::none(),
         config.clone(),
+        None,
+        0,
     );
     base.verify_against(&traffic).expect("zero-fault invariant");
     let plain = initial.step_ops();
@@ -158,6 +172,8 @@ fn bench(seeds: u64, out_path: &str) {
             LoopbackTransport::for_platform(&platform),
             faults,
             config.clone(),
+            None,
+            0,
         );
         report
             .verify_against(&traffic)
@@ -238,6 +254,14 @@ fn main() {
     if trace_path.is_some() {
         spans::enable();
     }
+    // Spans are labelled with the owning request id; a standalone run's
+    // "request" is the workload itself, so the seed doubles as the default.
+    let rid: u64 = arg("rid", seed);
+    let metrics_path = arg_str("metrics");
+    let registry = Registry::default();
+    let metrics = metrics_path
+        .as_ref()
+        .map(|_| ExecMetrics::register(&registry));
 
     let platform = Platform::new(n, n, t1, t2, backbone);
     let traffic = uniform_matrix(seed, n, lo_mb, hi_mb);
@@ -267,6 +291,8 @@ fn main() {
             LoopbackTransport::for_platform(&platform),
             faults,
             config,
+            metrics,
+            rid,
         ),
         "sim" => run(
             &traffic,
@@ -275,6 +301,8 @@ fn main() {
             SimTransport::for_platform(&platform),
             faults,
             config,
+            metrics,
+            rid,
         ),
         other => {
             eprintln!("redistexec: unknown --transport {other} (want loopback|sim)");
@@ -333,5 +361,11 @@ fn main() {
             "trace: {} events written to {path} (open in https://ui.perfetto.dev)",
             events.len()
         );
+    }
+
+    if let Some(path) = metrics_path {
+        let text = registry.render();
+        std::fs::write(&path, &text).expect("write metrics file");
+        println!("metrics: exposition written to {path}");
     }
 }

@@ -57,5 +57,8 @@ pub mod transport;
 pub use faults::{FaultPlan, FaultSpec, NodeRef};
 pub use replan::{plan, PlanRecord, ReplanAlgo};
 pub use residual::{outstanding, Liveness};
-pub use runtime::{plan_and_execute, ExecConfig, ExecError, ExecReport, ExecutedStep, Runtime};
+pub use runtime::{
+    plan_and_execute, plan_and_execute_observed, ExecConfig, ExecError, ExecMetrics, ExecReport,
+    ExecutedStep, Runtime,
+};
 pub use transport::{LoopbackTransport, SimTransport, TransferOp, Transport};

@@ -41,6 +41,7 @@ use kpbs::traffic::TickScale;
 use kpbs::validate::ValidationError;
 use kpbs::{Platform, Schedule, TrafficMatrix};
 use telemetry::counters::{self, Counter};
+use telemetry::metrics::{CounterHandle, Registry};
 use telemetry::spans;
 
 /// Retry, backoff, timeout and re-planning knobs.
@@ -72,6 +73,80 @@ impl Default for ExecConfig {
             backoff_cap_ticks: 1_600,
             step_timeout_seconds: 3_600.0,
             replan_budget: 0,
+        }
+    }
+}
+
+/// Per-step execution metrics published into a [`Registry`].
+///
+/// The handles mirror the [`ExecReport`] totals but update *live*, step by
+/// step, so a scrape taken mid-run sees progress. All are monotonic
+/// counters; cloning shares the underlying series, and registering twice
+/// against the same registry returns handles to the same series.
+#[derive(Debug, Clone)]
+pub struct ExecMetrics {
+    /// Steps executed, including aborted and empty ones.
+    pub steps: CounterHandle,
+    /// Transfer re-attempts after transient faults.
+    pub retries: CounterHandle,
+    /// Virtual ticks spent in retry backoff.
+    pub backoff_ticks: CounterHandle,
+    /// Residual re-planning rounds.
+    pub replans: CounterHandle,
+    /// Steps spliced into the running schedule by replans.
+    pub steps_spliced: CounterHandle,
+    /// Fault events injected (transients, drops, slowdowns).
+    pub faults_injected: CounterHandle,
+    /// Steps aborted by the per-step timeout.
+    pub timeouts: CounterHandle,
+    /// Bytes delivered by completed runs.
+    pub delivered_bytes: CounterHandle,
+}
+
+impl ExecMetrics {
+    /// Registers (or re-attaches to) the `redistexec_*` counter families.
+    pub fn register(registry: &Registry) -> ExecMetrics {
+        ExecMetrics {
+            steps: registry.counter(
+                "redistexec_steps_total",
+                "Steps executed, including aborted and empty steps.",
+                &[],
+            ),
+            retries: registry.counter(
+                "redistexec_retries_total",
+                "Transfer re-attempts after transient faults.",
+                &[],
+            ),
+            backoff_ticks: registry.counter(
+                "redistexec_backoff_ticks_total",
+                "Virtual ticks spent in retry backoff.",
+                &[],
+            ),
+            replans: registry.counter(
+                "redistexec_replans_total",
+                "Residual re-planning rounds.",
+                &[],
+            ),
+            steps_spliced: registry.counter(
+                "redistexec_steps_spliced_total",
+                "Steps spliced into the running schedule by replans.",
+                &[],
+            ),
+            faults_injected: registry.counter(
+                "redistexec_faults_injected_total",
+                "Fault events injected (transients, drops, slowdowns).",
+                &[],
+            ),
+            timeouts: registry.counter(
+                "redistexec_timeouts_total",
+                "Steps aborted by the per-step timeout.",
+                &[],
+            ),
+            delivered_bytes: registry.counter(
+                "redistexec_delivered_bytes_total",
+                "Bytes delivered by completed runs.",
+                &[],
+            ),
         }
     }
 }
@@ -197,6 +272,8 @@ pub struct Runtime<T: Transport> {
     transport: T,
     faults: FaultPlan,
     config: ExecConfig,
+    metrics: Option<ExecMetrics>,
+    rid: u64,
 }
 
 impl<T: Transport> Runtime<T> {
@@ -207,7 +284,24 @@ impl<T: Transport> Runtime<T> {
             transport,
             faults,
             config,
+            metrics: None,
+            rid: 0,
         }
+    }
+
+    /// Publishes per-step execution metrics into `metrics` as the run
+    /// progresses (in addition to the [`ExecReport`] totals).
+    pub fn with_metrics(mut self, metrics: ExecMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Labels every span this runtime emits with the owning request id
+    /// (`rid`), joining the execution timeline to the request that caused
+    /// it. `0` (the default) means "not correlated".
+    pub fn with_correlation_id(mut self, rid: u64) -> Self {
+        self.rid = rid;
+        self
     }
 
     /// Consumes the runtime, returning the transport (and its ledger).
@@ -291,6 +385,9 @@ impl<T: Transport> Runtime<T> {
                 if liveness.kill(node) {
                     report.faults_injected += 1;
                     counters::incr(Counter::ExecFaultsInjected);
+                    if let Some(m) = &self.metrics {
+                        m.faults_injected.inc();
+                    }
                     needs_replan = true;
                 }
             }
@@ -299,12 +396,18 @@ impl<T: Transport> Runtime<T> {
                 needs_replan = false;
                 report.replans += 1;
                 counters::incr(Counter::ExecReplans);
+                if let Some(m) = &self.metrics {
+                    m.replans.inc();
+                }
                 if report.replans > budget {
                     return Err(ExecError::BudgetExhausted {
                         replans: report.replans,
                     });
                 }
-                let _g = spans::span("redistexec.replan");
+                let _g = spans::span_with(
+                    "redistexec.replan",
+                    &[("rid", self.rid), ("round", report.replans)],
+                );
                 let residual = outstanding(traffic, &self.transport, &liveness);
                 queue.clear();
                 if residual.total_bytes() > 0 {
@@ -314,6 +417,9 @@ impl<T: Transport> Runtime<T> {
                     let steps = rec.step_ops();
                     report.steps_spliced += steps.len() as u64;
                     counters::add(Counter::ExecStepsSpliced, steps.len() as u64);
+                    if let Some(m) = &self.metrics {
+                        m.steps_spliced.add(steps.len() as u64);
+                    }
                     queue.extend(steps);
                     report.plans.push(rec);
                 }
@@ -322,7 +428,10 @@ impl<T: Transport> Runtime<T> {
             let Some(ops) = queue.pop_front() else {
                 break;
             };
-            let _sg = spans::span("redistexec.step");
+            let _sg = spans::span_with("redistexec.step", &[("rid", self.rid), ("slot", slot)]);
+            if let Some(m) = &self.metrics {
+                m.steps.inc();
+            }
 
             // Defensive: a pair with a dead endpoint can never deliver; its
             // bytes fall through to the residual of the forced replan.
@@ -339,12 +448,18 @@ impl<T: Transport> Runtime<T> {
             if slowdown != 1.0 {
                 report.faults_injected += 1;
                 counters::incr(Counter::ExecFaultsInjected);
+                if let Some(m) = &self.metrics {
+                    m.faults_injected.inc();
+                }
             }
 
             if !alive_ops.is_empty() {
                 let projected = self.transport.estimate(&alive_ops, slowdown);
                 if projected > self.config.step_timeout_seconds {
                     report.timeouts += 1;
+                    if let Some(m) = &self.metrics {
+                        m.timeouts.inc();
+                    }
                     needs_replan = true;
                     report.total_seconds += beta_seconds;
                     report.steps.push(ExecutedStep {
@@ -369,7 +484,15 @@ impl<T: Transport> Runtime<T> {
                 }
                 report.faults_injected += 1;
                 counters::incr(Counter::ExecFaultsInjected);
-                let _rg = spans::span("redistexec.retry");
+                let _rg = spans::span_with(
+                    "redistexec.retry",
+                    &[
+                        ("rid", self.rid),
+                        ("slot", slot),
+                        ("src", op.src as u64),
+                        ("dst", op.dst as u64),
+                    ],
+                );
                 let permanent = fails >= self.config.max_attempts;
                 let retry_count = if permanent {
                     self.config.max_attempts - 1
@@ -378,10 +501,23 @@ impl<T: Transport> Runtime<T> {
                 };
                 report.retries += retry_count as u64;
                 counters::add(Counter::ExecRetries, retry_count as u64);
+                let mut op_ticks: u64 = 0;
                 let mut b = self.config.backoff_base_ticks;
                 for _ in 0..retry_count {
-                    backoff_ticks += b.min(self.config.backoff_cap_ticks);
+                    op_ticks += b.min(self.config.backoff_cap_ticks);
                     b = b.saturating_mul(2).min(self.config.backoff_cap_ticks);
+                }
+                backoff_ticks += op_ticks;
+                if op_ticks > 0 {
+                    spans::instant_with(
+                        "redistexec.backoff",
+                        &[("rid", self.rid), ("slot", slot), ("ticks", op_ticks)],
+                    );
+                }
+                if let Some(m) = &self.metrics {
+                    m.faults_injected.inc();
+                    m.retries.add(retry_count as u64);
+                    m.backoff_ticks.add(op_ticks);
                 }
                 if permanent {
                     needs_replan = true;
@@ -416,6 +552,9 @@ impl<T: Transport> Runtime<T> {
         report.senders_alive = liveness.senders().to_vec();
         report.receivers_alive = liveness.receivers().to_vec();
         report.delivered = self.transport.delivered().clone();
+        if let Some(m) = &self.metrics {
+            m.delivered_bytes.add(report.delivered.total_bytes());
+        }
         Ok(report)
     }
 }
@@ -431,9 +570,40 @@ pub fn plan_and_execute<T: Transport>(
     faults: FaultPlan,
     config: ExecConfig,
 ) -> Result<(PlanRecord, ExecReport), ExecError> {
+    plan_and_execute_observed(
+        traffic,
+        platform,
+        beta_seconds,
+        scale,
+        transport,
+        faults,
+        config,
+        None,
+        0,
+    )
+}
+
+/// [`plan_and_execute`] with observability attached: per-step metrics
+/// published into `metrics` (when given) and every span labelled with the
+/// owning correlation id `rid`.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_and_execute_observed<T: Transport>(
+    traffic: &TrafficMatrix,
+    platform: &Platform,
+    beta_seconds: f64,
+    scale: TickScale,
+    transport: T,
+    faults: FaultPlan,
+    config: ExecConfig,
+    metrics: Option<ExecMetrics>,
+    rid: u64,
+) -> Result<(PlanRecord, ExecReport), ExecError> {
     let initial = replan::plan(traffic, platform, beta_seconds, scale, config.algo)
         .map_err(ExecError::InvalidSchedule)?;
-    let mut rt = Runtime::new(transport, faults, config);
+    let mut rt = Runtime::new(transport, faults, config).with_correlation_id(rid);
+    if let Some(m) = metrics {
+        rt = rt.with_metrics(m);
+    }
     let report = rt.run(traffic, platform, beta_seconds, scale, &initial)?;
     Ok((initial, report))
 }
@@ -580,6 +750,89 @@ mod tests {
             .execute(&m, &p, 0.05, TickScale::MILLIS, &Schedule::new(50))
             .unwrap_err();
         assert!(matches!(err, ExecError::InvalidSchedule(_)), "{err}");
+    }
+
+    #[test]
+    fn exec_metrics_track_report_totals() {
+        let registry = telemetry::metrics::Registry::default();
+        let handles = ExecMetrics::register(&registry);
+        let mut faults = FaultPlan::none();
+        faults.insert_transient(0, 0, 10); // exhausts retries, forces a replan
+        let (m, p) = workload();
+        let transport = LoopbackTransport::for_platform(&p);
+        let (_, report) = plan_and_execute_observed(
+            &m,
+            &p,
+            0.05,
+            TickScale::MILLIS,
+            transport,
+            faults,
+            ExecConfig::default(),
+            Some(handles.clone()),
+            42,
+        )
+        .unwrap();
+        report.verify_against(&m).unwrap();
+        assert_eq!(handles.retries.value(), report.retries);
+        assert_eq!(handles.replans.value(), report.replans);
+        assert_eq!(handles.faults_injected.value(), report.faults_injected);
+        assert_eq!(handles.steps_spliced.value(), report.steps_spliced);
+        assert_eq!(handles.timeouts.value(), report.timeouts);
+        assert_eq!(handles.steps.value(), report.steps.len() as u64);
+        assert_eq!(
+            handles.delivered_bytes.value(),
+            report.delivered.total_bytes()
+        );
+        assert!(handles.backoff_ticks.value() > 0, "retries accrued backoff");
+        let text = registry.render();
+        telemetry::metrics::validate_exposition(&text).unwrap();
+        assert!(text.contains("redistexec_retries_total"));
+    }
+
+    #[test]
+    fn spans_carry_correlation_labels() {
+        let mut faults = FaultPlan::none();
+        faults.insert_transient(0, 0, 2); // recovered retry: backoff instant
+        let (m, p) = workload();
+        let transport = LoopbackTransport::for_platform(&p);
+        spans::enable();
+        let (_, report) = plan_and_execute_observed(
+            &m,
+            &p,
+            0.05,
+            TickScale::MILLIS,
+            transport,
+            faults,
+            ExecConfig::default(),
+            None,
+            77,
+        )
+        .unwrap();
+        spans::disable();
+        let events = spans::drain_all();
+        report.verify_against(&m).unwrap();
+        let with_rid = |name: &str| {
+            events
+                .iter()
+                .filter(|e| e.name == name && e.args.get("rid") == Some(77))
+                .count()
+        };
+        assert!(with_rid("redistexec.step") > 0, "step spans labelled");
+        assert!(with_rid("redistexec.retry") > 0, "retry spans labelled");
+        assert!(with_rid("redistexec.backoff") > 0, "backoff instants");
+        let retry = events
+            .iter()
+            .find(|e| e.name == "redistexec.retry")
+            .unwrap();
+        assert!(retry.args.get("slot").is_some());
+        assert!(retry.args.get("src").is_some());
+        assert!(retry.args.get("dst").is_some());
+        let backoff = events
+            .iter()
+            .find(|e| e.name == "redistexec.backoff")
+            .unwrap();
+        // 50 + 100 ticks of capped exponential backoff for two retries.
+        assert_eq!(backoff.args.get("ticks"), Some(150));
     }
 
     #[test]

@@ -71,6 +71,18 @@ pub fn chrome_trace(events: &[SpanEvent]) -> String {
             // Thread-scoped instants render as small arrows in Perfetto.
             out.push_str(",\"s\":\"t\"");
         }
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_json(k, &mut out);
+                let _ = write!(out, "\":{v}");
+            }
+            out.push('}');
+        }
         out.push('}');
     }
     out.push_str("\n]}\n");
@@ -178,6 +190,7 @@ mod tests {
             phase,
             ts,
             tid,
+            args: crate::spans::SpanArgs::default(),
         }
     }
 
@@ -219,6 +232,20 @@ mod tests {
             arr[0].get("name").and_then(json::Value::as_str),
             Some("a\"b\\c")
         );
+    }
+
+    #[test]
+    fn chrome_trace_renders_args_objects() {
+        let mut e = ev("redistd.plan", SpanPhase::Begin, 0.0, 0);
+        e.args = crate::spans::SpanArgs::new(&[("rid", 42), ("slot", 3)]);
+        let out = chrome_trace(&[e, ev("redistd.plan", SpanPhase::End, 1.0, 0)]);
+        let v = json::parse(&out).expect("trace with args must parse");
+        let arr = v.get("traceEvents").and_then(json::Value::as_arr).unwrap();
+        let args = arr[0].get("args").expect("begin event carries args");
+        assert_eq!(args.get("rid").and_then(json::Value::as_f64), Some(42.0));
+        assert_eq!(args.get("slot").and_then(json::Value::as_f64), Some(3.0));
+        // Arg-free events omit the object entirely (byte-stable goldens).
+        assert!(arr[1].get("args").is_none());
     }
 
     #[test]

@@ -174,6 +174,43 @@ impl Histogram {
         self.max()
     }
 
+    /// Number of samples across `parts` (the count a merged view reports).
+    pub fn merged_count(parts: &[&Histogram]) -> u64 {
+        parts.iter().map(|h| h.count()).sum()
+    }
+
+    /// Largest sample across `parts` (0 when all are empty).
+    pub fn merged_max(parts: &[&Histogram]) -> u64 {
+        parts.iter().map(|h| h.max()).max().unwrap_or(0)
+    }
+
+    /// The `q`-quantile over the *union* of several histograms, computed by
+    /// summing bucket counts across `parts` — no merged copy is built. This
+    /// is what sliding-window views use: the window is a ring of per-slice
+    /// histograms and a quantile query merges the ring on the fly. Same
+    /// semantics as [`Histogram::quantile`] (conservative upper bound,
+    /// capped by the largest sample seen in any part).
+    pub fn merged_quantile(parts: &[&Histogram], q: f64) -> u64 {
+        let mut total = 0u64;
+        for h in parts {
+            total += h.count.load(Ordering::Relaxed);
+        }
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for i in 0..BUCKET_COUNT {
+            for h in parts {
+                seen += h.buckets[i].load(Ordering::Relaxed);
+            }
+            if seen >= rank {
+                return Self::bucket_upper(i).min(Self::merged_max(parts));
+            }
+        }
+        Self::merged_max(parts)
+    }
+
     /// Resets every bucket and the count/sum/max to zero.
     pub fn reset(&self) {
         for b in &self.buckets {
@@ -319,6 +356,26 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert!(!h.saturated());
         assert_eq!(h.quantile(0.9), 0);
+    }
+
+    #[test]
+    fn merged_quantile_matches_single_histogram_union() {
+        // Split 1..=100 across three histograms; the merged view must agree
+        // with one histogram holding the union.
+        let parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+        let whole = Histogram::new();
+        for v in 1..=100u64 {
+            parts[(v % 3) as usize].record(v);
+            whole.record(v);
+        }
+        let refs: Vec<&Histogram> = parts.iter().collect();
+        assert_eq!(Histogram::merged_count(&refs), 100);
+        assert_eq!(Histogram::merged_max(&refs), 100);
+        for q in [0.0f64, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(Histogram::merged_quantile(&refs, q), whole.quantile(q));
+        }
+        // Empty union reports zero.
+        assert_eq!(Histogram::merged_quantile(&[], 0.5), 0);
     }
 
     #[test]

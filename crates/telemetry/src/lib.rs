@@ -33,6 +33,18 @@
 //!   without allocation), used by the `redistd` serving layer for its
 //!   `STATS` report and by `redistload` for `BENCH_serve.json`.
 //!
+//! * [`metrics`] — a windowed metrics registry (monotonic counters, gauges,
+//!   sliding-window summary quantiles over [`histogram`]) rendered in
+//!   Prometheus text exposition format. Windows advance only on explicit
+//!   calls, so output is deterministic and golden-testable; the `redistd`
+//!   `METRICS` admin command serves [`metrics::Registry::render`] directly.
+//!
+//! * [`flight`] — an always-on flight recorder: a fixed-capacity,
+//!   lock-cheap ring of per-request [`flight::FlightRecord`]s (queue depth,
+//!   queue wait, plan time, cache outcome, execution retry/replan counts)
+//!   so a shed or p99 request can be explained after the fact without
+//!   having had tracing enabled.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -65,10 +77,16 @@
 
 pub mod counters;
 pub mod export;
+pub mod flight;
 pub mod histogram;
 pub mod json;
+pub mod metrics;
 pub mod spans;
 
 pub use counters::Counter;
+pub use flight::{FlightOutcome, FlightRecord, FlightRecorder};
 pub use histogram::Histogram;
-pub use spans::{instant, span, SpanEvent, SpanGuard, SpanPhase};
+pub use metrics::{Registry, RegistryConfig};
+pub use spans::{
+    instant, instant_with, span, span_with, SpanArgs, SpanEvent, SpanGuard, SpanPhase,
+};

@@ -34,6 +34,54 @@ pub enum SpanPhase {
     Instant,
 }
 
+/// Maximum number of key/value pairs a [`SpanArgs`] can carry.
+pub const MAX_ARGS: usize = 4;
+
+/// A small, fixed-capacity set of `(key, u64)` pairs attached to an event.
+///
+/// Keys are `'static` and values are integers so that attaching arguments
+/// never allocates — the correlation ids the serving and execution layers
+/// attach (request id, execution slot, transfer endpoints) are all small
+/// integers. Pairs beyond [`MAX_ARGS`] are silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpanArgs {
+    keys: [&'static str; MAX_ARGS],
+    vals: [u64; MAX_ARGS],
+    len: u8,
+}
+
+impl SpanArgs {
+    /// Builds args from at most [`MAX_ARGS`] pairs (extras are dropped).
+    pub fn new(pairs: &[(&'static str, u64)]) -> SpanArgs {
+        let mut a = SpanArgs {
+            keys: [""; MAX_ARGS],
+            vals: [0; MAX_ARGS],
+            len: 0,
+        };
+        for &(k, v) in pairs.iter().take(MAX_ARGS) {
+            a.keys[a.len as usize] = k;
+            a.vals[a.len as usize] = v;
+            a.len += 1;
+        }
+        a
+    }
+
+    /// True when no pairs are attached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the attached `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        (0..self.len as usize).map(|i| (self.keys[i], self.vals[i]))
+    }
+
+    /// Value of `key`, if attached.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.iter().find_map(|(k, v)| (k == key).then_some(v))
+    }
+}
+
 /// One recorded event.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpanEvent {
@@ -46,6 +94,8 @@ pub struct SpanEvent {
     pub ts: f64,
     /// Recording thread (dense ids in first-use order).
     pub tid: u64,
+    /// Correlation arguments (empty for most events).
+    pub args: SpanArgs,
 }
 
 /// Timestamp source for recorded events.
@@ -82,7 +132,7 @@ impl LocalSpans {
         }
     }
 
-    fn record(&mut self, name: &'static str, phase: SpanPhase) {
+    fn record(&mut self, name: &'static str, phase: SpanPhase, args: SpanArgs) {
         let ts = if LOGICAL.load(Ordering::Relaxed) {
             let t = self.logical_now;
             self.logical_now += 1;
@@ -95,6 +145,7 @@ impl LocalSpans {
             phase,
             ts,
             tid: self.tid,
+            args,
         });
     }
 }
@@ -138,9 +189,9 @@ pub fn set_clock(mode: ClockMode) {
     LOGICAL.store(mode == ClockMode::Logical, Ordering::Relaxed);
 }
 
-fn record(name: &'static str, phase: SpanPhase) {
+fn record(name: &'static str, phase: SpanPhase, args: SpanArgs) {
     // Ignore events during thread teardown (TLS already destroyed).
-    let _ = LOCAL.try_with(|l| l.borrow_mut().record(name, phase));
+    let _ = LOCAL.try_with(|l| l.borrow_mut().record(name, phase, args));
 }
 
 /// RAII guard for a span: records `Begin` on creation (when enabled) and
@@ -156,7 +207,7 @@ pub struct SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if self.active {
-            record(self.name, SpanPhase::End);
+            record(self.name, SpanPhase::End, SpanArgs::default());
         }
     }
 }
@@ -165,13 +216,21 @@ impl Drop for SpanGuard {
 /// never allocates.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, &[])
+}
+
+/// Opens a span carrying correlation arguments on its begin event — e.g.
+/// `span_with("redistd.plan", &[("rid", request_id)])`. The matching end
+/// event carries no args (the begin's args identify the span).
+#[inline]
+pub fn span_with(name: &'static str, args: &[(&'static str, u64)]) -> SpanGuard {
     if !enabled() {
         return SpanGuard {
             name,
             active: false,
         };
     }
-    record(name, SpanPhase::Begin);
+    record(name, SpanPhase::Begin, SpanArgs::new(args));
     SpanGuard { name, active: true }
 }
 
@@ -179,10 +238,17 @@ pub fn span(name: &'static str) -> SpanGuard {
 /// disabled.
 #[inline]
 pub fn instant(name: &'static str) {
+    instant_with(name, &[]);
+}
+
+/// Records an instant event carrying correlation arguments; no-op when
+/// disabled.
+#[inline]
+pub fn instant_with(name: &'static str, args: &[(&'static str, u64)]) {
     if !enabled() {
         return;
     }
-    record(name, SpanPhase::Instant);
+    record(name, SpanPhase::Instant, SpanArgs::new(args));
 }
 
 /// Takes (and clears) the calling thread's recorded events. Unaffected by
@@ -292,6 +358,29 @@ mod tests {
         assert_eq!(e1[0].ts, 0.0);
         assert_eq!(e1[1].ts, 1.0);
         assert_eq!(e1[2].ts, 2.0);
+    }
+
+    #[test]
+    fn args_attach_to_begin_and_instant_events() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        enable();
+        {
+            let _s = span_with("labelled", &[("rid", 7), ("slot", 3)]);
+            instant_with("point", &[("edge", 9)]);
+        }
+        disable();
+        let ev = drain_thread();
+        assert_eq!(ev[0].args.get("rid"), Some(7));
+        assert_eq!(ev[0].args.get("slot"), Some(3));
+        assert_eq!(ev[0].args.get("missing"), None);
+        assert_eq!(ev[1].args.get("edge"), Some(9));
+        // End events carry no args; the begin identifies the span.
+        assert!(ev[2].args.is_empty());
+        // Pairs beyond MAX_ARGS are dropped, not panicked on.
+        let a = SpanArgs::new(&[("a", 1), ("b", 2), ("c", 3), ("d", 4), ("e", 5)]);
+        assert_eq!(a.iter().count(), MAX_ARGS);
+        assert_eq!(a.get("e"), None);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property tests of the metrics registry's exposition renderer: every
+//! registered series appears exactly once, the output always validates,
+//! and rendering is a pure function of registry state.
+
+use proptest::prelude::*;
+use telemetry::metrics::{self, Registry, RegistryConfig};
+
+/// Fixed pools the strategy indexes into — the vendored proptest generates
+/// integers, not strings, so names and labels are picked from these.
+const NAMES: [&str; 5] = [
+    "app_requests_total",
+    "app_bytes_total",
+    "app_sheds_total",
+    "queue_events_total",
+    "cache_probes_total",
+];
+const LABEL_KEYS: [&str; 3] = ["outcome", "shard", "worker"];
+const LABEL_VALS: [&str; 4] = ["ok", "shed", "weird\"quote", "back\\slash\nnl"];
+
+#[derive(Debug, Clone)]
+struct Spec {
+    name: usize,
+    // (key index, value index); None = unlabeled series.
+    label: Option<(usize, usize)>,
+    adds: u64,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Vec<Spec>> {
+    proptest::collection::vec(
+        (
+            0..NAMES.len(),
+            0..=LABEL_KEYS.len(),
+            0..LABEL_VALS.len(),
+            0u64..100,
+        ),
+        1..=12,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(name, key, val, adds)| Spec {
+                name,
+                // key == len encodes "no labels".
+                label: (key < LABEL_KEYS.len()).then_some((key, val)),
+                adds,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_registered_counter_renders_exactly_once(specs in spec_strategy()) {
+        let registry = Registry::new(RegistryConfig {
+            windows: 2,
+            window_seconds: 1,
+            auto_advance: false,
+        });
+        // Register (with get-or-create dedup) and accumulate expectations.
+        let mut expected: std::collections::BTreeMap<(usize, Option<(usize, usize)>), u64> =
+            std::collections::BTreeMap::new();
+        for spec in &specs {
+            let labels: Vec<(&str, &str)> = spec
+                .label
+                .iter()
+                .map(|&(k, v)| (LABEL_KEYS[k], LABEL_VALS[v]))
+                .collect();
+            let c = registry.counter(NAMES[spec.name], "Prop test counter.", &labels);
+            c.add(spec.adds);
+            *expected.entry((spec.name, spec.label)).or_insert(0) += spec.adds;
+        }
+
+        let text = registry.render();
+        prop_assert!(
+            metrics::validate_exposition(&text).is_ok(),
+            "render must validate: {}", text
+        );
+        let samples = metrics::parse_samples(&text).map_err(|e| {
+            proptest::test_runner::TestCaseError::fail(e)
+        })?;
+
+        // Exactly one sample per distinct registered series, with the
+        // accumulated total, and no samples beyond those.
+        prop_assert_eq!(samples.len(), expected.len());
+        for (&(name, label), &total) in &expected {
+            let labels: Vec<(&str, &str)> = label
+                .iter()
+                .map(|&(k, v)| (LABEL_KEYS[k], LABEL_VALS[v]))
+                .collect();
+            let matching: Vec<_> = samples
+                .iter()
+                .filter(|s| {
+                    s.name == NAMES[name]
+                        && s.labels.len() == labels.len()
+                        && labels
+                            .iter()
+                            .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+                })
+                .collect();
+            prop_assert_eq!(
+                matching.len(), 1,
+                "series {}{:?} must appear exactly once in:\n{}", NAMES[name], labels, text
+            );
+            prop_assert_eq!(matching[0].value, total as f64);
+        }
+
+        // Rendering is pure: a second render is byte-identical.
+        prop_assert_eq!(registry.render(), text);
+    }
+}

@@ -37,6 +37,30 @@ banner "serving-layer load test (redistload -> BENCH_serve.json)"
 cargo run --release -p redistd --bin redistload -- \
   --requests 128 --connections 16 --distinct 8 --n 10 --out BENCH_serve.json
 
+banner "observability scrape (redistd + redistctl: METRICS/FLIGHT gates)"
+PORT_FILE="$(mktemp)"
+FLIGHT_DUMP="$(mktemp)"
+rm -f "$PORT_FILE"
+./target/release/redistd --addr 127.0.0.1:0 --workers 2 \
+  --port-file "$PORT_FILE" --flight-dump "$FLIGHT_DUMP" &
+REDISTD_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "redistd never wrote its port file" >&2; exit 1; }
+ADDR="$(cat "$PORT_FILE")"
+./target/release/redistload --addr "$ADDR" \
+  --requests 64 --connections 8 --distinct 4 --n 10 --out /dev/null
+# The exposition must be well-formed and the flight recorder must have a
+# record for every request the load generator sent.
+./target/release/redistctl metrics --addr "$ADDR" --validate > /dev/null
+./target/release/redistctl flight --addr "$ADDR" --expect-requests 64 > /dev/null
+kill -TERM "$REDISTD_PID"
+wait "$REDISTD_PID"
+[ -s "$FLIGHT_DUMP" ] || { echo "redistd wrote no flight dump on drain" >&2; exit 1; }
+rm -f "$PORT_FILE" "$FLIGHT_DUMP"
+
 banner "hierarchical-planner scale smoke (scale_bench --smoke, n=256 only)"
 cargo run --release -p bench --bin scale_bench -- --smoke
 
