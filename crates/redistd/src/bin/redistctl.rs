@@ -8,8 +8,9 @@
 //! Fetches one of the plaintext admin reports and prints it to stdout.
 //! `--validate` (metrics) additionally checks Prometheus exposition
 //! well-formedness; `--expect-requests N` (flight) asserts the recorder
-//! has seen at least N requests. Both exit non-zero on failure, which is
-//! how `scripts/check.sh` turns a scrape into a CI gate.
+//! has seen at least N requests; `--field KEY` (stats) prints just that
+//! field's value. All exit non-zero on failure, which is how
+//! `scripts/check.sh` turns a scrape into a CI gate.
 
 use redistd::client;
 use telemetry::metrics;
@@ -31,13 +32,14 @@ fn flag(name: &str) -> bool {
 fn usage() -> ! {
     eprintln!(
         "usage: redistctl <stats|metrics|flight> --addr HOST:PORT\n\
-         \x20                [--validate] [--expect-requests N]\n\
+         \x20                [--validate] [--expect-requests N] [--field KEY]\n\
          \n\
          stats               fetch the plaintext STATS report\n\
          metrics             fetch Prometheus text exposition (METRICS)\n\
          flight              fetch the flight-recorder dump (FLIGHT)\n\
          --validate          (metrics) check exposition well-formedness\n\
-         --expect-requests N (flight) require >= N recorded requests"
+         --expect-requests N (flight) require >= N recorded requests\n\
+         --field KEY         (stats) print only KEY's value; exit 1 if absent"
     );
     std::process::exit(2);
 }
@@ -62,6 +64,27 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    if command == "stats" {
+        if let Some(key) = opt_str("field") {
+            // Same first-line-wins discipline as `client::stats_field`, but
+            // on the raw value so non-numeric fields (`core: event`) work.
+            let value = body.lines().find_map(|l| {
+                let (k, v) = l.split_once(": ")?;
+                (k == key).then_some(v)
+            });
+            match value {
+                Some(v) => {
+                    println!("{v}");
+                    return;
+                }
+                None => {
+                    eprintln!("redistctl: stats report has no field {key:?}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
     print!("{body}");
 
     if command == "metrics" && flag("validate") {

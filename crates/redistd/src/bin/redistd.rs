@@ -2,13 +2,15 @@
 //!
 //! ```sh
 //! redistd [--addr 127.0.0.1:7411] [--workers N] [--queue-depth N]
-//!         [--cache-capacity N] [--max-cells N] [--trace out.json]
+//!         [--cache-capacity N] [--max-cells N] [--core event|threads]
+//!         [--io-threads N] [--trace out.json]
 //! ```
 //!
 //! Accepts length-prefixed binary planning requests (see `redistd::wire`),
 //! plans them with OGGP/GGP on a fixed worker pool behind a bounded
 //! admission queue, and serves repeated instances from a sharded LRU plan
-//! cache. Plaintext admin commands on a connection: `STATS\n` returns an
+//! cache. Sockets are carried by the epoll event-loop core by default
+//! (`--core threads` selects the thread-per-connection baseline). Plaintext admin commands on a connection: `STATS\n` returns an
 //! operational report, `METRICS\n` Prometheus text exposition, `FLIGHT\n`
 //! a dump of the always-on per-request flight recorder.
 //!
@@ -88,6 +90,10 @@ fn main() {
              --cache-capacity N  plan-cache entries, 0 disables (default 1024)\n\
              --max-cells N       reject matrices with more than N cells\n\
              \x20                   (default 1048576)\n\
+             --core C            socket front-end: 'event' (epoll I/O\n\
+             \x20                   threads, default) or 'threads'\n\
+             \x20                   (one blocking thread per connection)\n\
+             --io-threads N      event-core I/O threads (default 2)\n\
              --trace PATH        record spans; write Chrome trace JSON on exit\n\
              --flight-capacity N flight-recorder ring size (default 1024)\n\
              --flight-dump PATH  write the flight-recorder dump on drain\n\
@@ -102,6 +108,13 @@ fn main() {
     }
 
     let defaults = ServerConfig::default();
+    let core = match opt_str("core") {
+        Some(s) => s.parse().unwrap_or_else(|e: String| {
+            eprintln!("redistd: {e}");
+            std::process::exit(2);
+        }),
+        None => defaults.core,
+    };
     let config = ServerConfig {
         addr: opt_str("addr").unwrap_or_else(|| "127.0.0.1:7411".into()),
         workers: opt("workers", defaults.workers),
@@ -109,6 +122,8 @@ fn main() {
         cache_capacity: opt("cache-capacity", defaults.cache_capacity),
         max_cells: opt("max-cells", defaults.max_cells),
         flight_capacity: opt("flight-capacity", defaults.flight_capacity),
+        core,
+        io_threads: opt("io-threads", defaults.io_threads),
         ..defaults
     };
     let trace_path = opt_str("trace");
@@ -131,8 +146,9 @@ fn main() {
         }
     };
     println!(
-        "redistd listening on {} ({} workers, queue depth {}, cache {})",
+        "redistd listening on {} ({} core, {} workers, queue depth {}, cache {})",
         handle.addr(),
+        config.core.label(),
         config.workers,
         config.queue_depth,
         config.cache_capacity

@@ -1,45 +1,67 @@
-//! `redistload` — closed-loop load generator and correctness checker for
-//! `redistd`.
+//! `redistload` — load generator and correctness checker for `redistd`.
 //!
 //! ```sh
 //! redistload [--addr HOST:PORT] [--connections 16] [--requests 256]
-//!            [--distinct 16] [--n 12] [--out BENCH_serve.json]
+//!            [--distinct 16] [--n 12] [--rate REQS_PER_SEC]
+//!            [--core event|threads] [--queue-depth N]
+//!            [--out BENCH_serve.json]
+//! redistload --campaign 64,256,1024 [--requests N] [--out BENCH_serve.json]
 //! ```
 //!
 //! Without `--addr` it hosts a server in-process on a free port (the CI
 //! mode used by `scripts/check.sh`). It generates `--distinct`
 //! deterministic random traffic matrices, replays them round-robin from
-//! `--connections` closed-loop client threads, and for every response
-//! checks that:
+//! `--connections` client threads, and for every response checks that:
 //!
 //! * the schedule byte-compares equal (via `wire::encode_schedule`) to a
 //!   cold plan of the same instance computed locally — cache hits must be
 //!   indistinguishable from misses;
 //! * the schedule passes [`kpbs::validate`] and its cost is bounded below
-//!   by [`kpbs::lower_bound`].
-//!
+//!   by [`kpbs::lower_bound`];
 //! * every `Ok` response carries a non-zero `server_id` (the server-minted
 //!   correlation id that joins the response to the server's flight record
 //!   and span timeline).
 //!
-//! After the run it scrapes the server's `METRICS` exposition, validates
-//! its well-formedness, and writes a `BENCH_serve.json` campaign file with
-//! the client-side view (throughput, latency quantiles, cache hit rate)
-//! *and* the scraped server-side view (queue wait, service time, outcome
-//! counts) side by side. Exits non-zero on any incorrect response, a
-//! suspiciously cold cache, or a malformed exposition.
+//! Two pacing modes. The default is **closed-loop**: each connection fires
+//! its next request the moment the previous response lands, measuring the
+//! server at the offered concurrency. `--rate R` switches to **open-loop**:
+//! the target arrival rate is split across connections, every request gets
+//! a wall-clock send deadline up front, and latency is measured from that
+//! *scheduled* time — so a slow server that makes senders fall behind pays
+//! for the queueing delay it caused instead of quietly suppressing the
+//! arrivals (coordinated omission).
+//!
+//! `--campaign C1,C2,...` runs the serving-scale campaign instead: a
+//! thread-per-connection baseline at the first connection count, then the
+//! event-loop core at every count, each against a fresh in-process server
+//! sized for the point (`queue_depth = max(1024, 2×connections)`), writing
+//! a multi-point `serve_scale_v1` JSON with per-point latency quantiles
+//! and throughput ratios against the baseline. The campaign exits non-zero
+//! only on correctness failures — a slow point is a result, not an error.
+//!
+//! After a single run it also scrapes the server's `METRICS` exposition,
+//! validates its well-formedness, and embeds the server-side view (queue
+//! wait, service time, outcome counts) next to the client-side one.
 
 use kpbs::traffic::TickScale;
 use kpbs::{Platform, TrafficMatrix};
 use redistd::client::{self, Client};
-use redistd::server::{self, ServerConfig};
+use redistd::server::{self, ServerConfig, ServingCore};
 use redistd::wire::{self, Algo, PlanResponse};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use telemetry::{metrics, Histogram};
 
 const BETA_SECONDS: f64 = 0.05;
+
+/// Connect attempts per client thread before a connection counts as failed.
+const CONNECT_ATTEMPTS: u32 = 8;
+
+/// Hard ceiling on `--connections` / campaign points: beyond this the
+/// generator itself (thread stacks, ephemeral ports) becomes the bottleneck
+/// and the numbers stop describing the server.
+const MAX_CONNECTIONS: usize = 4096;
 
 /// Deterministic xorshift64* — the workspace is std-only, so no `rand`.
 struct Rng(u64);
@@ -129,16 +151,63 @@ fn build_workload(distinct: usize, n: usize, platform: &Platform) -> Vec<WorkIte
         .collect()
 }
 
+#[derive(Default)]
 struct Outcome {
     hits: u64,
     failures: u64,
-    /// Distinct-looking correlation check: how many `Ok` responses carried
-    /// a non-zero server-minted id (must equal the responses received).
+    /// How many `Ok` responses carried a non-zero server-minted id (must
+    /// equal the responses received).
     correlated: u64,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_connection(
+/// Checks one response against its cold reference, updating `out`.
+fn check_response(i: u64, resp: PlanResponse, item: &WorkItem, out: &mut Outcome) {
+    match resp {
+        PlanResponse::Ok {
+            request_id,
+            cached,
+            schedule,
+            cost,
+            lower_bound,
+            server_id,
+            ..
+        } => {
+            let bytes = wire::encode_schedule(&schedule);
+            if request_id != i
+                || bytes != item.expected_bytes
+                || cost != item.expected_cost
+                || lower_bound != item.lower_bound
+                || cost < lower_bound
+            {
+                eprintln!(
+                    "redistload: request {i} mismatch (cached={cached}, \
+                     cost {cost} vs expected {}, lb {lower_bound} vs {})",
+                    item.expected_cost, item.lower_bound
+                );
+                out.failures += 1;
+            }
+            // v2 responses must be correlated: the server mints ids
+            // from 1, so 0 means the header field went missing.
+            if server_id == 0 {
+                eprintln!("redistload: request {i} carried no server_id");
+                out.failures += 1;
+            } else {
+                out.correlated += 1;
+            }
+            if cached {
+                out.hits += 1;
+            }
+        }
+        other => {
+            eprintln!("redistload: request {i} unexpected response: {other:?}");
+            out.failures += 1;
+        }
+    }
+}
+
+/// Closed-loop worker: pull the next global request index, send, wait,
+/// repeat. Latency is response time at the offered concurrency.
+fn run_closed(
     addr: std::net::SocketAddr,
     items: &[WorkItem],
     platform: &Platform,
@@ -146,22 +215,17 @@ fn run_connection(
     requests: u64,
     latency_us: &Histogram,
 ) -> Outcome {
-    let mut client = match Client::connect(addr) {
+    let mut client = match Client::connect_with_retry(addr, CONNECT_ATTEMPTS) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("redistload: connect failed: {e}");
+            eprintln!("redistload: connect failed after {CONNECT_ATTEMPTS} attempts: {e}");
             return Outcome {
-                hits: 0,
                 failures: 1,
-                correlated: 0,
+                ..Outcome::default()
             };
         }
     };
-    let mut out = Outcome {
-        hits: 0,
-        failures: 0,
-        correlated: 0,
-    };
+    let mut out = Outcome::default();
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= requests {
@@ -179,47 +243,169 @@ fn run_connection(
             }
         };
         latency_us.record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
-        match resp {
-            PlanResponse::Ok {
-                request_id,
-                cached,
-                schedule,
-                cost,
-                lower_bound,
-                server_id,
-                ..
-            } => {
-                let bytes = wire::encode_schedule(&schedule);
-                if request_id != i
-                    || bytes != item.expected_bytes
-                    || cost != item.expected_cost
-                    || lower_bound != item.lower_bound
-                    || cost < lower_bound
-                {
-                    eprintln!(
-                        "redistload: request {i} mismatch (cached={cached}, \
-                         cost {cost} vs expected {}, lb {lower_bound} vs {})",
-                        item.expected_cost, item.lower_bound
-                    );
-                    out.failures += 1;
-                }
-                // v2 responses must be correlated: the server mints ids
-                // from 1, so 0 means the header field went missing.
-                if server_id == 0 {
-                    eprintln!("redistload: request {i} carried no server_id");
-                    out.failures += 1;
-                } else {
-                    out.correlated += 1;
-                }
-                if cached {
-                    out.hits += 1;
-                }
-            }
-            other => {
-                eprintln!("redistload: request {i} unexpected response: {other:?}");
-                out.failures += 1;
-            }
+        check_response(i, resp, item, &mut out);
+    }
+}
+
+/// Open-loop worker: this thread owns request indices
+/// `worker, worker+stride, ...` and sends each at its precomputed deadline
+/// (`base + i/rate`), never earlier. Latency runs from the *deadline*, so
+/// time spent stuck behind a slow previous response is charged to the
+/// server — the coordinated-omission correction.
+#[allow(clippy::too_many_arguments)]
+fn run_open(
+    addr: std::net::SocketAddr,
+    items: &[WorkItem],
+    platform: &Platform,
+    base: Instant,
+    worker: u64,
+    stride: u64,
+    requests: u64,
+    interval: Duration,
+    latency_us: &Histogram,
+) -> Outcome {
+    let mut client = match Client::connect_with_retry(addr, CONNECT_ATTEMPTS) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("redistload: connect failed after {CONNECT_ATTEMPTS} attempts: {e}");
+            return Outcome {
+                failures: 1,
+                ..Outcome::default()
+            };
         }
+    };
+    let mut out = Outcome::default();
+    let mut i = worker;
+    while i < requests {
+        let deadline = base + interval * (i as u32);
+        let now = Instant::now();
+        if deadline > now {
+            std::thread::sleep(deadline - now);
+        }
+        let item = &items[(i as usize) % items.len()];
+        let req = client::request(i, Algo::Oggp, &item.traffic, platform, BETA_SECONDS);
+        let resp = match client.plan(&req) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("redistload: request {i} transport error: {e}");
+                out.failures += 1;
+                return out;
+            }
+        };
+        latency_us.record(deadline.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        check_response(i, resp, item, &mut out);
+        i += stride;
+    }
+    out
+}
+
+/// A measured load point: what was run and what came back.
+struct PointResult {
+    core: &'static str,
+    connections: usize,
+    requests: u64,
+    rate: f64,
+    elapsed: Duration,
+    throughput: f64,
+    latency: Arc<Histogram>,
+    hits: u64,
+    failures: u64,
+    correlated: u64,
+}
+
+impl PointResult {
+    fn hit_rate(&self) -> f64 {
+        self.hits as f64 / self.requests as f64
+    }
+
+    fn json(&self, indent: &str) -> String {
+        format!(
+            "{{\n{indent}  \"core\": \"{}\",\n{indent}  \"connections\": {},\n\
+             {indent}  \"requests\": {},\n{indent}  \"rate_rps\": {:.1},\n\
+             {indent}  \"elapsed_s\": {:.4},\n{indent}  \"throughput_rps\": {:.2},\n\
+             {indent}  \"latency_us_p50\": {},\n{indent}  \"latency_us_p99\": {},\n\
+             {indent}  \"latency_us_mean\": {},\n{indent}  \"latency_us_max\": {},\n\
+             {indent}  \"saturated\": {},\n{indent}  \"cache_hits\": {},\n\
+             {indent}  \"cache_hit_rate\": {:.4},\n{indent}  \"failures\": {},\n\
+             {indent}  \"correlated_responses\": {}\n{indent}}}",
+            self.core,
+            self.connections,
+            self.requests,
+            self.rate,
+            self.elapsed.as_secs_f64(),
+            self.throughput,
+            self.latency.quantile(0.5),
+            self.latency.quantile(0.99),
+            self.latency.mean(),
+            self.latency.max(),
+            self.latency.saturated(),
+            self.hits,
+            self.hit_rate(),
+            self.failures,
+            self.correlated,
+        )
+    }
+}
+
+/// Drives one load point against `addr`: `connections` client threads,
+/// closed-loop unless `rate > 0`.
+fn run_point(
+    addr: std::net::SocketAddr,
+    core: &'static str,
+    items: &Arc<Vec<WorkItem>>,
+    platform: &Platform,
+    connections: usize,
+    requests: u64,
+    rate: f64,
+) -> PointResult {
+    let next = Arc::new(AtomicU64::new(0));
+    let latency_us = Arc::new(Histogram::new());
+    let interval = if rate > 0.0 {
+        Duration::from_secs_f64(1.0 / rate)
+    } else {
+        Duration::ZERO
+    };
+    let wall = Instant::now();
+    let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|w| {
+                let items = &items;
+                let platform = &platform;
+                let next = &next;
+                let latency_us = &latency_us;
+                scope.spawn(move || {
+                    if rate > 0.0 {
+                        run_open(
+                            addr,
+                            items,
+                            platform,
+                            wall,
+                            w as u64,
+                            connections as u64,
+                            requests,
+                            interval,
+                            latency_us,
+                        )
+                    } else {
+                        run_closed(addr, items, platform, next, requests, latency_us)
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = wall.elapsed();
+    PointResult {
+        core,
+        connections,
+        requests,
+        rate,
+        elapsed,
+        throughput: requests as f64 / elapsed.as_secs_f64(),
+        latency: latency_us,
+        hits: outcomes.iter().map(|o| o.hits).sum(),
+        failures: outcomes.iter().map(|o| o.failures).sum(),
+        correlated: outcomes.iter().map(|o| o.correlated).sum(),
     }
 }
 
@@ -234,13 +420,103 @@ fn nonzero(value: u64, flag: &str, why: &str) -> u64 {
     value
 }
 
+/// Validates a connection count against the generator's ceiling.
+fn check_connections(conns: usize, what: &str) -> usize {
+    if conns == 0 || conns > MAX_CONNECTIONS {
+        eprintln!("redistload: {what} must be in 1..={MAX_CONNECTIONS}, got {conns}");
+        std::process::exit(2);
+    }
+    conns
+}
+
+/// Starts an in-process server sized for a load point: the queue must
+/// absorb a full closed-loop burst (every connection with a request in
+/// flight at once) or `queue_full` rejections show up as load-dependent
+/// noise in a correctness campaign.
+fn host_for_point(core: ServingCore, connections: usize) -> server::ServerHandle {
+    let config = ServerConfig {
+        core,
+        queue_depth: (2 * connections).max(1024),
+        ..ServerConfig::default()
+    };
+    server::start(config).expect("start in-process server")
+}
+
+/// The serving-scale campaign: thread-core baseline at the first count,
+/// event core at every count, fresh server per point.
+fn run_campaign(
+    counts: &[usize],
+    requests_arg: u64,
+    items: &Arc<Vec<WorkItem>>,
+    platform: &Platform,
+    distinct: usize,
+    n: usize,
+    out_path: &str,
+) {
+    let baseline_conns = counts[0];
+    let mut points: Vec<PointResult> = Vec::new();
+
+    let specs: Vec<(ServingCore, usize)> = std::iter::once((ServingCore::Threads, baseline_conns))
+        .chain(counts.iter().map(|&c| (ServingCore::EventLoop, c)))
+        .collect();
+    for (core, conns) in specs {
+        // Every connection must get at least a couple of requests or the
+        // point only measures connection setup.
+        let requests = requests_arg.max(2 * conns as u64);
+        let handle = host_for_point(core, conns);
+        let label = core.label();
+        eprintln!(
+            "redistload: campaign point core={label} connections={conns} requests={requests}"
+        );
+        let point = run_point(handle.addr(), label, items, platform, conns, requests, 0.0);
+        let stats = handle.shutdown();
+        eprintln!(
+            "redistload:   {:.1} req/s, p50 {} us, p99 {} us, {} failures \
+             (server: {} served, {} rejected)",
+            point.throughput,
+            point.latency.quantile(0.5),
+            point.latency.quantile(0.99),
+            point.failures,
+            stats.served,
+            stats.rejected_queue_full + stats.rejected_too_large,
+        );
+        points.push(point);
+    }
+
+    let baseline = &points[0];
+    let failures: u64 = points.iter().map(|p| p.failures).sum();
+    let point_json: Vec<String> = points[1..].iter().map(|p| p.json("    ")).collect();
+    let ratios: Vec<String> = points[1..]
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"connections\": {}, \"throughput_vs_baseline\": {:.3} }}",
+                p.connections,
+                p.throughput / baseline.throughput
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"campaign\": \"serve_scale_v1\",\n  \"matrix_n\": {n},\n  \
+         \"distinct_matrices\": {distinct},\n  \
+         \"baseline_connections\": {baseline_conns},\n  \
+         \"baseline\": {},\n  \"points\": [\n    {}\n  ],\n  \
+         \"throughput_ratios\": [\n{}\n  ],\n  \"failures\": {failures}\n}}\n",
+        baseline.json("  "),
+        point_json.join(",\n    "),
+        ratios.join(",\n"),
+    );
+    std::fs::write(out_path, &json).expect("write campaign JSON");
+    println!("redistload: serve_scale_v1 campaign -> {out_path}");
+
+    if failures > 0 {
+        eprintln!("redistload: {failures} incorrect responses across the campaign");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let connections: usize = nonzero(
-        arg("connections", 16),
-        "connections",
-        "0 client threads send nothing",
-    ) as usize;
-    let requests: u64 = nonzero(
+    let requests_arg: u64 = nonzero(
         arg("requests", 256),
         "requests",
         "an empty campaign checks nothing",
@@ -252,15 +528,67 @@ fn main() {
     ) as usize;
     let n: usize = nonzero(arg("n", 12), "n", "matrices need at least one node") as usize;
     let out_path: String = arg("out", "BENCH_serve.json".to_string());
-    let external_addr = arg_str("addr");
 
     let platform = Platform::new(n, n, 100.0, 100.0, 400.0);
     eprintln!("redistload: planning {distinct} cold reference instances (n={n})...");
     let items = Arc::new(build_workload(distinct, n, &platform));
 
+    if let Some(spec) = arg_str("campaign") {
+        let counts: Vec<usize> = spec
+            .split(',')
+            .map(|s| {
+                let c = s.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("redistload: bad --campaign list {spec:?}");
+                    std::process::exit(2);
+                });
+                check_connections(c, "--campaign connection count")
+            })
+            .collect();
+        if counts.is_empty() {
+            eprintln!("redistload: --campaign needs at least one connection count");
+            std::process::exit(2);
+        }
+        run_campaign(
+            &counts,
+            requests_arg,
+            &items,
+            &platform,
+            distinct,
+            n,
+            &out_path,
+        );
+        return;
+    }
+
+    let connections = check_connections(arg("connections", 16), "--connections");
+    let rate: f64 = arg("rate", 0.0);
+    if rate < 0.0 || !rate.is_finite() {
+        eprintln!("redistload: --rate must be a finite non-negative req/s");
+        std::process::exit(2);
+    }
+    let core: ServingCore = match arg_str("core") {
+        Some(s) => s.parse().unwrap_or_else(|e| {
+            eprintln!("redistload: {e}");
+            std::process::exit(2);
+        }),
+        None => ServingCore::default(),
+    };
+    // 0 = auto-size to the connection count (self-hosted servers only).
+    let queue_depth: usize = arg("queue-depth", 0u64) as usize;
+    let external_addr = arg_str("addr");
+
     // Self-host unless pointed at an external daemon.
     let hosted = if external_addr.is_none() {
-        Some(server::start(ServerConfig::default()).expect("start in-process server"))
+        let config = ServerConfig {
+            core,
+            queue_depth: if queue_depth > 0 {
+                queue_depth
+            } else {
+                (2 * connections).max(ServerConfig::default().queue_depth)
+            },
+            ..ServerConfig::default()
+        };
+        Some(server::start(config).expect("start in-process server"))
     } else {
         None
     };
@@ -273,34 +601,30 @@ fn main() {
         (None, None) => unreachable!(),
     };
 
+    let requests = requests_arg;
     eprintln!(
-        "redistload: {requests} requests, {connections} connections, \
-         {distinct} distinct matrices against {addr}"
+        "redistload: {requests} requests, {connections} connections{} against {addr}",
+        if rate > 0.0 {
+            format!(", open-loop at {rate:.1} req/s")
+        } else {
+            ", closed-loop".to_string()
+        }
     );
-    let next = Arc::new(AtomicU64::new(0));
-    let latency_us = Arc::new(Histogram::new());
-    let wall = Instant::now();
-    let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..connections)
-            .map(|_| {
-                let items = &items;
-                let platform = &platform;
-                let next = &next;
-                let latency_us = &latency_us;
-                scope.spawn(move || {
-                    run_connection(addr, items, platform, next, requests, latency_us)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    let elapsed = wall.elapsed();
-
-    let hits: u64 = outcomes.iter().map(|o| o.hits).sum();
-    let mut failures: u64 = outcomes.iter().map(|o| o.failures).sum();
-    let correlated: u64 = outcomes.iter().map(|o| o.correlated).sum();
-    let hit_rate = hits as f64 / requests as f64;
-    let throughput = requests as f64 / elapsed.as_secs_f64();
+    let core_label = if hosted.is_some() {
+        core.label()
+    } else {
+        "external"
+    };
+    let point = run_point(
+        addr,
+        core_label,
+        &items,
+        &platform,
+        connections,
+        requests,
+        rate,
+    );
+    let mut failures = point.failures;
 
     // Scrape the server-side view while the daemon is still up: validate
     // the exposition and lift the fields BENCH_serve.json embeds.
@@ -354,28 +678,18 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"campaign\": \"serve_loadgen_v1\",\n  \"requests\": {requests},\n  \
-         \"connections\": {connections},\n  \"distinct_matrices\": {distinct},\n  \
-         \"matrix_n\": {n},\n  \"elapsed_s\": {:.4},\n  \"throughput_rps\": {:.2},\n  \
-         \"latency_us_p50\": {},\n  \"latency_us_p99\": {},\n  \"latency_us_mean\": {},\n  \
-         \"latency_us_max\": {},\n  \"saturated\": {},\n  \
-         \"cache_hits\": {hits},\n  \"cache_hit_rate\": {:.4},\n  \"failures\": {failures},\n  \
-         \"correlated_responses\": {correlated},\n  \"server\": {server_json}\n}}\n",
-        elapsed.as_secs_f64(),
-        throughput,
-        latency_us.quantile(0.5),
-        latency_us.quantile(0.99),
-        latency_us.mean(),
-        latency_us.max(),
-        latency_us.saturated(),
-        hit_rate,
+        "{{\n  \"campaign\": \"serve_loadgen_v1\",\n  \"point\": {},\n  \
+         \"distinct_matrices\": {distinct},\n  \"matrix_n\": {n},\n  \
+         \"failures\": {failures},\n  \"server\": {server_json}\n}}\n",
+        point.json("  "),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
     println!(
-        "redistload: {throughput:.1} req/s, p50 {} us, p99 {} us, hit rate {hit_rate:.2} \
-         -> {out_path}",
-        latency_us.quantile(0.5),
-        latency_us.quantile(0.99),
+        "redistload: {:.1} req/s, p50 {} us, p99 {} us, hit rate {:.2} -> {out_path}",
+        point.throughput,
+        point.latency.quantile(0.5),
+        point.latency.quantile(0.99),
+        point.hit_rate(),
     );
 
     if failures > 0 {
@@ -384,7 +698,7 @@ fn main() {
     }
     // With requests > distinct every repeat should be a hit; a stone-cold
     // cache means the fingerprint key or the LRU is broken.
-    if requests > distinct as u64 && hits == 0 {
+    if requests > distinct as u64 && point.hits == 0 {
         eprintln!("redistload: no cache hits despite repeated matrices");
         std::process::exit(1);
     }

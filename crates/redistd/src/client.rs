@@ -20,6 +20,32 @@ impl Client {
         Ok(Client { stream })
     }
 
+    /// Connects with retries under capped exponential backoff (1 ms
+    /// doubling to 200 ms). At 1024 simultaneous connects even a raised
+    /// listen backlog drops some SYNs; a load generator should retry
+    /// around those instead of reporting them as correctness failures.
+    pub fn connect_with_retry<A: ToSocketAddrs + Copy>(
+        addr: A,
+        attempts: u32,
+    ) -> io::Result<Client> {
+        let attempts = attempts.max(1);
+        let mut delay = std::time::Duration::from_millis(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last = Some(e);
+                    if attempt + 1 < attempts {
+                        std::thread::sleep(delay);
+                        delay = (delay * 2).min(std::time::Duration::from_millis(200));
+                    }
+                }
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
     /// Sends one planning request and blocks for its response.
     pub fn plan(&mut self, req: &PlanRequest) -> io::Result<PlanResponse> {
         wire::write_all(&mut self.stream, &wire::encode_request(req))?;
@@ -109,6 +135,23 @@ fn first_field<'a>(report: &'a str, key: &str) -> Option<&'a str> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn connect_with_retry_gives_up_after_attempts() {
+        // A port nothing listens on: refused immediately, so three
+        // attempts (1 + 2 ms of backoff) still finish fast.
+        let addr: std::net::SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let start = std::time::Instant::now();
+        assert!(Client::connect_with_retry(addr, 3).is_err());
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
+    }
+
+    #[test]
+    fn connect_with_retry_succeeds_first_try() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        assert!(Client::connect_with_retry(addr, 3).is_ok());
+    }
 
     #[test]
     fn stats_field_parses_integers() {

@@ -10,25 +10,33 @@
 //!
 //! * [`wire`] — a length-prefixed binary protocol (magic + version +
 //!   request id + platform + CSR traffic matrix in, schedule + per-request
-//!   work-counter deltas out) plus the plaintext `STATS` admin command;
+//!   work-counter deltas out) plus the plaintext `STATS` admin command,
+//!   with both a blocking reader and a resumable [`wire::FrameDecoder`]
+//!   for non-blocking sockets;
 //! * [`queue`] — the bounded MPMC queue that *is* the admission-control
-//!   policy: `try_push` or reject, never buffer unboundedly;
-//! * [`cache`] — a sharded LRU plan cache keyed by
-//!   [`kpbs::fingerprint`]'s canonical instance hash; hits return
+//!   policy: `try_push` or reject, never buffer unboundedly — plus the
+//!   unbounded [`queue::Inbox`] mailboxes of the event core;
+//! * [`cache`] — a sharded plan cache keyed by [`kpbs::fingerprint`]'s
+//!   canonical instance hash, with a lock-free read path (epoch-reclaimed
+//!   published tables) and second-chance-clock eviction; hits return
 //!   byte-identical schedules to a cold run;
-//! * [`server`] — listener, connection threads, fixed worker pool,
-//!   graceful drain-based shutdown;
+//! * [`server`] — the serving core: `epoll` event loop by default on
+//!   Linux ([`server::ServingCore`]), thread-per-connection baseline
+//!   elsewhere (or on request), fixed worker pool, graceful drain-based
+//!   shutdown;
 //! * [`client`] — a small blocking client.
 //!
 //! Two binaries ship with the crate: `redistd` (the daemon; `--trace`,
-//! SIGTERM/ctrl-c drain) and `redistload` (a closed-loop multi-connection
-//! load generator writing `BENCH_serve.json`).
+//! SIGTERM/ctrl-c drain) and `redistload` (a multi-connection load
+//! generator — closed-loop or open-loop `--rate` — writing
+//! `BENCH_serve.json`).
 //!
 //! Like `telemetry`, this crate is std-only: no async runtime, no socket
-//! or serialization dependency — threads, `TcpListener` and hand-rolled
-//! frames are entirely sufficient for a planner whose unit of work is
-//! milliseconds of matching, and the absence of a dependency tree keeps
-//! the serving layer as auditable as the scheduler it wraps.
+//! or serialization dependency — threads, `TcpListener`, hand-rolled
+//! frames and (on Linux) a ~200-line raw `epoll` shim are entirely
+//! sufficient for a planner whose unit of work is milliseconds of
+//! matching, and the absence of a dependency tree keeps the serving
+//! layer as auditable as the scheduler it wraps.
 //!
 //! # Quickstart
 //!
@@ -59,9 +67,13 @@
 
 pub mod cache;
 pub mod client;
+#[cfg(target_os = "linux")]
+pub(crate) mod event;
 pub mod queue;
 pub mod server;
+#[cfg(target_os = "linux")]
+pub(crate) mod sys;
 pub mod wire;
 
-pub use server::{start, ServerConfig, ServerHandle, ServerStats};
+pub use server::{start, ServerConfig, ServerHandle, ServerStats, ServingCore};
 pub use wire::{Algo, PlanRequest, PlanResponse, RejectReason};

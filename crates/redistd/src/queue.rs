@@ -12,6 +12,14 @@
 //! Built on `Mutex<VecDeque>` + `Condvar` only (std): at the queue depths a
 //! planning service runs (tens to hundreds), lock contention is dwarfed by
 //! planning time, and zero dependencies is a crate invariant.
+//!
+//! The module also provides [`Inbox`], the unbounded non-blocking mailbox
+//! each event-loop I/O thread owns: workers and the acceptor push messages
+//! (completions, fresh connections) and pair the push with an eventfd wake
+//! so the epoll loop drains the mailbox on its next turn. Unbounded is
+//! deliberate — everything that lands in an inbox was already admitted
+//! through the bounded queue above, so the backlog is bounded by in-flight
+//! work, not by the peer.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -107,10 +115,86 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// An unbounded, non-blocking MPSC-style mailbox (multiple producers, one
+/// draining consumer — though nothing breaks with more). See the module
+/// docs for why it may be unbounded.
+pub struct Inbox<T> {
+    items: Mutex<VecDeque<T>>,
+}
+
+impl<T> Inbox<T> {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Inbox {
+            items: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueues an item. Never blocks beyond the mutex.
+    pub fn push(&self, item: T) {
+        self.items.lock().unwrap().push_back(item);
+    }
+
+    /// Takes everything queued, in arrival order, leaving the mailbox
+    /// empty. Returns an empty queue when there is nothing.
+    pub fn drain(&self) -> VecDeque<T> {
+        std::mem::take(&mut *self.items.lock().unwrap())
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.lock().unwrap().is_empty()
+    }
+}
+
+impl<T> Default for Inbox<T> {
+    fn default() -> Self {
+        Inbox::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn inbox_drains_in_arrival_order() {
+        let inbox = Inbox::new();
+        assert!(inbox.is_empty());
+        inbox.push(1);
+        inbox.push(2);
+        inbox.push(3);
+        assert!(!inbox.is_empty());
+        assert_eq!(Vec::from(inbox.drain()), vec![1, 2, 3]);
+        assert!(inbox.is_empty());
+        assert!(inbox.drain().is_empty());
+    }
+
+    #[test]
+    fn inbox_concurrent_pushes_lose_nothing() {
+        let inbox = Arc::new(Inbox::new());
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let inbox = inbox.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        inbox.push(p * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let got = inbox.drain();
+        assert_eq!(got.len(), 1000);
+        let sum: u64 = got.iter().sum();
+        let expect: u64 = (0..4u64)
+            .map(|p| (0..250u64).map(|i| p * 1000 + i).sum::<u64>())
+            .sum();
+        assert_eq!(sum, expect);
+    }
 
     #[test]
     fn push_pop_fifo() {

@@ -1,38 +1,52 @@
-//! The serving core: listener, connection threads, bounded request queue,
-//! worker pool, plan cache, statistics, graceful shutdown.
+//! The serving core: socket front-end, bounded request queue, worker
+//! pool, plan cache, statistics, graceful shutdown.
 //!
 //! ```text
 //!                        ┌────────────────────────────┐
-//!   TCP clients ──────▶  │ accept loop (non-blocking) │
+//!   TCP clients ──────▶  │ socket front-end           │
+//!                        │  event core: epoll I/O     │
+//!                        │  threads (default, Linux)  │
+//!                        │  thread core: one thread   │
+//!                        │  per connection (baseline) │
 //!                        └──────────┬─────────────────┘
-//!                                   │ one thread per connection
-//!                        ┌──────────▼─────────────┐   reject: queue_full /
-//!                        │ decode + admission     │──▶ matrix_too_large
-//!                        └──────────┬─────────────┘
+//!                                   │ decode + admission
+//!                                   │ reject: queue_full / matrix_too_large
 //!                                   │ try_push (never blocks)
 //!                        ┌──────────▼─────────────┐
 //!                        │ BoundedQueue<Job>      │  ← backpressure boundary
 //!                        └──────────┬─────────────┘
 //!                                   │ pop
 //!                        ┌──────────▼─────────────┐   ┌────────────────┐
-//!                        │ worker pool (N threads)│ ⇄ │ sharded LRU    │
-//!                        │ fingerprint → plan     │   │ plan cache     │
+//!                        │ worker pool (N threads)│ ⇄ │ sharded cache  │
+//!                        │ fingerprint → plan     │   │ lock-free gets │
 //!                        └──────────┬─────────────┘   └────────────────┘
-//!                                   │ reply channel
-//!                        connection thread writes the response frame
+//!                                   │ Reply: mpsc (thread core) or
+//!                                   │ Inbox + eventfd (event core)
+//!                        front-end writes the response frame
 //! ```
+//!
+//! Two serving cores share this admission/worker machinery (selected by
+//! [`ServingCore`]): the **event core** (`event.rs`) multiplexes every
+//! socket over a few `epoll` threads and is the default on Linux; the
+//! **thread core** keeps one blocking thread per connection and survives
+//! as the portable fallback and as the measurable baseline the serving
+//! benchmarks compare against (the same role the reference planner plays
+//! for the optimized one).
 //!
 //! The design reuses the discipline of [`kpbs::batch`]: work is handed to a
 //! fixed pool through one queue, each request's work counters are measured
 //! with thread-local snapshots on the worker that planned it, and planning
 //! is a pure function of the request — so a response is byte-identical no
-//! matter which worker produced it or whether the cache was warm.
+//! matter which worker produced it, whether the cache was warm, and which
+//! serving core carried the bytes.
 //!
 //! Shutdown ([`ServerHandle::shutdown`]) is drain-based: stop accepting,
 //! close the queue (pushes fail, pops drain), join workers (every accepted
-//! request gets its response), then join connection threads.
+//! request gets its response), then join the front-end threads.
 
 use crate::cache::{CacheStats, ShardedLru};
+#[cfg(target_os = "linux")]
+use crate::event;
 use crate::queue::{BoundedQueue, PushError};
 use crate::wire::{self, Algo, Incoming, PlanRequest, PlanResponse, RejectReason};
 use kpbs::traffic::TickScale;
@@ -49,6 +63,49 @@ use telemetry::metrics::{CounterHandle, GaugeHandle, Registry, RegistryConfig, S
 
 /// How long a blocked read waits before re-checking the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Which front-end carries bytes between sockets and the worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServingCore {
+    /// Readiness-driven I/O threads over `epoll` (Linux). The default;
+    /// transparently falls back to [`ServingCore::Threads`] elsewhere.
+    #[default]
+    EventLoop,
+    /// One blocking thread per connection — portable fallback and the
+    /// serving-scale baseline.
+    Threads,
+}
+
+impl ServingCore {
+    /// The core that will actually run on this platform.
+    pub fn resolved(self) -> ServingCore {
+        if cfg!(target_os = "linux") {
+            self
+        } else {
+            ServingCore::Threads
+        }
+    }
+
+    /// Stable label used in `STATS` and benchmark output.
+    pub fn label(self) -> &'static str {
+        match self.resolved() {
+            ServingCore::EventLoop => "event",
+            ServingCore::Threads => "threads",
+        }
+    }
+}
+
+impl std::str::FromStr for ServingCore {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "event" => Ok(ServingCore::EventLoop),
+            "threads" => Ok(ServingCore::Threads),
+            other => Err(format!("unknown serving core {other:?} (event|threads)")),
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -74,6 +131,18 @@ pub struct ServerConfig {
     /// Flight-recorder capacity: how many per-request records the `FLIGHT`
     /// admin command (and `--flight-dump`) can look back over.
     pub flight_capacity: usize,
+    /// Socket front-end (see [`ServingCore`]).
+    pub core: ServingCore,
+    /// Event-core I/O threads multiplexing the sockets. Requests are
+    /// small and planning lives on the worker pool, so a handful goes a
+    /// long way; ignored by the thread core.
+    pub io_threads: usize,
+    /// Event-core backpressure: a connection whose unflushed response
+    /// bytes exceed this stops being read until the peer drains.
+    pub wbuf_limit: usize,
+    /// Event-core backpressure: decoded-but-unprocessed messages buffered
+    /// per connection before reads park.
+    pub pending_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +159,10 @@ impl Default for ServerConfig {
             max_cells: 1 << 20,
             worker_think_ms: 0,
             flight_capacity: 1024,
+            core: ServingCore::default(),
+            io_threads: 2,
+            wbuf_limit: 256 * 1024,
+            pending_limit: 64,
         }
     }
 }
@@ -102,9 +175,33 @@ struct PlanOutcome {
     lower_bound: u64,
 }
 
+/// Where a finished response goes, per serving core.
+pub(crate) enum Reply {
+    /// Thread core: the connection thread blocks on the receiving end.
+    Sync(mpsc::Sender<PlanResponse>),
+    /// Event core: the worker encodes the response and hands the bytes to
+    /// the connection's I/O thread.
+    #[cfg(target_os = "linux")]
+    Event(event::CompletionSink),
+}
+
+/// What admission control decided about one decoded frame.
+pub(crate) enum Admission {
+    /// Answer now (decode error or rejection), encoded in `version`.
+    /// Boxed so the variant stays small next to `Queued`.
+    Immediate(Box<PlanResponse>, u16),
+    /// Accepted onto the worker queue; the [`Reply`] answers later. The
+    /// ids let the thread core build its worker-failure fallback.
+    Queued {
+        rid: u64,
+        request_id: u64,
+        version: u16,
+    },
+}
+
 struct Job {
     req: PlanRequest,
-    reply: mpsc::Sender<PlanResponse>,
+    reply: Reply,
     /// Server-minted request id — the correlation key across the response
     /// (`server_id`), spans (`rid` arg), and the flight record.
     rid: u64,
@@ -117,7 +214,7 @@ struct Job {
 /// The server's registered instruments — the single source of truth for
 /// every count `STATS` and `METRICS` report. Names are part of the
 /// observable surface (golden-tested); keep them in sync with DESIGN.md §14.
-struct ServerMetrics {
+pub(crate) struct ServerMetrics {
     requests_planned: CounterHandle,
     requests_cache_hit: CounterHandle,
     requests_shed_queue_full: CounterHandle,
@@ -125,6 +222,11 @@ struct ServerMetrics {
     requests_error: CounterHandle,
     admissions_total: CounterHandle,
     request_bytes: CounterHandle,
+    /// Accepted sockets (event core; the thread core counts spawns).
+    pub(crate) accepts_total: CounterHandle,
+    /// Times a connection's read interest was parked because its write
+    /// buffer or pending ring hit its limit (event core).
+    pub(crate) io_backpressure_total: CounterHandle,
     service_us: SummaryHandle,
     queue_wait_us: SummaryHandle,
     plan_us: SummaryHandle,
@@ -134,6 +236,7 @@ struct ServerMetrics {
     workers: GaugeHandle,
     uptime_seconds: GaugeHandle,
     requests_per_second: GaugeHandle,
+    connections_open: GaugeHandle,
     cache_hits: GaugeHandle,
     cache_misses: GaugeHandle,
     cache_insertions: GaugeHandle,
@@ -166,6 +269,16 @@ impl ServerMetrics {
                 "Total payload bytes across admitted traffic matrices.",
                 &[],
             ),
+            accepts_total: r.counter(
+                "redistd_accepts_total",
+                "Client sockets accepted since start.",
+                &[],
+            ),
+            io_backpressure_total: r.counter(
+                "redistd_io_backpressure_total",
+                "Connections whose reads were parked by per-connection backpressure.",
+                &[],
+            ),
             service_us: r.summary(
                 "redistd_service_us",
                 "Admission to response-ready, microseconds.",
@@ -190,6 +303,11 @@ impl ServerMetrics {
                 "Admission rate over the sliding window.",
                 &[],
             ),
+            connections_open: r.gauge(
+                "redistd_connections_open",
+                "Client connections currently open.",
+                &[],
+            ),
             cache_hits: r.gauge("redistd_cache_hits", "Plan-cache hits since start.", &[]),
             cache_misses: r.gauge(
                 "redistd_cache_misses",
@@ -211,23 +329,31 @@ impl ServerMetrics {
     }
 }
 
-struct Shared {
-    config: ServerConfig,
-    shutdown: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
+    pub(crate) shutdown: AtomicBool,
     queue: BoundedQueue<Job>,
     cache: ShardedLru<PlanOutcome>,
     started: Instant,
     /// Request-id mint: the next rid is `admissions + 1`, so rid 0 never
     /// occurs and can mean "not correlated" on the wire.
     admissions: AtomicU64,
+    /// Client connections currently open, maintained by whichever core
+    /// is serving.
+    pub(crate) open_connections: AtomicU64,
     registry: Registry,
-    metrics: ServerMetrics,
-    flight: FlightRecorder,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) flight: FlightRecorder,
 }
 
 impl Shared {
     fn mint_rid(&self) -> u64 {
         self.admissions.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The plaintext `STATS` report body.
+    pub(crate) fn render_stats(&self) -> String {
+        ServerStats::gather(self).render(self.started.elapsed())
     }
 
     /// Refreshes point-in-time gauges, then renders the registry. Called
@@ -240,6 +366,8 @@ impl Shared {
         m.workers.set(self.config.workers as f64);
         m.uptime_seconds.set(self.started.elapsed().as_secs_f64());
         m.requests_per_second.set(m.admissions_total.rate());
+        m.connections_open
+            .set(self.open_connections.load(Ordering::Relaxed) as f64);
         m.cache_hits.set(cache.hits as f64);
         m.cache_misses.set(cache.misses as f64);
         m.cache_insertions.set(cache.insertions as f64);
@@ -247,7 +375,7 @@ impl Shared {
         m.cache_entries.set(cache.len as f64);
     }
 
-    fn render_metrics(&self) -> String {
+    pub(crate) fn render_metrics(&self) -> String {
         self.registry.tick();
         self.refresh_gauges();
         self.registry.render()
@@ -285,10 +413,16 @@ pub struct ServerStats {
     pub queue_wait_p99_us: u64,
     /// Mean queue wait in microseconds.
     pub queue_wait_mean_us: u64,
+    /// Which serving core is running (`event` or `threads`).
+    pub core: &'static str,
+    /// Event-core I/O threads (0 under the thread core).
+    pub io_threads: usize,
+    /// Client connections open right now.
+    pub connections_open: u64,
 }
 
 impl ServerStats {
-    fn gather(shared: &Shared) -> ServerStats {
+    pub(crate) fn gather(shared: &Shared) -> ServerStats {
         let m = &shared.metrics;
         let mean = |s: &SummaryHandle| s.sum().checked_div(s.count()).unwrap_or(0);
         ServerStats {
@@ -306,6 +440,12 @@ impl ServerStats {
             queue_wait_p50_us: m.queue_wait_us.quantile(0.5),
             queue_wait_p99_us: m.queue_wait_us.quantile(0.99),
             queue_wait_mean_us: mean(&m.queue_wait_us),
+            core: shared.config.core.label(),
+            io_threads: match shared.config.core.resolved() {
+                ServingCore::EventLoop => shared.config.io_threads.max(1),
+                ServingCore::Threads => 0,
+            },
+            connections_open: shared.open_connections.load(Ordering::Relaxed),
         }
     }
 
@@ -333,6 +473,9 @@ impl ServerStats {
             ("queue_wait_us_p50", self.queue_wait_p50_us.to_string()),
             ("queue_wait_us_p99", self.queue_wait_p99_us.to_string()),
             ("queue_wait_us_mean", self.queue_wait_mean_us.to_string()),
+            ("core", self.core.to_string()),
+            ("io_threads", self.io_threads.to_string()),
+            ("connections_open", self.connections_open.to_string()),
         ]
     }
 
@@ -356,9 +499,18 @@ impl ServerStats {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    core: CoreHandle,
+}
+
+/// The core-specific front-end threads behind a [`ServerHandle`].
+enum CoreHandle {
+    Threads {
+        accept: Option<JoinHandle<()>>,
+        connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    },
+    #[cfg(target_os = "linux")]
+    Event(Option<event::IoHandle>),
 }
 
 /// Starts a server on `config.addr` and returns its handle once the
@@ -375,6 +527,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
         admissions: AtomicU64::new(0),
+        open_connections: AtomicU64::new(0),
         registry,
         metrics,
         flight: FlightRecorder::new(config.flight_capacity),
@@ -391,22 +544,35 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         })
         .collect();
 
-    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-    let accept = {
-        let shared = shared.clone();
-        let connections = connections.clone();
-        std::thread::Builder::new()
-            .name("redistd-accept".into())
-            .spawn(move || accept_loop(&shared, listener, &connections))
-            .expect("spawn accept loop")
+    let core = match shared.config.core.resolved() {
+        #[cfg(target_os = "linux")]
+        ServingCore::EventLoop => {
+            CoreHandle::Event(Some(event::start_io(shared.clone(), listener)?))
+        }
+        #[cfg(not(target_os = "linux"))]
+        ServingCore::EventLoop => unreachable!("resolved() never picks EventLoop off Linux"),
+        ServingCore::Threads => {
+            let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+            let accept = {
+                let shared = shared.clone();
+                let connections = connections.clone();
+                std::thread::Builder::new()
+                    .name("redistd-accept".into())
+                    .spawn(move || accept_loop(&shared, listener, &connections))
+                    .expect("spawn accept loop")
+            };
+            CoreHandle::Threads {
+                accept: Some(accept),
+                connections,
+            }
+        }
     };
 
     Ok(ServerHandle {
         addr,
         shared,
-        accept: Some(accept),
         workers,
-        connections,
+        core,
     })
 }
 
@@ -449,22 +615,45 @@ impl ServerHandle {
     /// every request the server ever answered (`--flight-dump` uses this).
     pub fn shutdown_with_flight(mut self) -> (ServerStats, String) {
         self.request_shutdown();
-        if let Some(a) = self.accept.take() {
-            let _ = a.join();
+        match &mut self.core {
+            CoreHandle::Threads { accept, .. } => {
+                if let Some(a) = accept.take() {
+                    let _ = a.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            CoreHandle::Event(io) => {
+                // Wake the I/O threads so they stop accepting now; they
+                // keep serving completions until the drain finishes.
+                if let Some(io) = io {
+                    io.wake_all();
+                }
+            }
         }
-        // No new connections exist now; close the queue so workers drain
-        // the backlog and exit. Connection threads still waiting on replies
-        // get them before they notice the flag.
+        // No new work is admitted now; close the queue so workers drain
+        // the backlog and exit. Front-ends still waiting on replies get
+        // them before they notice the flag.
         self.shared.queue.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        let handles: Vec<JoinHandle<()>> = {
-            let mut guard = self.connections.lock().unwrap();
-            guard.drain(..).collect()
-        };
-        for h in handles {
-            let _ = h.join();
+        // Every completion has been delivered; join the front-end.
+        match &mut self.core {
+            CoreHandle::Threads { connections, .. } => {
+                let handles: Vec<JoinHandle<()>> = {
+                    let mut guard = connections.lock().unwrap();
+                    guard.drain(..).collect()
+                };
+                for h in handles {
+                    let _ = h.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            CoreHandle::Event(io) => {
+                if let Some(io) = io.take() {
+                    io.join();
+                }
+            }
         }
         (
             ServerStats::gather(&self.shared),
@@ -484,6 +673,7 @@ fn accept_loop(
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                shared.metrics.accepts_total.inc();
                 let shared = shared.clone();
                 let handle = std::thread::Builder::new()
                     .name("redistd-conn".into())
@@ -499,15 +689,20 @@ fn accept_loop(
     }
 }
 
-fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    shared.open_connections.fetch_add(1, Ordering::Relaxed);
+    connection_loop_inner(shared, stream);
+    shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn connection_loop_inner(shared: &Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     loop {
         match wire::read_incoming(&mut stream) {
             Ok(Incoming::Eof) => return,
             Ok(Incoming::Stats) => {
-                let stats = ServerStats::gather(shared);
-                let _ = stream.write_all(stats.render(shared.started.elapsed()).as_bytes());
+                let _ = stream.write_all(shared.render_stats().as_bytes());
                 return; // admin connections are one-shot
             }
             Ok(Incoming::Metrics) => {
@@ -540,8 +735,44 @@ fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
 /// Decodes, admits and executes one request, blocking until its response
 /// is ready (or producing a rejection immediately). Returns the response
 /// and the wire version to encode it in (the request's own version, so an
-/// old client never sees v2 fields).
+/// old client never sees v2 fields). Thread core only; the event core
+/// calls [`admit_frame`] and gets the response asynchronously.
 fn handle_frame(shared: &Arc<Shared>, payload: &[u8]) -> (PlanResponse, u16) {
+    let (tx, rx) = mpsc::channel();
+    match admit_frame(shared, payload, move || Reply::Sync(tx)) {
+        Admission::Immediate(resp, version) => (*resp, version),
+        Admission::Queued {
+            rid,
+            request_id,
+            version,
+        } => {
+            // The worker pool drains every accepted job (even through
+            // shutdown), so this recv only fails if a worker panicked.
+            let resp = rx.recv().unwrap_or_else(|_| PlanResponse::Error {
+                request_id,
+                message: "worker failed".into(),
+            });
+            if !matches!(resp, PlanResponse::Ok { .. }) {
+                // A worker failure after admission; the worker never pushed
+                // a flight record, so account for the request here.
+                shared.metrics.requests_error.inc();
+                let mut rec = FlightRecord::new(rid, FlightOutcome::Error);
+                rec.client_id = request_id;
+                shared.flight.push(rec);
+            }
+            (resp, version)
+        }
+    }
+}
+
+/// Decodes and admits one frame — the single admission path both serving
+/// cores share. `make_reply` is only invoked if the frame is actually
+/// queued, with the core-appropriate [`Reply`] route.
+pub(crate) fn admit_frame(
+    shared: &Arc<Shared>,
+    payload: &[u8],
+    make_reply: impl FnOnce() -> Reply,
+) -> Admission {
     let start = Instant::now();
     shared.registry.tick();
     let rid = shared.mint_rid();
@@ -555,11 +786,11 @@ fn handle_frame(shared: &Arc<Shared>, payload: &[u8]) -> (PlanResponse, u16) {
             rec.client_id = client_id;
             rec.queue_depth = shared.queue.len() as u32;
             shared.flight.push(rec);
-            return (
-                PlanResponse::Error {
+            return Admission::Immediate(
+                Box::new(PlanResponse::Error {
                     request_id: client_id,
                     message: e.0,
-                },
+                }),
                 peek_version(payload),
             );
         }
@@ -581,20 +812,19 @@ fn handle_frame(shared: &Arc<Shared>, payload: &[u8]) -> (PlanResponse, u16) {
         shared.metrics.requests_shed_too_large.inc();
         rec.outcome = FlightOutcome::ShedTooLarge;
         shared.flight.push(rec);
-        return (
-            PlanResponse::Rejected {
+        return Admission::Immediate(
+            Box::new(PlanResponse::Rejected {
                 request_id,
                 reason: RejectReason::MatrixTooLarge,
-            },
+            }),
             version,
         );
     }
 
     shared.metrics.request_bytes.add(bytes);
-    let (tx, rx) = mpsc::channel();
     let job = Job {
         req,
-        reply: tx,
+        reply: make_reply(),
         rid,
         admitted: start,
         depth_at_admission: shared.queue.len(),
@@ -605,34 +835,19 @@ fn handle_frame(shared: &Arc<Shared>, payload: &[u8]) -> (PlanResponse, u16) {
             shared.metrics.requests_shed_queue_full.inc();
             rec.outcome = FlightOutcome::ShedQueueFull;
             shared.flight.push(rec);
-            (
-                PlanResponse::Rejected {
+            Admission::Immediate(
+                Box::new(PlanResponse::Rejected {
                     request_id,
                     reason: RejectReason::QueueFull,
-                },
+                }),
                 version,
             )
         }
-        Ok(()) => {
-            // The worker pool drains every accepted job (even through
-            // shutdown), so this recv only fails if a worker panicked.
-            let resp = rx.recv().unwrap_or_else(|_| PlanResponse::Error {
-                request_id,
-                message: "worker failed".into(),
-            });
-            if matches!(resp, PlanResponse::Ok { .. }) {
-                shared
-                    .metrics
-                    .service_us
-                    .observe(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
-            } else {
-                // A worker failure after admission; the worker never pushed
-                // a flight record, so account for the request here.
-                shared.metrics.requests_error.inc();
-                shared.flight.push(rec);
-            }
-            (resp, version)
-        }
+        Ok(()) => Admission::Queued {
+            rid,
+            request_id,
+            version,
+        },
     }
 }
 
@@ -672,9 +887,24 @@ fn worker_loop(shared: &Arc<Shared>, worker: u32) {
         rec.worker = worker;
         shared.flight.push(rec);
 
-        // A closed reply channel means the connection died; the plan is
+        // Admission to response-ready: the response exists now; what
+        // remains is byte shuffling on the front-end.
+        shared
+            .metrics
+            .service_us
+            .observe(job.admitted.elapsed().as_micros().min(u64::MAX as u128) as u64);
+
+        // A dead reply route means the connection died; the plan is
         // still cached, so the work is not wasted.
-        let _ = job.reply.send(resp);
+        match job.reply {
+            Reply::Sync(tx) => {
+                let _ = tx.send(resp);
+            }
+            #[cfg(target_os = "linux")]
+            Reply::Event(sink) => {
+                sink.complete(wire::encode_response(&resp, job.req.wire_version));
+            }
+        }
     }
 }
 

@@ -636,7 +636,8 @@ pub enum Incoming {
 /// How long a reader keeps retrying timeouts *mid-message* before giving
 /// up on a stalled peer. Waits *between* messages are not covered: there a
 /// timeout surfaces immediately so the server can poll its shutdown flag.
-const MID_MESSAGE_PATIENCE: std::time::Duration = std::time::Duration::from_secs(10);
+/// The event loop applies the same bound to connections parked mid-frame.
+pub(crate) const MID_MESSAGE_PATIENCE: std::time::Duration = std::time::Duration::from_secs(10);
 
 /// Reads one incoming message. Sniffs the first four bytes: `STAT`, `METR`
 /// and `FLIG` select the plaintext admin paths, anything else is a frame
@@ -704,6 +705,131 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
 pub fn write_all<W: Write>(w: &mut W, bytes: &[u8]) -> io::Result<()> {
     w.write_all(bytes)?;
     w.flush()
+}
+
+/// An incremental, resumable frame decoder for non-blocking readers.
+///
+/// [`read_incoming`] assumes a blocking stream: it parks the thread until
+/// a whole message has arrived. The event-loop serving core instead feeds
+/// whatever bytes `read(2)` happened to return into this state machine
+/// with [`FrameDecoder::extend`] and drains complete messages with
+/// [`FrameDecoder::poll`] — a message split across any number of reads
+/// (down to one byte at a time) decodes byte-identically to the blocking
+/// path, and coalesced messages in one read come out one `poll` at a
+/// time. The adversarial-chunking proptests in `tests/decoder.rs` pin
+/// this equivalence.
+///
+/// Semantics mirrored from [`read_incoming`]:
+/// - the first four bytes of a message are sniffed: `STAT`/`METR`/`FLIG`
+///   select the plaintext admin commands, anything else is a big-endian
+///   `u32` frame length;
+/// - an admin prefix whose tail does not match is `InvalidData`
+///   ("malformed admin command");
+/// - a length above [`MAX_FRAME`] is `InvalidData` before any payload is
+///   buffered, so an abusive peer cannot make the server allocate;
+/// - errors are sticky: after an error the decoder refuses further work
+///   (the connection is being torn down anyway).
+///
+/// End-of-stream is the caller's to interpret: on EOF, [`FrameDecoder::is_mid_message`]
+/// distinguishes a clean close (no buffered partial message — the blocking
+/// path's `Incoming::Eof`) from a torn one (`UnexpectedEof` there).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily by `extend`.
+    pos: usize,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// A decoder with no buffered bytes.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends bytes received from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: either everything buffered was consumed
+        // (cheap truncate) or the dead prefix got large enough to matter.
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= 4096 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded message.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when a message has started but not finished — EOF now would be
+    /// the blocking path's "torn message" / "torn header".
+    pub fn is_mid_message(&self) -> bool {
+        self.pending_bytes() > 0
+    }
+
+    /// Decodes the next complete message, `Ok(None)` when more bytes are
+    /// needed. Call in a loop after [`FrameDecoder::extend`]: one read may
+    /// complete several coalesced messages.
+    pub fn poll(&mut self) -> io::Result<Option<Incoming>> {
+        if self.poisoned {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "decoder poisoned by an earlier error",
+            ));
+        }
+        match self.poll_inner() {
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+            ok => ok,
+        }
+    }
+
+    fn poll_inner(&mut self) -> io::Result<Option<Incoming>> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let admin = match &avail[..4] {
+            b"STAT" => Some((STATS_COMMAND, Incoming::Stats)),
+            b"METR" => Some((METRICS_COMMAND, Incoming::Metrics)),
+            b"FLIG" => Some((FLIGHT_COMMAND, Incoming::Flight)),
+            _ => None,
+        };
+        if let Some((command, incoming)) = admin {
+            if avail.len() < command.len() {
+                return Ok(None);
+            }
+            if &avail[..command.len()] != command {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "malformed admin command",
+                ));
+            }
+            self.pos += command.len();
+            return Ok(Some(incoming));
+        }
+        let len = u32::from_be_bytes(avail[..4].try_into().unwrap());
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+            ));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = avail[4..total].to_vec();
+        self.pos += total;
+        Ok(Some(Incoming::Frame(payload)))
+    }
 }
 
 /// Reads a message head: returns 0 on clean EOF before the first byte,
@@ -1009,5 +1135,66 @@ mod tests {
         buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
         let mut r = &buf[..];
         assert!(read_incoming(&mut r).is_err());
+    }
+
+    #[test]
+    fn decoder_resumes_across_one_byte_feeds() {
+        let framed = encode_request(&sample_request());
+        let mut d = FrameDecoder::new();
+        for (i, b) in framed.iter().enumerate() {
+            d.extend(&[*b]);
+            let out = d.poll().unwrap();
+            if i + 1 < framed.len() {
+                assert!(out.is_none(), "message completed early at byte {i}");
+                assert!(d.is_mid_message());
+            } else {
+                match out {
+                    Some(Incoming::Frame(p)) => assert_eq!(p, &framed[4..]),
+                    other => panic!("expected frame, got {other:?}"),
+                }
+            }
+        }
+        assert!(!d.is_mid_message());
+    }
+
+    #[test]
+    fn decoder_splits_coalesced_messages() {
+        let framed = encode_request(&sample_request());
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&framed);
+        blob.extend_from_slice(STATS_COMMAND);
+        blob.extend_from_slice(&framed);
+        let mut d = FrameDecoder::new();
+        d.extend(&blob);
+        assert!(matches!(d.poll().unwrap(), Some(Incoming::Frame(_))));
+        assert!(matches!(d.poll().unwrap(), Some(Incoming::Stats)));
+        assert!(matches!(d.poll().unwrap(), Some(Incoming::Frame(_))));
+        assert!(d.poll().unwrap().is_none());
+        assert!(!d.is_mid_message());
+    }
+
+    #[test]
+    fn decoder_rejects_oversize_and_torn_admin_and_stays_poisoned() {
+        let mut d = FrameDecoder::new();
+        d.extend(&(MAX_FRAME + 1).to_be_bytes());
+        assert!(d.poll().is_err());
+        // Sticky: even valid bytes are refused after an error.
+        d.extend(STATS_COMMAND);
+        assert!(d.poll().is_err());
+
+        let mut d = FrameDecoder::new();
+        d.extend(b"METRxxx\n");
+        assert!(d.poll().is_err());
+    }
+
+    #[test]
+    fn decoder_admin_prefix_waits_for_tail() {
+        let mut d = FrameDecoder::new();
+        d.extend(b"FLIG");
+        assert!(d.poll().unwrap().is_none());
+        assert!(d.is_mid_message());
+        d.extend(b"HT\n");
+        assert!(matches!(d.poll().unwrap(), Some(Incoming::Flight)));
+        assert!(!d.is_mid_message());
     }
 }

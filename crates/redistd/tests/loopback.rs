@@ -7,7 +7,10 @@
 //! (b) repeated matrices are served from the plan cache and counted;
 //! (c) overload with queue depth 1 produces `Rejected{queue_full}`
 //!     responses, not hangs;
-//! (d) graceful shutdown drains in-flight requests to their responses.
+//! (d) graceful shutdown drains in-flight requests to their responses;
+//! (e) event-core isolation: a slow-reading connection is parked by
+//!     per-connection backpressure instead of stalling its I/O thread,
+//!     and requests dribbled in one byte at a time still decode.
 
 use kpbs::traffic::TickScale;
 use kpbs::{Platform, TrafficMatrix};
@@ -521,22 +524,192 @@ fn v1_clients_are_served_compatibly() {
     handle.shutdown();
 }
 
+/// A malformed-but-headed frame for connection-level tests: valid magic,
+/// version, kind and request id followed by garbage, so the server can
+/// recover the id for its error response.
+fn malformed_payload(request_id: u64) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&wire::MAGIC);
+    payload.extend_from_slice(&1u16.to_be_bytes());
+    payload.push(0);
+    payload.extend_from_slice(&request_id.to_be_bytes());
+    payload.extend_from_slice(&[0xAB; 7]);
+    let mut framed = (payload.len() as u32).to_be_bytes().to_vec();
+    framed.extend_from_slice(&payload);
+    framed
+}
+
+/// (e) slow-reader isolation: connection A floods requests far faster than
+/// the (deliberately slowed) workers can answer and reads nothing back, so
+/// its decoded-but-unserved frames pile up until the per-connection
+/// pending bound parks its reads. Meanwhile connection B's requests on the
+/// same server must keep completing promptly, and every one of A's
+/// responses eventually arrives in order.
+#[test]
+fn slow_reader_cannot_stall_other_connections() {
+    let handle = server::start(ServerConfig {
+        // A tiny pending ring + a slow worker make the pile-up (and the
+        // backpressure transition) deterministic: the bound trips on
+        // decoded frames, independent of kernel socket buffer sizes.
+        pending_limit: 4,
+        worker_think_ms: 10,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let n = 6;
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let traffic = &make_matrices(1, n)[0];
+
+    const FLOOD: u64 = 100;
+    let mut slow = std::net::TcpStream::connect(addr).unwrap();
+    slow.set_nodelay(true).unwrap();
+    let mut slow_writer = slow.try_clone().unwrap();
+    let flood_traffic = traffic.clone();
+    let flood_platform = platform;
+    let writer = std::thread::spawn(move || {
+        for id in 0..FLOOD {
+            let req = client::request(id, Algo::Oggp, &flood_traffic, &flood_platform, BETA);
+            wire::write_all(&mut slow_writer, &wire::encode_request(&req)).unwrap();
+        }
+    });
+    writer.join().unwrap(); // ~100 small frames: fits kernel buffers, never blocks
+
+    // B's closed-loop requests stay fast while A's backlog sits parked: A
+    // holds at most one worker at a time, not a whole I/O thread.
+    let start = Instant::now();
+    let mut b = Client::connect(addr).unwrap();
+    for id in 1000..1030 {
+        match b
+            .plan(&client::request(id, Algo::Oggp, traffic, &platform, BETA))
+            .unwrap()
+        {
+            PlanResponse::Ok { request_id, .. } => assert_eq!(request_id, id),
+            other => panic!("B's request {id}: {other:?}"),
+        }
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "B stalled behind the slow reader: {:?}",
+        start.elapsed()
+    );
+
+    // The event core must have parked A's reads at least once (the thread
+    // core blocks A's own connection thread instead, so only check there).
+    if server::ServingCore::default().resolved() == server::ServingCore::EventLoop {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let text = client::fetch_metrics(addr).unwrap();
+            let parked =
+                telemetry::metrics::find_sample(&text, "redistd_io_backpressure_total", &[])
+                    .unwrap_or(0.0);
+            if parked > 0.0 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "backpressure never engaged while {FLOOD} requests sat pending"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    // A finally reads: all responses arrive, in order, none dropped.
+    for id in 0..FLOOD {
+        let frame = wire::read_frame(&mut slow).unwrap();
+        match wire::decode_response(&frame).unwrap() {
+            PlanResponse::Ok { request_id, .. } => assert_eq!(request_id, id),
+            other => panic!("slow reader response {id}: {other:?}"),
+        }
+    }
+    drop(slow);
+    handle.shutdown();
+}
+
+/// (e) a request dribbled in one byte at a time decodes and plans exactly
+/// like one delivered whole — the resumable decoder under a real socket.
+#[test]
+fn request_split_into_single_bytes_is_served() {
+    let handle = server::start(ServerConfig::default()).unwrap();
+    let n = 6;
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let traffic = &make_matrices(1, n)[0];
+    let (expected_bytes, _) = cold_plan_bytes(traffic, &platform, Algo::Oggp);
+
+    let req = client::request(11, Algo::Oggp, traffic, &platform, BETA);
+    let encoded = wire::encode_request(&req);
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    for byte in &encoded {
+        wire::write_all(&mut stream, std::slice::from_ref(byte)).unwrap();
+        // A breather every few bytes keeps loopback from coalescing the
+        // whole message into one segment (correct either way).
+        if byte % 16 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let frame = wire::read_frame(&mut stream).unwrap();
+    match wire::decode_response(&frame).unwrap() {
+        PlanResponse::Ok {
+            request_id,
+            schedule,
+            ..
+        } => {
+            assert_eq!(request_id, 11);
+            assert_eq!(wire::encode_schedule(&schedule), expected_bytes);
+        }
+        other => panic!("{other:?}"),
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.served, 1);
+}
+
+/// The STATS report carries the serving-core fields: which core is
+/// running, its I/O thread count, and a live open-connection gauge.
+#[test]
+fn stats_report_serving_core_fields() {
+    let handle = server::start(ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    let n = 6;
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let traffic = &make_matrices(1, n)[0];
+
+    // A completed request guarantees this connection is fully registered
+    // before the gauge is read.
+    let mut c = Client::connect(addr).unwrap();
+    let resp = c.plan(&client::request(0, Algo::Oggp, traffic, &platform, BETA));
+    assert!(matches!(resp, Ok(PlanResponse::Ok { .. })));
+
+    let report = client::fetch_stats(addr).unwrap();
+    let core = report
+        .lines()
+        .find_map(|l| l.strip_prefix("core: "))
+        .expect("STATS reports its serving core");
+    assert_eq!(core, server::ServingCore::default().label());
+    assert!(client::stats_field(&report, "io_threads").is_some());
+    // At least the idle client and the STATS connection itself are open.
+    let open = client::stats_field(&report, "connections_open").unwrap();
+    assert!(open >= 2, "connections_open {open}");
+
+    // The serving metrics exist in the exposition too.
+    let text = client::fetch_metrics(addr).unwrap();
+    let sample = |name: &str| {
+        telemetry::metrics::find_sample(&text, name, &[])
+            .unwrap_or_else(|| panic!("sample {name} missing"))
+    };
+    assert!(sample("redistd_accepts_total") >= 2.0);
+    assert!(sample("redistd_connections_open") >= 1.0);
+    drop(c);
+    handle.shutdown();
+}
+
 /// Malformed frames get an error response (with the request id when it can
 /// be recovered) instead of a dropped connection.
 #[test]
 fn malformed_frame_gets_error_response() {
     let handle = server::start(ServerConfig::default()).unwrap();
     let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
-    // Valid magic + version + kind + request id, then garbage.
-    let mut payload = Vec::new();
-    payload.extend_from_slice(&wire::MAGIC);
-    payload.extend_from_slice(&1u16.to_be_bytes());
-    payload.push(0);
-    payload.extend_from_slice(&77u64.to_be_bytes());
-    payload.extend_from_slice(&[0xAB; 7]);
-    let mut framed = (payload.len() as u32).to_be_bytes().to_vec();
-    framed.extend_from_slice(&payload);
-    wire::write_all(&mut stream, &framed).unwrap();
+    wire::write_all(&mut stream, &malformed_payload(77)).unwrap();
     let frame = wire::read_frame(&mut stream).unwrap();
     match wire::decode_response(&frame).unwrap() {
         PlanResponse::Error { request_id, .. } => assert_eq!(request_id, 77),

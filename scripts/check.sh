@@ -33,15 +33,25 @@ cargo test --workspace -q
 banner "work-counter regression (fixed-seed campaign vs BENCH_counters.json)"
 cargo run --release -p bench --bin counters_baseline -- --check
 
-banner "serving-layer load test (redistload -> BENCH_serve.json)"
-cargo run --release -p redistd --bin redistload -- \
-  --requests 128 --connections 16 --distinct 8 --n 10 --out BENCH_serve.json
+banner "cache reclamation stress (readers racing writers through eviction)"
+cargo test --release -p redistd stress_reclamation_extended -- --ignored
 
-banner "observability scrape (redistd + redistctl: METRICS/FLIGHT gates)"
+banner "cache read-path under miri (skipped when the toolchain lacks it)"
+if cargo miri --version > /dev/null 2>&1; then
+  MIRIFLAGS="-Zmiri-disable-isolation" cargo miri test -p redistd --lib cache
+else
+  echo "cargo miri unavailable on this toolchain; relying on the stress step above"
+fi
+
+banner "serving-scale campaign (redistload --campaign -> BENCH_serve.json)"
+cargo run --release -p redistd --bin redistload -- \
+  --campaign 64,256,1024 --requests 512 --distinct 8 --n 10 --out BENCH_serve.json
+
+banner "serve-scale smoke (daemon at 256 connections + METRICS/FLIGHT gates)"
 PORT_FILE="$(mktemp)"
 FLIGHT_DUMP="$(mktemp)"
 rm -f "$PORT_FILE"
-./target/release/redistd --addr 127.0.0.1:0 --workers 2 \
+./target/release/redistd --addr 127.0.0.1:0 --workers 2 --queue-depth 1024 \
   --port-file "$PORT_FILE" --flight-dump "$FLIGHT_DUMP" &
 REDISTD_PID=$!
 for _ in $(seq 1 100); do
@@ -50,12 +60,20 @@ for _ in $(seq 1 100); do
 done
 [ -s "$PORT_FILE" ] || { echo "redistd never wrote its port file" >&2; exit 1; }
 ADDR="$(cat "$PORT_FILE")"
+# Closed-loop burst at 256 connections: exits non-zero on any response
+# that is not byte-identical to a cold plan.
 ./target/release/redistload --addr "$ADDR" \
-  --requests 64 --connections 8 --distinct 4 --n 10 --out /dev/null
-# The exposition must be well-formed and the flight recorder must have a
-# record for every request the load generator sent.
+  --requests 512 --connections 256 --distinct 4 --n 10 --out /dev/null
+# Open-loop mode against the same daemon (latency from scheduled send).
+./target/release/redistload --addr "$ADDR" \
+  --requests 100 --connections 8 --rate 400 --distinct 4 --n 10 --out /dev/null
+# The daemon must be running the event core, the exposition must be
+# well-formed, and the flight recorder must have a record for every
+# request the load generator sent.
+CORE="$(./target/release/redistctl stats --addr "$ADDR" --field core)"
+[ "$CORE" = "event" ] || { echo "expected event core, daemon reports '$CORE'" >&2; exit 1; }
 ./target/release/redistctl metrics --addr "$ADDR" --validate > /dev/null
-./target/release/redistctl flight --addr "$ADDR" --expect-requests 64 > /dev/null
+./target/release/redistctl flight --addr "$ADDR" --expect-requests 612 > /dev/null
 kill -TERM "$REDISTD_PID"
 wait "$REDISTD_PID"
 [ -s "$FLIGHT_DUMP" ] || { echo "redistd wrote no flight dump on drain" >&2; exit 1; }
