@@ -416,6 +416,37 @@ impl Graph {
         g
     }
 
+    /// Finds the first (lowest-id) live edge between left node `left` and
+    /// right node `right`, if any. O(degree of `left`).
+    ///
+    /// Parallel edges are allowed, so "first" matters: this is the edge a
+    /// dense-matrix view of the graph would attribute the cell to, which is
+    /// what in-place delta editing needs.
+    pub fn find_edge(&self, left: usize, right: usize) -> Option<EdgeId> {
+        self.edges_of_left(left)
+            .find(|&e| self.right_of(e) == right)
+    }
+
+    /// Sets the weight of the `(left, right)` cell in the dense-matrix view
+    /// of the graph: overwrites the first live parallel edge if one exists,
+    /// otherwise appends a fresh edge. Returns the id of the edge written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `weight == 0` (use
+    /// [`remove_edge`](Graph::remove_edge) via [`find_edge`](Graph::find_edge)
+    /// to clear a cell).
+    pub fn upsert_edge(&mut self, left: usize, right: usize, weight: Weight) -> EdgeId {
+        assert!(weight > 0, "edges must have positive weight");
+        match self.find_edge(left, right) {
+            Some(e) => {
+                self.set_weight(e, weight);
+                e
+            }
+            None => self.add_edge(left, right, weight),
+        }
+    }
+
     /// Returns a compacted copy of the graph containing only live edges,
     /// together with the mapping from new edge ids to the original ids.
     pub fn compact(&self) -> (Graph, Vec<EdgeId>) {
@@ -596,6 +627,44 @@ mod tests {
         assert_eq!(g.left_of(e), 1);
         assert_eq!(g.right_of(e), 0);
         assert_eq!(g.weight(e), 0);
+    }
+
+    #[test]
+    fn find_edge_skips_dead_and_prefers_lowest_id() {
+        let mut g = Graph::new(2, 2);
+        let e0 = g.add_edge(0, 1, 2);
+        let e1 = g.add_edge(0, 1, 5); // parallel
+        assert_eq!(g.find_edge(0, 1), Some(e0));
+        assert_eq!(g.find_edge(0, 0), None);
+        assert_eq!(g.find_edge(1, 1), None);
+        g.remove_edge(e0);
+        assert_eq!(g.find_edge(0, 1), Some(e1));
+        g.remove_edge(e1);
+        assert_eq!(g.find_edge(0, 1), None);
+    }
+
+    #[test]
+    fn upsert_edge_overwrites_or_appends() {
+        let mut g = Graph::new(2, 2);
+        let e0 = g.upsert_edge(0, 1, 3);
+        assert_eq!(g.weight(e0), 3);
+        // Existing cell: same id, new weight, no new edge.
+        let e_again = g.upsert_edge(0, 1, 7);
+        assert_eq!(e_again, e0);
+        assert_eq!(g.weight(e0), 7);
+        assert_eq!(g.edge_count(), 1);
+        // Cleared cell: upsert mints a fresh id.
+        g.remove_edge(e0);
+        let e1 = g.upsert_edge(0, 1, 4);
+        assert_ne!(e1, e0);
+        assert_eq!(g.weight(e1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn upsert_edge_rejects_zero_weight() {
+        let mut g = Graph::new(1, 1);
+        g.upsert_edge(0, 0, 0);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Hopcroft–Karp maximum-cardinality bipartite matching in `O(m·sqrt(n))`.
 //!
-//! This is the "perfect matching [found] using the Hungarian Method"
+//! This is the "perfect matching \[found\] using the Hungarian Method"
 //! primitive of the paper's WRGP algorithm (the paper cites Micali–Vazirani
-//! [22]; on bipartite graphs Hopcroft–Karp attains the same bound). The
+//! \[22\]; on bipartite graphs Hopcroft–Karp attains the same bound). The
 //! `_where` variant restricts the graph to edges satisfying a predicate,
 //! which the bottleneck matching of OGGP uses for threshold searches.
 //!

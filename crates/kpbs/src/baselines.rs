@@ -8,7 +8,7 @@
 //! * [`sequential`] — one message per step, no preemption (what `k = 1`
 //!   forces; also the trivially correct strawman),
 //! * [`nonpreemptive_list`] — list scheduling of whole messages, heaviest
-//!   first, at most `k` per step (the classic SS/TDMA-style heuristic [18]),
+//!   first, at most `k` per step (the classic SS/TDMA-style heuristic \[18\]),
 //! * [`preemptive_greedy`] — GGP's peeling applied directly to the raw graph
 //!   without the weight-regular embedding: greedy maximal matchings capped
 //!   at `k` edges, quantum = minimum weight. An ablation of how much the

@@ -15,7 +15,7 @@
 //!    (the COSTA pre-pass, at block granularity).
 //! 2. **Coarse plan**: build the `b × b` block-level instance (one edge per
 //!    active block pair, weight = the pair's total traffic, scaled into a
-//!    small range) and schedule it with [`oggp`](crate::oggp::oggp). Each
+//!    small range) and schedule it with [`oggp()`](crate::oggp::oggp). Each
 //!    coarse step is a matching of blocks; the step at which a block pair
 //!    *first* appears assigns it to a macro-step of mutually node-disjoint
 //!    pairs.

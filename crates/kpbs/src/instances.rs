@@ -1,6 +1,6 @@
 //! A corpus of named stress instances for regression and worst-case
 //! analysis. The paper notes that "a set of suboptimal examples reaching
-//! the approximation ratio of 2 may be found in [19]" (the INRIA tech
+//! the approximation ratio of 2 may be found in \[19\]" (the INRIA tech
 //! report); this module reconstructs adversarial *families* in that spirit,
 //! plus structured workloads a redistribution scheduler meets in practice.
 

@@ -9,15 +9,15 @@
 //!
 //! The two headline algorithms are:
 //!
-//! * [`ggp`] — the Generic Graph Peeling 2-approximation (Section 4.2),
-//! * [`oggp`] — the Optimised GGP (Section 4.3), identical peeling but each
+//! * [`mod@ggp`] — the Generic Graph Peeling 2-approximation (Section 4.2),
+//! * [`mod@oggp`] — the Optimised GGP (Section 4.3), identical peeling but each
 //!   step's matching maximises its minimum edge weight.
 //!
 //! Supporting pieces: [`wrgp`] (the weight-regular peeling kernel, Fig. 3),
 //! [`regularize`] (Section 4.2.2 graph augmentation), [`normalize`]
-//! (β-normalisation), [`lower_bound`] (the Cohen–Jeannot–Padoy bound used as
+//! (β-normalisation), [`mod@lower_bound`] (the Cohen–Jeannot–Padoy bound used as
 //! the denominator of the paper's *evaluation ratio*), [`exact`] (an optimal
-//! branch-and-bound solver for tiny instances), [`baselines`], [`hier`] (the
+//! branch-and-bound solver for tiny instances), [`baselines`], [`mod@hier`] (the
 //! hierarchical block-decomposed planner for large sparse instances), and
 //! the future-work extensions [`adaptive`] (time-varying `k`) and [`relax`]
 //! (barrier weakening).
@@ -48,6 +48,7 @@ pub mod adaptive;
 pub mod baselines;
 pub mod batch;
 pub mod coloring;
+pub mod delta;
 pub mod exact;
 pub mod fingerprint;
 pub mod ggp;
@@ -71,7 +72,8 @@ pub mod wdm;
 pub mod wrgp;
 
 pub use batch::{plan_many, plan_many_with, BatchReport};
-pub use fingerprint::{cache_key, fingerprint};
+pub use delta::{DeltaPlanner, MatrixDelta, RepairLevel, ReplanOutcome};
+pub use fingerprint::{cache_key, fingerprint, session_cache_key};
 pub use ggp::ggp;
 pub use hier::{hier, hier_report, HierConfig, HierReport};
 pub use lower_bound::lower_bound;

@@ -43,6 +43,19 @@ impl TickScale {
     }
 }
 
+/// The duration, in ticks, of a single message of `bytes` bytes on
+/// `platform` under `scale` — the exact per-cell conversion
+/// [`TrafficMatrix::to_instance`] applies, exposed on its own so a live
+/// delta-planning server can patch instance weights consistently with the
+/// cold construction (zero bytes → zero ticks, i.e. "no edge").
+pub fn message_ticks(platform: &Platform, scale: TickScale, bytes: u64) -> Weight {
+    if bytes == 0 {
+        return 0;
+    }
+    let speed_bytes_per_s = platform.transfer_speed() * 1e6 / 8.0;
+    scale.to_ticks(bytes as f64 / speed_bytes_per_s)
+}
+
 /// A dense traffic matrix in bytes, row-major (`n1` senders × `n2`
 /// receivers).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -136,15 +149,13 @@ impl TrafficMatrix {
     ) -> (Instance, Vec<(usize, usize)>) {
         assert_eq!(self.n1, platform.n1, "sender count mismatch");
         assert_eq!(self.n2, platform.n2, "receiver count mismatch");
-        let speed_bytes_per_s = platform.transfer_speed() * 1e6 / 8.0;
         let mut g = Graph::new(self.n1, self.n2);
         let mut endpoints = Vec::with_capacity(self.message_count());
         for i in 0..self.n1 {
             for j in 0..self.n2 {
                 let b = self.get(i, j);
                 if b > 0 {
-                    let seconds = b as f64 / speed_bytes_per_s;
-                    g.add_edge(i, j, scale.to_ticks(seconds));
+                    g.add_edge(i, j, message_ticks(platform, scale, b));
                     endpoints.push((i, j));
                 }
             }
@@ -214,6 +225,23 @@ mod tests {
         assert_eq!(inst.beta, 50);
         assert_eq!(inst.k, 1);
         assert_eq!(endpoints, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn message_ticks_agrees_with_to_instance() {
+        let p = Platform::new(2, 2, 100.0, 100.0, 200.0);
+        let mut m = TrafficMatrix::zeros(2, 2);
+        m.set(0, 1, 1_000_000);
+        m.set(1, 0, 25_000_000);
+        let (inst, endpoints) = m.to_instance(&p, 0.0, TickScale::MILLIS);
+        for (e, &(i, j)) in endpoints.iter().enumerate() {
+            assert_eq!(
+                inst.graph.weight(bipartite::EdgeId(e as u32)),
+                message_ticks(&p, TickScale::MILLIS, m.get(i, j)),
+                "cell ({i}, {j})"
+            );
+        }
+        assert_eq!(message_ticks(&p, TickScale::MILLIS, 0), 0);
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! `β + W(M_i)` (the setup hides behind the transmission unless the step is
 //! shorter than the setup itself), so the objective is
 //! `Σ_i max(β, W(M_i))` plus one unhidden leading setup. Choi, Choi &
-//! Azizoglu [5] prove plain list scheduling 2-approximate in this model.
+//! Azizoglu \[5\] prove plain list scheduling 2-approximate in this model.
 //!
 //! This module evaluates any [`Schedule`] under the overlapped objective and
-//! provides the list-scheduling heuristic of [5] for comparison; the
+//! provides the list-scheduling heuristic of \[5\] for comparison; the
 //! `kpbs` peeling algorithms can be dropped into the WDM setting unchanged,
 //! which is exactly the generality the paper's conclusion claims.
 
@@ -43,7 +43,7 @@ pub fn overlapped_lower_bound(inst: &Instance) -> Weight {
     inst.beta + transmission.max(inst.beta * steps)
 }
 
-/// The list-scheduling heuristic of [5] adapted to our representation:
+/// The list-scheduling heuristic of \[5\] adapted to our representation:
 /// repeatedly take a heaviest-first maximal matching capped at `k` edges
 /// and transmit every selected message *entirely* (no preemption — in the
 /// WDM setting retuning mid-message is pointless since setups overlap).

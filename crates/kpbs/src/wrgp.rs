@@ -1,7 +1,7 @@
 //! WRGP — Weight-Regular Graph Peeling (Section 4.1, Figure 3).
 //!
 //! Input: a weight-regular bipartite graph with `|V1| = |V2|`. Such a graph
-//! always contains a perfect matching [8]; WRGP repeatedly extracts one,
+//! always contains a perfect matching \[8\]; WRGP repeatedly extracts one,
 //! transmits the matching's *minimum* weight `w` on every matched edge
 //! (preemption cuts the larger edges), and subtracts. Every peel removes at
 //! least one edge (the minimum one), so there are at most `m` iterations,

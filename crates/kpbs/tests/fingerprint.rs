@@ -3,8 +3,9 @@
 //! collision-freedom between canonically distinct instances.
 
 use bipartite::Graph;
-use kpbs::{cache_key, fingerprint, Instance};
+use kpbs::{cache_key, fingerprint, session_cache_key, DeltaPlanner, Instance, MatrixDelta};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 /// An instance plus the raw tuple it was built from, so tests can rebuild
 /// or perturb it field by field.
@@ -94,5 +95,46 @@ proptest! {
         prop_assert_ne!(cache_key(&base, tag), cache_key(&bumped_beta.build(), tag));
         // Different algorithm tags never collide for the same instance.
         prop_assert_ne!(cache_key(&base, tag), cache_key(&base, tag + 1));
+    }
+
+    #[test]
+    fn applied_deltas_move_the_session_cache_key(
+        raw in raw_strategy(),
+        sender in 0usize..8,
+        receiver in 0usize..8,
+        bump in 1u64..=40,
+        tag in 0u64..=8,
+    ) {
+        // A live session's matrix edit must be visible to the cache: the
+        // instance fingerprint moves (the cell's weight, or the edge
+        // count, changed) and with it the generation-qualified session
+        // key — so a committed patched plan can never be served for the
+        // pre-delta matrix.
+        let (sender, receiver) = (sender % raw.n1, receiver % raw.n2);
+        // The planner refuses parallel edges, so rebuild deduplicated.
+        let cells: BTreeMap<(usize, usize), u64> =
+            raw.edges.iter().map(|&(l, r, w)| ((l, r), w)).collect();
+        let mut g = Graph::new(raw.n1, raw.n2);
+        for (&(l, r), &w) in &cells {
+            g.add_edge(l, r, w);
+        }
+        let mut planner = DeltaPlanner::new(Instance::new(g, raw.k, raw.beta));
+        let before = planner.instance().clone();
+        let key_before = session_cache_key(&before, tag, planner.generation());
+
+        let old = planner.cell(sender, receiver);
+        planner.replan(&[MatrixDelta::Set { sender, receiver, ticks: old + bump }]);
+
+        prop_assert_ne!(fingerprint(&before), fingerprint(planner.instance()));
+        prop_assert_ne!(
+            key_before,
+            session_cache_key(planner.instance(), tag, planner.generation())
+        );
+        // Generation alone also separates: even an identical matrix at a
+        // later generation keys differently.
+        prop_assert_ne!(
+            session_cache_key(&before, tag, 0),
+            session_cache_key(&before, tag, 1)
+        );
     }
 }

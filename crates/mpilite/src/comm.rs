@@ -3,7 +3,7 @@
 //! A [`World`] spawns one OS thread per rank: `senders` ranks in cluster
 //! `C1` and `receivers` ranks in cluster `C2`. [`Comm::send`] is
 //! *synchronous* (rendezvous, like `MPI_Ssend`): the payload is first shaped
-//! through the [`Fabric`](crate::fabric::Fabric) token buckets and the call
+//! through the [`Fabric`] token buckets and the call
 //! returns only when the receiver has accepted the message.
 
 use crate::barrier::Barrier;

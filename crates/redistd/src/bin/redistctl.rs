@@ -8,8 +8,8 @@
 //! Fetches one of the plaintext admin reports and prints it to stdout.
 //! `--validate` (metrics) additionally checks Prometheus exposition
 //! well-formedness; `--expect-requests N` (flight) asserts the recorder
-//! has seen at least N requests; `--field KEY` (stats) prints just that
-//! field's value. All exit non-zero on failure, which is how
+//! has seen at least N requests; `--field KEY` (stats and metrics) prints
+//! just that field's value. All exit non-zero on failure, which is how
 //! `scripts/check.sh` turns a scrape into a CI gate.
 
 use redistd::client;
@@ -39,9 +39,32 @@ fn usage() -> ! {
          flight              fetch the flight-recorder dump (FLIGHT)\n\
          --validate          (metrics) check exposition well-formedness\n\
          --expect-requests N (flight) require >= N recorded requests\n\
-         --field KEY         (stats) print only KEY's value; exit 1 if absent"
+         --field KEY         (stats, metrics) print only KEY's value;\n\
+         \x20                exit 1 if absent (or, for metrics, non-finite)"
     );
     std::process::exit(2);
+}
+
+/// The value of the first exposition sample whose metric name is exactly
+/// `name` (labels, if any, are ignored for the match) — the metrics twin
+/// of the stats selector, under the same first-occurrence-wins
+/// discipline: a malformed value on the first matching line yields `None`
+/// rather than silently falling through to a later sample. Non-finite
+/// values (`NaN`, `+Inf`), which a healthy server never emits, are
+/// rejected so scripts can't propagate them into comparisons.
+fn metrics_field(body: &str, name: &str) -> Option<String> {
+    let line = body.lines().find(|l| {
+        !l.starts_with('#') && l.split([' ', '{']).next().is_some_and(|head| head == name)
+    })?;
+    // A sample line is `name[{labels}] value` (labels may not contain
+    // spaces in our registry); the value is the token after the name part.
+    let rest = match line.split_once('}') {
+        Some((_, tail)) => tail,
+        None => line.split_once(' ')?.1,
+    };
+    let value = rest.split_whitespace().next()?;
+    let v: f64 = value.parse().ok()?;
+    v.is_finite().then(|| value.to_string())
 }
 
 fn main() {
@@ -85,6 +108,20 @@ fn main() {
             }
         }
     }
+    if command == "metrics" {
+        if let Some(name) = opt_str("field") {
+            match metrics_field(&body, &name) {
+                Some(v) => {
+                    println!("{v}");
+                    return;
+                }
+                None => {
+                    eprintln!("redistctl: exposition has no finite sample named {name:?}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
     print!("{body}");
 
     if command == "metrics" && flag("validate") {
@@ -119,5 +156,48 @@ fn main() {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::metrics_field;
+
+    const BODY: &str = "\
+# HELP redistd_requests_total Requests by final outcome.\n\
+# TYPE redistd_requests_total counter\n\
+redistd_requests_total{outcome=\"planned\"} 3\n\
+redistd_requests_total{outcome=\"cache_hit\"} 9\n\
+redistd_uptime_seconds 12.5\n\
+redistd_bad NaN\n\
+redistd_worse garbage\nredistd_worse 7\n";
+
+    #[test]
+    fn picks_first_matching_sample_labels_ignored() {
+        assert_eq!(
+            metrics_field(BODY, "redistd_requests_total").as_deref(),
+            Some("3")
+        );
+        assert_eq!(
+            metrics_field(BODY, "redistd_uptime_seconds").as_deref(),
+            Some("12.5")
+        );
+    }
+
+    #[test]
+    fn comments_and_missing_names_yield_none() {
+        assert_eq!(metrics_field(BODY, "redistd_missing"), None);
+        // The HELP/TYPE lines mention the name but are not samples.
+        assert_eq!(metrics_field("# TYPE x counter\n", "x"), None);
+        // A name must match exactly, not by prefix.
+        assert_eq!(metrics_field(BODY, "redistd_requests"), None);
+    }
+
+    #[test]
+    fn non_finite_and_malformed_first_occurrences_are_rejected() {
+        assert_eq!(metrics_field(BODY, "redistd_bad"), None);
+        // First occurrence wins even when a later duplicate would parse —
+        // same discipline as the stats selector.
+        assert_eq!(metrics_field(BODY, "redistd_worse"), None);
     }
 }

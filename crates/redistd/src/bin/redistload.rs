@@ -6,6 +6,8 @@
 //!            [--core event|threads] [--queue-depth N]
 //!            [--out BENCH_serve.json]
 //! redistload --campaign 64,256,1024 [--requests N] [--out BENCH_serve.json]
+//! redistload --sessions ROUNDS [--delta-cells K] [--rate DELTAS_PER_SEC]
+//!            [--n 12] [--out BENCH_session.json]
 //! ```
 //!
 //! Without `--addr` it hosts a server in-process on a free port (the CI
@@ -16,8 +18,8 @@
 //! * the schedule byte-compares equal (via `wire::encode_schedule`) to a
 //!   cold plan of the same instance computed locally — cache hits must be
 //!   indistinguishable from misses;
-//! * the schedule passes [`kpbs::validate`] and its cost is bounded below
-//!   by [`kpbs::lower_bound`];
+//! * the schedule passes [`mod@kpbs::validate`] and its cost is bounded below
+//!   by [`kpbs::lower_bound()`];
 //! * every `Ok` response carries a non-zero `server_id` (the server-minted
 //!   correlation id that joins the response to the server's flight record
 //!   and span timeline).
@@ -42,12 +44,23 @@
 //! After a single run it also scrapes the server's `METRICS` exposition,
 //! validates its well-formedness, and embeds the server-side view (queue
 //! wait, service time, outcome counts) next to the client-side one.
+//!
+//! `--sessions ROUNDS` runs the **streaming-admission campaign** instead:
+//! against each serving core it opens a live wire-v3 session and streams
+//! `ROUNDS` coflow-style delta batches (message arrivals and departures,
+//! `--delta-cells` edits per batch, paced by `--rate` deltas/s when
+//! given). A local mirror [`kpbs::DeltaPlanner`] is fed the same edits;
+//! every patched schedule the server returns must byte-compare equal to
+//! the mirror's, deliver exactly the post-delta matrix that a cold plan
+//! of the same instance delivers, and stay within the replan cost bound.
+//! Any mismatch exits non-zero.
 
 use kpbs::traffic::TickScale;
-use kpbs::{Platform, TrafficMatrix};
+use kpbs::{DeltaPlanner, Platform, TrafficMatrix};
 use redistd::client::{self, Client};
 use redistd::server::{self, ServerConfig, ServingCore};
-use redistd::wire::{self, Algo, PlanResponse};
+use redistd::wire::{self, Algo, PlanResponse, SessionLevel, WireDelta};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -515,6 +528,392 @@ fn run_campaign(
     }
 }
 
+/// Converts one wire delta exactly as the server's session layer does —
+/// [`kpbs::traffic::message_ticks`] is the single byte→tick conversion
+/// point, so the mirror and the server always agree on the resulting edit.
+fn native_delta(platform: &Platform, d: &WireDelta) -> kpbs::MatrixDelta {
+    match *d {
+        WireDelta::SetCell {
+            sender,
+            receiver,
+            bytes,
+        } => kpbs::MatrixDelta::Set {
+            sender: sender as usize,
+            receiver: receiver as usize,
+            ticks: kpbs::traffic::message_ticks(platform, TickScale::MILLIS, bytes),
+        },
+        WireDelta::GrowNodes { senders, receivers } => kpbs::MatrixDelta::GrowNodes {
+            senders: senders as usize,
+            receivers: receivers as usize,
+        },
+        WireDelta::DropSender(i) => kpbs::MatrixDelta::DropSender(i as usize),
+        WireDelta::DropReceiver(j) => kpbs::MatrixDelta::DropReceiver(j as usize),
+    }
+}
+
+/// Per-cell delivered ticks of `schedule`, resolved through `inst`'s graph
+/// (edge ids are meaningless without it).
+fn delivered_cells(
+    inst: &kpbs::Instance,
+    schedule: &kpbs::Schedule,
+) -> BTreeMap<(usize, usize), u64> {
+    let mut cells = BTreeMap::new();
+    for step in &schedule.steps {
+        for tr in &step.transfers {
+            let key = (inst.graph.left_of(tr.edge), inst.graph.right_of(tr.edge));
+            *cells.entry(key).or_insert(0) += tr.amount;
+        }
+    }
+    cells
+}
+
+/// A cold (stateless) plan of the mirror's current post-delta matrix,
+/// built canonically — row-major cells, fresh OGGP — exactly like a plan
+/// request for the same matrix would be.
+fn cold_reference(mirror: &DeltaPlanner) -> (kpbs::Instance, kpbs::Schedule) {
+    let target = mirror.target_matrix();
+    let inst = mirror.instance();
+    let (n1, n2) = (inst.graph.left_count(), inst.graph.right_count());
+    let mut g = bipartite::Graph::new(n1, n2);
+    for i in 0..n1 {
+        for j in 0..n2 {
+            let w = target.get(i, j);
+            if w > 0 {
+                g.add_edge(i, j, w);
+            }
+        }
+    }
+    let cold_inst = kpbs::Instance::new(g, inst.k, inst.beta);
+    let cold = kpbs::oggp(&cold_inst);
+    (cold_inst, cold)
+}
+
+/// One serving core's leg of the streaming-admission campaign.
+struct SessionPoint {
+    core: &'static str,
+    rounds: u64,
+    elapsed: Duration,
+    latency_us: Histogram,
+    repairs: u64,
+    repeels: u64,
+    colds: u64,
+    commits: u64,
+    byte_failures: u64,
+    delivery_failures: u64,
+}
+
+impl SessionPoint {
+    fn failures(&self) -> u64 {
+        self.byte_failures + self.delivery_failures
+    }
+
+    fn json(&self, indent: &str) -> String {
+        format!(
+            "{{\n{indent}  \"core\": \"{}\",\n{indent}  \"rounds\": {},\n\
+             {indent}  \"elapsed_s\": {:.4},\n{indent}  \"deltas_per_s\": {:.2},\n\
+             {indent}  \"latency_us_p50\": {},\n{indent}  \"latency_us_p99\": {},\n\
+             {indent}  \"repairs\": {},\n{indent}  \"repeels\": {},\n\
+             {indent}  \"colds\": {},\n{indent}  \"commits\": {},\n\
+             {indent}  \"byte_failures\": {},\n{indent}  \"delivery_failures\": {}\n\
+             {indent}}}",
+            self.core,
+            self.rounds,
+            self.elapsed.as_secs_f64(),
+            self.rounds as f64 / self.elapsed.as_secs_f64().max(1e-9),
+            self.latency_us.quantile(0.5),
+            self.latency_us.quantile(0.99),
+            self.repairs,
+            self.repeels,
+            self.colds,
+            self.commits,
+            self.byte_failures,
+            self.delivery_failures,
+        )
+    }
+}
+
+/// Streams one live session against `core`: OPEN, then `rounds` coflow
+/// delta batches (arrivals and departures), a COMMIT every eighth round,
+/// CLOSE at the end. Every response is triple-checked: byte-equal to the
+/// local mirror planner, delivering exactly what a cold plan of the same
+/// post-delta matrix delivers, and inside the replan cost bound. With
+/// `rate > 0` each batch gets an open-loop send deadline (`base + k/rate`)
+/// and latency is measured from that deadline — the same
+/// coordinated-omission correction as the plan-request path.
+fn run_session_point(
+    core: ServingCore,
+    rounds: u64,
+    delta_cells: u64,
+    rate: f64,
+    n: usize,
+    platform: &Platform,
+) -> SessionPoint {
+    let handle = host_for_point(core, 1);
+    let addr = handle.addr();
+    let mut point = SessionPoint {
+        core: core.label(),
+        rounds,
+        elapsed: Duration::ZERO,
+        latency_us: Histogram::new(),
+        repairs: 0,
+        repeels: 0,
+        colds: 0,
+        commits: 0,
+        byte_failures: 0,
+        delivery_failures: 0,
+    };
+    let fail = |point: &mut SessionPoint, round: u64, what: &str| {
+        eprintln!("redistload: [{}] round {round}: {what}", core.label());
+        point.byte_failures += 1;
+    };
+
+    // The same deterministic campaign on every core, so the legs are
+    // directly comparable.
+    let mut rng = Rng::new(0x5E55_1034_0000_0001);
+    let mut traffic = TrafficMatrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            if rng.below(10) < 4 {
+                traffic.set(r, c, (1 + rng.below(64)) * 1_000_000);
+            }
+        }
+    }
+    if traffic.total_bytes() == 0 {
+        traffic.set(0, 0, 8_000_000);
+    }
+    let (inst, _) = traffic.to_instance(platform, BETA_SECONDS, TickScale::MILLIS);
+    let mut mirror = DeltaPlanner::new(inst);
+
+    let mut c = match Client::connect_with_retry(addr, CONNECT_ATTEMPTS) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("redistload: session connect failed: {e}");
+            point.byte_failures += 1;
+            handle.shutdown();
+            return point;
+        }
+    };
+    let session_id = match c.session(&client::session_open(1, &traffic, platform, BETA_SECONDS)) {
+        Ok(PlanResponse::Session {
+            session_id,
+            generation,
+            level,
+            schedule,
+            ..
+        }) => {
+            if generation != 0
+                || level != SessionLevel::Opened
+                || wire::encode_schedule(&schedule) != wire::encode_schedule(mirror.schedule())
+            {
+                fail(&mut point, 0, "OPEN response disagrees with the mirror");
+            }
+            session_id
+        }
+        other => {
+            eprintln!("redistload: session OPEN failed: {other:?}");
+            point.byte_failures += 1;
+            handle.shutdown();
+            return point;
+        }
+    };
+
+    let interval = if rate > 0.0 {
+        Duration::from_secs_f64(1.0 / rate)
+    } else {
+        Duration::ZERO
+    };
+    let base = Instant::now();
+    for round in 0..rounds {
+        let deadline = base + interval * (round as u32);
+        let now = Instant::now();
+        if deadline > now {
+            std::thread::sleep(deadline - now);
+        }
+        // A coflow tick: `delta_cells` edits, ~40% departures (cell
+        // cleared), the rest arrivals or reshapes of 1..96 MB.
+        let batch: Vec<WireDelta> = (0..delta_cells)
+            .map(|_| WireDelta::SetCell {
+                sender: rng.below(n as u64) as u32,
+                receiver: rng.below(n as u64) as u32,
+                bytes: if rng.below(10) < 4 {
+                    0
+                } else {
+                    (1 + rng.below(96)) * 1_000_000
+                },
+            })
+            .collect();
+        let local: Vec<kpbs::MatrixDelta> =
+            batch.iter().map(|d| native_delta(platform, d)).collect();
+        let want = mirror.replan(&local);
+
+        let sent = if rate > 0.0 { deadline } else { Instant::now() };
+        let resp = match c.session(&client::session_delta(100 + round, session_id, batch)) {
+            Ok(r) => r,
+            Err(e) => {
+                fail(&mut point, round, &format!("transport error: {e}"));
+                break;
+            }
+        };
+        point
+            .latency_us
+            .record(sent.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        match resp {
+            PlanResponse::Session {
+                session_id: sid,
+                generation,
+                level,
+                schedule,
+                cost,
+                lower_bound,
+                ..
+            } => {
+                let bytes = wire::encode_schedule(&schedule);
+                if sid != session_id
+                    || generation != want.generation
+                    || level.label() != want.level.label()
+                    || cost != want.cost
+                    || lower_bound != want.lower_bound
+                    || bytes != wire::encode_schedule(mirror.schedule())
+                {
+                    fail(
+                        &mut point,
+                        round,
+                        &format!(
+                            "patched schedule disagrees with the mirror \
+                             (level {}, cost {cost} vs {}, gen {generation} vs {})",
+                            level.label(),
+                            want.cost,
+                            want.generation
+                        ),
+                    );
+                }
+                match level {
+                    SessionLevel::Repair => point.repairs += 1,
+                    SessionLevel::RePeel => point.repeels += 1,
+                    SessionLevel::Cold => point.colds += 1,
+                    _ => fail(&mut point, round, "DELTA answered a non-delta level"),
+                }
+
+                // Independent cold cross-check: a stateless plan of the
+                // same post-delta matrix must deliver the same cells, the
+                // patched cost must stay inside the replan bound, and a
+                // cold-fallback response must byte-equal the cold plan.
+                let (cold_inst, cold) = cold_reference(&mirror);
+                let served = delivered_cells(mirror.instance(), &schedule);
+                if served != delivered_cells(&cold_inst, &cold) {
+                    eprintln!(
+                        "redistload: [{}] round {round}: patched schedule does not \
+                         deliver the post-delta matrix",
+                        core.label()
+                    );
+                    point.delivery_failures += 1;
+                }
+                let bound =
+                    (kpbs::delta::REPLAN_COST_FACTOR * want.lower_bound.max(1)).max(cold.cost());
+                if cost > bound {
+                    eprintln!(
+                        "redistload: [{}] round {round}: cost {cost} above replan \
+                         bound {bound}",
+                        core.label()
+                    );
+                    point.delivery_failures += 1;
+                }
+                if level == SessionLevel::Cold && bytes != wire::encode_schedule(&cold) {
+                    eprintln!(
+                        "redistload: [{}] round {round}: cold fallback is not \
+                         byte-identical to a stateless cold plan",
+                        core.label()
+                    );
+                    point.delivery_failures += 1;
+                }
+            }
+            other => fail(
+                &mut point,
+                round,
+                &format!("unexpected response: {other:?}"),
+            ),
+        }
+
+        if (round + 1).is_multiple_of(8) {
+            match c.session(&client::session_commit(10_000 + round, session_id)) {
+                Ok(PlanResponse::Session {
+                    level, generation, ..
+                }) if level == SessionLevel::Committed && generation == mirror.generation() => {
+                    point.commits += 1;
+                }
+                other => fail(&mut point, round, &format!("COMMIT failed: {other:?}")),
+            }
+        }
+    }
+    point.elapsed = base.elapsed();
+
+    match c.session(&client::session_close(u64::MAX, session_id)) {
+        Ok(PlanResponse::Session {
+            level: SessionLevel::Closed,
+            ..
+        }) => {}
+        other => fail(&mut point, rounds, &format!("CLOSE failed: {other:?}")),
+    }
+    let stats = handle.shutdown();
+    if stats.session_repairs + stats.session_repeels + stats.session_colds
+        != point.repairs + point.repeels + point.colds
+        || stats.sessions_open != 0
+    {
+        fail(
+            &mut point,
+            rounds,
+            "server session counters disagree with the client's ledger",
+        );
+    }
+    point
+}
+
+/// The streaming-admission campaign: the identical delta stream against a
+/// live session on each serving core, written as `serve_session_v1` JSON.
+fn run_session_campaign(
+    rounds: u64,
+    delta_cells: u64,
+    rate: f64,
+    n: usize,
+    platform: &Platform,
+    out_path: &str,
+) {
+    let mut points = Vec::new();
+    for core in [ServingCore::Threads, ServingCore::EventLoop] {
+        eprintln!(
+            "redistload: session campaign core={} rounds={rounds} \
+             delta_cells={delta_cells}",
+            core.label()
+        );
+        let point = run_session_point(core, rounds, delta_cells, rate, n, platform);
+        eprintln!(
+            "redistload:   {} repairs, {} repeels, {} colds, p50 {} us, \
+             {} failures",
+            point.repairs,
+            point.repeels,
+            point.colds,
+            point.latency_us.quantile(0.5),
+            point.failures(),
+        );
+        points.push(point);
+    }
+    let failures: u64 = points.iter().map(|p| p.failures()).sum();
+    let point_json: Vec<String> = points.iter().map(|p| p.json("    ")).collect();
+    let json = format!(
+        "{{\n  \"campaign\": \"serve_session_v1\",\n  \"matrix_n\": {n},\n  \
+         \"rounds\": {rounds},\n  \"delta_cells\": {delta_cells},\n  \
+         \"rate_dps\": {rate:.1},\n  \"points\": [\n    {}\n  ],\n  \
+         \"failures\": {failures}\n}}\n",
+        point_json.join(",\n    "),
+    );
+    std::fs::write(out_path, &json).expect("write session campaign JSON");
+    println!("redistload: serve_session_v1 campaign -> {out_path}");
+    if failures > 0 {
+        eprintln!("redistload: {failures} session verification failures");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let requests_arg: u64 = nonzero(
         arg("requests", 256),
@@ -527,6 +926,25 @@ fn main() {
         "at least one matrix is needed",
     ) as usize;
     let n: usize = nonzero(arg("n", 12), "n", "matrices need at least one node") as usize;
+
+    if arg_str("sessions").is_some() {
+        let rounds = nonzero(arg("sessions", 0), "sessions", "a session needs deltas");
+        let delta_cells = nonzero(
+            arg("delta-cells", 2),
+            "delta-cells",
+            "an empty batch edits nothing",
+        );
+        let rate: f64 = arg("rate", 0.0);
+        if rate < 0.0 || !rate.is_finite() {
+            eprintln!("redistload: --rate must be a finite non-negative deltas/s");
+            std::process::exit(2);
+        }
+        let out_path: String = arg("out", "BENCH_session.json".to_string());
+        let platform = Platform::new(n, n, 100.0, 100.0, 400.0);
+        run_session_campaign(rounds, delta_cells, rate, n, &platform, &out_path);
+        return;
+    }
+
     let out_path: String = arg("out", "BENCH_serve.json".to_string());
 
     let platform = Platform::new(n, n, 100.0, 100.0, 400.0);

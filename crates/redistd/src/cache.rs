@@ -1,6 +1,6 @@
 //! A sharded plan cache with a **lock-free read path**.
 //!
-//! Keys are the 128-bit canonical fingerprints of [`kpbs::fingerprint`]
+//! Keys are the 128-bit canonical fingerprints of [`mod@kpbs::fingerprint`]
 //! (algorithm tag mixed in via [`kpbs::cache_key`]), values are immutable
 //! `Arc`s shared with whoever is answering the request. Because the
 //! planners are deterministic functions of the canonical instance, a hit

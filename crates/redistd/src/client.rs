@@ -1,7 +1,10 @@
 //! A small blocking client for the wire protocol — used by `redistload`,
 //! the loopback tests, and anyone embedding a redistribution client.
 
-use crate::wire::{self, Algo, CsrMatrix, PlanRequest, PlanResponse, WirePlatform};
+use crate::wire::{
+    self, Algo, CsrMatrix, PlanRequest, PlanResponse, SessionOp, SessionRequest, WireDelta,
+    WirePlatform,
+};
 use kpbs::{Platform, TrafficMatrix};
 use std::io::{self, Read};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -49,6 +52,18 @@ impl Client {
     /// Sends one planning request and blocks for its response.
     pub fn plan(&mut self, req: &PlanRequest) -> io::Result<PlanResponse> {
         wire::write_all(&mut self.stream, &wire::encode_request(req))?;
+        self.read_response()
+    }
+
+    /// Sends one session op (v3 `OPEN`/`DELTA`/`COMMIT`/`CLOSE`) and
+    /// blocks for its response. Build ops with [`session_open`],
+    /// [`session_delta`], [`session_commit`], [`session_close`].
+    pub fn session(&mut self, req: &SessionRequest) -> io::Result<PlanResponse> {
+        wire::write_all(&mut self.stream, &wire::encode_session_request(req))?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<PlanResponse> {
         let payload = wire::read_frame(&mut self.stream)?;
         wire::decode_response(&payload)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
@@ -77,6 +92,60 @@ pub fn request(
             beta_seconds,
         },
         matrix: CsrMatrix::from_traffic(traffic),
+    }
+}
+
+/// Builds the `OPEN` op for a streaming-admission session (sessions are
+/// OGGP-only — incremental repair reuses its warm matching engine).
+pub fn session_open(
+    request_id: u64,
+    traffic: &TrafficMatrix,
+    platform: &Platform,
+    beta_seconds: f64,
+) -> SessionRequest {
+    SessionRequest {
+        wire_version: wire::VERSION,
+        request_id,
+        op: SessionOp::Open {
+            algo: Algo::Oggp,
+            platform: WirePlatform {
+                n1: platform.n1 as u32,
+                n2: platform.n2 as u32,
+                t1: platform.t1,
+                t2: platform.t2,
+                backbone: platform.backbone,
+                beta_seconds,
+            },
+            matrix: CsrMatrix::from_traffic(traffic),
+        },
+    }
+}
+
+/// Builds a `DELTA` op applying `deltas` (in order) to a live session.
+pub fn session_delta(request_id: u64, session_id: u64, deltas: Vec<WireDelta>) -> SessionRequest {
+    SessionRequest {
+        wire_version: wire::VERSION,
+        request_id,
+        op: SessionOp::Delta { session_id, deltas },
+    }
+}
+
+/// Builds a `COMMIT` op publishing the session's current plan into the
+/// server's shared plan cache.
+pub fn session_commit(request_id: u64, session_id: u64) -> SessionRequest {
+    SessionRequest {
+        wire_version: wire::VERSION,
+        request_id,
+        op: SessionOp::Commit { session_id },
+    }
+}
+
+/// Builds a `CLOSE` op freeing the session's slot.
+pub fn session_close(request_id: u64, session_id: u64) -> SessionRequest {
+    SessionRequest {
+        wire_version: wire::VERSION,
+        request_id,
+        op: SessionOp::Close { session_id },
     }
 }
 

@@ -16,10 +16,16 @@
 //! * [`queue`] — the bounded MPMC queue that *is* the admission-control
 //!   policy: `try_push` or reject, never buffer unboundedly — plus the
 //!   unbounded [`queue::Inbox`] mailboxes of the event core;
-//! * [`cache`] — a sharded plan cache keyed by [`kpbs::fingerprint`]'s
+//! * [`cache`] — a sharded plan cache keyed by [`mod@kpbs::fingerprint`]'s
 //!   canonical instance hash, with a lock-free read path (epoch-reclaimed
 //!   published tables) and second-chance-clock eviction; hits return
 //!   byte-identical schedules to a cold run;
+//! * [`session`] — live delta-planning sessions: each wire-v3 `OPEN`
+//!   pins a [`kpbs::DeltaPlanner`] that repairs its committed schedule
+//!   in place under `DELTA` batches (repair → re-peel → cold-fallback
+//!   ladder), with a bounded [`session::SessionTable`] as the admission
+//!   boundary and `COMMIT` publishing patched plans into the cache
+//!   under generation-qualified keys;
 //! * [`server`] — the serving core: `epoll` event loop by default on
 //!   Linux ([`server::ServingCore`]), thread-per-connection baseline
 //!   elsewhere (or on request), fixed worker pool, graceful drain-based
@@ -28,8 +34,9 @@
 //!
 //! Two binaries ship with the crate: `redistd` (the daemon; `--trace`,
 //! SIGTERM/ctrl-c drain) and `redistload` (a multi-connection load
-//! generator — closed-loop or open-loop `--rate` — writing
-//! `BENCH_serve.json`).
+//! generator — closed-loop, open-loop `--rate`, or the `--sessions`
+//! streaming-admission campaign — writing `BENCH_serve.json` /
+//! `BENCH_session.json`).
 //!
 //! Like `telemetry`, this crate is std-only: no async runtime, no socket
 //! or serialization dependency — threads, `TcpListener`, hand-rolled
@@ -71,6 +78,7 @@ pub mod client;
 pub(crate) mod event;
 pub mod queue;
 pub mod server;
+pub mod session;
 #[cfg(target_os = "linux")]
 pub(crate) mod sys;
 pub mod wire;

@@ -48,9 +48,13 @@ use crate::cache::{CacheStats, ShardedLru};
 #[cfg(target_os = "linux")]
 use crate::event;
 use crate::queue::{BoundedQueue, PushError};
-use crate::wire::{self, Algo, Incoming, PlanRequest, PlanResponse, RejectReason};
+use crate::session::{DeltaError, Session, SessionTable};
+use crate::wire::{
+    self, Algo, Incoming, PlanRequest, PlanResponse, RejectReason, Request, SessionLevel,
+    SessionOp, SessionRejectReason, SessionRequest,
+};
 use kpbs::traffic::TickScale;
-use kpbs::{Platform, Schedule};
+use kpbs::{DeltaPlanner, Platform, RepairLevel, Schedule};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -143,6 +147,9 @@ pub struct ServerConfig {
     /// Event-core backpressure: decoded-but-unprocessed messages buffered
     /// per connection before reads park.
     pub pending_limit: usize,
+    /// Concurrent delta-planning sessions admitted; `OPEN` beyond this is
+    /// refused with `table_full` (backpressure, like the request queue).
+    pub max_sessions: usize,
 }
 
 impl Default for ServerConfig {
@@ -163,6 +170,7 @@ impl Default for ServerConfig {
             io_threads: 2,
             wbuf_limit: 256 * 1024,
             pending_limit: 64,
+            max_sessions: 64,
         }
     }
 }
@@ -200,7 +208,7 @@ pub(crate) enum Admission {
 }
 
 struct Job {
-    req: PlanRequest,
+    req: Request,
     reply: Reply,
     /// Server-minted request id — the correlation key across the response
     /// (`server_id`), spans (`rid` arg), and the flight record.
@@ -227,6 +235,13 @@ pub(crate) struct ServerMetrics {
     /// Times a connection's read interest was parked because its write
     /// buffer or pending ring hit its limit (event core).
     pub(crate) io_backpressure_total: CounterHandle,
+    sessions_opened: CounterHandle,
+    session_repairs: CounterHandle,
+    session_repeels: CounterHandle,
+    session_colds: CounterHandle,
+    sessions_committed: CounterHandle,
+    sessions_closed: CounterHandle,
+    sessions_rejected: CounterHandle,
     service_us: SummaryHandle,
     queue_wait_us: SummaryHandle,
     plan_us: SummaryHandle,
@@ -242,6 +257,7 @@ pub(crate) struct ServerMetrics {
     cache_insertions: GaugeHandle,
     cache_evictions: GaugeHandle,
     cache_entries: GaugeHandle,
+    sessions_open: GaugeHandle,
 }
 
 impl ServerMetrics {
@@ -251,6 +267,13 @@ impl ServerMetrics {
                 "redistd_requests_total",
                 "Requests by final outcome.",
                 &[("outcome", outcome)],
+            )
+        };
+        let delta = |level| {
+            r.counter(
+                "redistd_session_deltas_total",
+                "Session DELTA frames by repair-ladder level.",
+                &[("level", level)],
             )
         };
         ServerMetrics {
@@ -277,6 +300,29 @@ impl ServerMetrics {
             io_backpressure_total: r.counter(
                 "redistd_io_backpressure_total",
                 "Connections whose reads were parked by per-connection backpressure.",
+                &[],
+            ),
+            sessions_opened: r.counter(
+                "redistd_sessions_opened_total",
+                "Delta-planning sessions opened since start.",
+                &[],
+            ),
+            session_repairs: delta("repair"),
+            session_repeels: delta("repeel"),
+            session_colds: delta("cold"),
+            sessions_committed: r.counter(
+                "redistd_sessions_committed_total",
+                "Session plans published into the shared plan cache.",
+                &[],
+            ),
+            sessions_closed: r.counter(
+                "redistd_sessions_closed_total",
+                "Sessions closed since start.",
+                &[],
+            ),
+            sessions_rejected: r.counter(
+                "redistd_sessions_rejected_total",
+                "Session ops refused (table full or unknown session).",
                 &[],
             ),
             service_us: r.summary(
@@ -325,6 +371,11 @@ impl ServerMetrics {
                 &[],
             ),
             cache_entries: r.gauge("redistd_cache_entries", "Plan-cache entries resident.", &[]),
+            sessions_open: r.gauge(
+                "redistd_sessions_open",
+                "Delta-planning sessions open right now.",
+                &[],
+            ),
         }
     }
 }
@@ -344,6 +395,7 @@ pub(crate) struct Shared {
     registry: Registry,
     pub(crate) metrics: ServerMetrics,
     pub(crate) flight: FlightRecorder,
+    sessions: SessionTable,
 }
 
 impl Shared {
@@ -373,6 +425,7 @@ impl Shared {
         m.cache_insertions.set(cache.insertions as f64);
         m.cache_evictions.set(cache.evictions as f64);
         m.cache_entries.set(cache.len as f64);
+        m.sessions_open.set(self.sessions.len() as f64);
     }
 
     pub(crate) fn render_metrics(&self) -> String {
@@ -419,6 +472,22 @@ pub struct ServerStats {
     pub io_threads: usize,
     /// Client connections open right now.
     pub connections_open: u64,
+    /// Delta-planning sessions open right now.
+    pub sessions_open: usize,
+    /// Sessions opened since start.
+    pub sessions_opened: u64,
+    /// `DELTA` frames absorbed by in-place repair.
+    pub session_repairs: u64,
+    /// `DELTA` frames that needed a bounded re-peel.
+    pub session_repeels: u64,
+    /// `DELTA` frames that fell back to a cold plan.
+    pub session_colds: u64,
+    /// Session plans published into the shared plan cache.
+    pub sessions_committed: u64,
+    /// Sessions closed since start.
+    pub sessions_closed: u64,
+    /// Session ops refused (table full or unknown session).
+    pub sessions_rejected: u64,
 }
 
 impl ServerStats {
@@ -446,6 +515,14 @@ impl ServerStats {
                 ServingCore::Threads => 0,
             },
             connections_open: shared.open_connections.load(Ordering::Relaxed),
+            sessions_open: shared.sessions.len(),
+            sessions_opened: m.sessions_opened.value(),
+            session_repairs: m.session_repairs.value(),
+            session_repeels: m.session_repeels.value(),
+            session_colds: m.session_colds.value(),
+            sessions_committed: m.sessions_committed.value(),
+            sessions_closed: m.sessions_closed.value(),
+            sessions_rejected: m.sessions_rejected.value(),
         }
     }
 
@@ -476,6 +553,14 @@ impl ServerStats {
             ("core", self.core.to_string()),
             ("io_threads", self.io_threads.to_string()),
             ("connections_open", self.connections_open.to_string()),
+            ("sessions_open", self.sessions_open.to_string()),
+            ("sessions_opened", self.sessions_opened.to_string()),
+            ("session_repairs", self.session_repairs.to_string()),
+            ("session_repeels", self.session_repeels.to_string()),
+            ("session_colds", self.session_colds.to_string()),
+            ("sessions_committed", self.sessions_committed.to_string()),
+            ("sessions_closed", self.sessions_closed.to_string()),
+            ("sessions_rejected", self.sessions_rejected.to_string()),
         ]
     }
 
@@ -531,6 +616,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         registry,
         metrics,
         flight: FlightRecorder::new(config.flight_capacity),
+        sessions: SessionTable::new(config.max_sessions),
         config,
     });
 
@@ -777,7 +863,7 @@ pub(crate) fn admit_frame(
     shared.registry.tick();
     let rid = shared.mint_rid();
     shared.metrics.admissions_total.inc();
-    let req = match wire::decode_request(payload) {
+    let req = match wire::decode_frame(payload) {
         Ok(r) => r,
         Err(e) => {
             shared.metrics.requests_error.inc();
@@ -795,19 +881,22 @@ pub(crate) fn admit_frame(
             );
         }
     };
-    let request_id = req.request_id;
-    let version = req.wire_version;
-    let bytes: u64 = req.matrix.bytes.iter().sum();
+    let request_id = req.request_id();
+    let version = req.wire_version();
+    let matrix = request_matrix(&req);
+    let bytes: u64 = matrix.map_or(0, |m| m.bytes.iter().sum());
     let mut rec = FlightRecord::new(rid, FlightOutcome::Error);
     rec.client_id = request_id;
     rec.bytes = bytes;
-    rec.n1 = req.matrix.n1;
-    rec.n2 = req.matrix.n2;
+    rec.n1 = matrix.map_or(0, |m| m.n1);
+    rec.n2 = matrix.map_or(0, |m| m.n2);
     rec.queue_depth = shared.queue.len() as u32;
 
     // Admission control, cheapest check first. Rejections answer
     // immediately — the whole point is never to buffer beyond the bound.
-    if req.matrix.cells() > shared.config.max_cells {
+    // Matrix-bearing frames (stateless plans, session OPENs) are bounded
+    // here; session growth re-checks the same limit on the worker.
+    if matrix.is_some_and(|m| m.cells() > shared.config.max_cells) {
         counters::incr(Counter::ServeRejected);
         shared.metrics.requests_shed_too_large.inc();
         rec.outcome = FlightOutcome::ShedTooLarge;
@@ -859,31 +948,46 @@ fn worker_loop(shared: &Arc<Shared>, worker: u32) {
             std::thread::sleep(Duration::from_millis(shared.config.worker_think_ms));
         }
         let plan_start = Instant::now();
-        let resp = plan_request(shared, &job.req, job.rid);
+        let resp = match &job.req {
+            Request::Plan(req) => plan_request(shared, req, job.rid),
+            Request::Session(req) => session_request(shared, req, job.rid),
+        };
         let plan_us = plan_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
 
-        let cached = matches!(resp, PlanResponse::Ok { cached: true, .. });
-        if cached {
-            shared.metrics.requests_cache_hit.inc();
-        } else {
-            shared.metrics.requests_planned.inc();
-            shared.metrics.plan_us.observe(plan_us);
+        // Session successes count as planned work (repairs *are* planning);
+        // refusals and errors are neither planned nor cached.
+        let outcome = match &resp {
+            PlanResponse::Ok { cached: true, .. } => FlightOutcome::CacheHit,
+            PlanResponse::Ok { .. } | PlanResponse::Session { .. } => FlightOutcome::Planned,
+            _ => FlightOutcome::Error,
+        };
+        match outcome {
+            FlightOutcome::CacheHit => shared.metrics.requests_cache_hit.inc(),
+            FlightOutcome::Planned => {
+                shared.metrics.requests_planned.inc();
+                shared.metrics.plan_us.observe(plan_us);
+            }
+            // Session refusals are tallied by `sessions_rejected` inside
+            // `session_request`; protocol errors by `requests_error`.
+            _ => {
+                if matches!(resp, PlanResponse::Error { .. }) {
+                    shared.metrics.requests_error.inc();
+                }
+            }
         }
-        let mut rec = FlightRecord::new(
-            job.rid,
-            if cached {
-                FlightOutcome::CacheHit
-            } else {
-                FlightOutcome::Planned
-            },
-        );
-        rec.client_id = job.req.request_id;
-        rec.bytes = job.req.matrix.bytes.iter().sum();
-        rec.n1 = job.req.matrix.n1;
-        rec.n2 = job.req.matrix.n2;
+        let mut rec = FlightRecord::new(job.rid, outcome);
+        let matrix = request_matrix(&job.req);
+        rec.client_id = job.req.request_id();
+        rec.bytes = matrix.map_or(0, |m| m.bytes.iter().sum());
+        rec.n1 = matrix.map_or(0, |m| m.n1);
+        rec.n2 = matrix.map_or(0, |m| m.n2);
         rec.queue_depth = job.depth_at_admission as u32;
         rec.queue_wait_us = queue_wait_us;
-        rec.plan_us = if cached { 0 } else { plan_us };
+        rec.plan_us = if outcome == FlightOutcome::CacheHit {
+            0
+        } else {
+            plan_us
+        };
         rec.worker = worker;
         shared.flight.push(rec);
 
@@ -902,10 +1006,33 @@ fn worker_loop(shared: &Arc<Shared>, worker: u32) {
             }
             #[cfg(target_os = "linux")]
             Reply::Event(sink) => {
-                sink.complete(wire::encode_response(&resp, job.req.wire_version));
+                sink.complete(wire::encode_response(&resp, job.req.wire_version()));
             }
         }
     }
+}
+
+/// The traffic matrix a frame carries, when it carries one (stateless
+/// plans and session `OPEN`s); admission and flight accounting share it.
+fn request_matrix(req: &Request) -> Option<&wire::CsrMatrix> {
+    match req {
+        Request::Plan(p) => Some(&p.matrix),
+        Request::Session(s) => match &s.op {
+            SessionOp::Open { matrix, .. } => Some(matrix),
+            _ => None,
+        },
+    }
+}
+
+/// The work-counter deltas accumulated on this thread since `before`, in
+/// the fixed [`telemetry::counters::Counter::ALL`] wire order.
+fn work_since(before: &telemetry::counters::Snapshot) -> [u64; COUNTER_COUNT] {
+    let delta = counters::local_snapshot().delta(before);
+    let mut work = [0u64; COUNTER_COUNT];
+    for (i, (_, v)) in delta.iter().enumerate() {
+        work[i] = v;
+    }
+    work
 }
 
 /// Plans one admitted request: canonical instance, cache lookup, cold plan
@@ -948,11 +1075,7 @@ fn plan_request(shared: &Arc<Shared>, req: &PlanRequest, rid: u64) -> PlanRespon
         Algo::Oggp => kpbs::oggp(&inst),
         Algo::Ggp => kpbs::ggp(&inst),
     };
-    let delta = counters::local_snapshot().delta(&before);
-    let mut work = [0u64; COUNTER_COUNT];
-    for (i, (_, v)) in delta.iter().enumerate() {
-        work[i] = v;
-    }
+    let work = work_since(&before);
     let outcome = Arc::new(PlanOutcome {
         cost: schedule.cost(),
         lower_bound: kpbs::lower_bound(&inst),
@@ -967,6 +1090,192 @@ fn plan_request(shared: &Arc<Shared>, req: &PlanRequest, rid: u64) -> PlanRespon
         lower_bound: outcome.lower_bound,
         work,
         server_id: rid,
+    }
+}
+
+/// Executes one session op on the worker. `OPEN` cold-plans the matrix
+/// into a fresh [`DeltaPlanner`] and registers it; `DELTA` converts the
+/// byte edits (validated *before* the planner sees them — `replan` panics
+/// on malformed indices) and climbs the repair ladder; `COMMIT` publishes
+/// the current plan into the shared cache under a generation-scoped key;
+/// `CLOSE` frees the slot. Each session serialises its own ops behind its
+/// mutex; ops on different sessions run concurrently across workers.
+fn session_request(shared: &Arc<Shared>, req: &SessionRequest, rid: u64) -> PlanResponse {
+    let _span = telemetry::span_with("redistd.session", &[("rid", rid)]);
+    counters::incr(Counter::ServeRequests);
+    let request_id = req.request_id;
+    let unknown = |session_id: u64| {
+        shared.metrics.sessions_rejected.inc();
+        PlanResponse::SessionRejected {
+            request_id,
+            session_id,
+            reason: SessionRejectReason::UnknownSession,
+        }
+    };
+    match &req.op {
+        SessionOp::Open {
+            algo,
+            platform,
+            matrix,
+        } => {
+            if *algo != Algo::Oggp {
+                return PlanResponse::Error {
+                    request_id,
+                    message: "sessions require the oggp algorithm (incremental repair reuses its warm matching engine)".into(),
+                };
+            }
+            let p = Platform::new(
+                platform.n1 as usize,
+                platform.n2 as usize,
+                platform.t1,
+                platform.t2,
+                platform.backbone,
+            );
+            let traffic = matrix.to_traffic();
+            let (inst, _endpoints) =
+                traffic.to_instance(&p, platform.beta_seconds, TickScale::MILLIS);
+            let before = counters::local_snapshot();
+            let planner = DeltaPlanner::new(inst);
+            let work = work_since(&before);
+            let schedule = planner.schedule().clone();
+            let cost = schedule.cost();
+            let lower_bound = kpbs::lower_bound(planner.instance());
+            let session = Session {
+                algo: *algo,
+                platform: p,
+                scale: TickScale::MILLIS,
+                planner,
+            };
+            match shared.sessions.open(session) {
+                Some(session_id) => {
+                    shared.metrics.sessions_opened.inc();
+                    PlanResponse::Session {
+                        request_id,
+                        session_id,
+                        generation: 0,
+                        level: SessionLevel::Opened,
+                        schedule,
+                        cost,
+                        lower_bound,
+                        work,
+                        server_id: rid,
+                    }
+                }
+                None => {
+                    shared.metrics.sessions_rejected.inc();
+                    PlanResponse::SessionRejected {
+                        request_id,
+                        session_id: 0,
+                        reason: SessionRejectReason::TableFull,
+                    }
+                }
+            }
+        }
+        SessionOp::Delta { session_id, deltas } => {
+            let Some(sess) = shared.sessions.get(*session_id) else {
+                return unknown(*session_id);
+            };
+            let mut s = sess.lock().unwrap();
+            let converted = match s.convert_deltas(deltas, shared.config.max_cells) {
+                Ok(v) => v,
+                Err(DeltaError::OutOfRange(message)) => {
+                    return PlanResponse::Error {
+                        request_id,
+                        message,
+                    }
+                }
+                Err(DeltaError::TooLarge) => {
+                    counters::incr(Counter::ServeRejected);
+                    return PlanResponse::Rejected {
+                        request_id,
+                        reason: RejectReason::MatrixTooLarge,
+                    };
+                }
+            };
+            let before = counters::local_snapshot();
+            let outcome = s.planner.replan(&converted);
+            let work = work_since(&before);
+            let level = match outcome.level {
+                RepairLevel::Repair => {
+                    shared.metrics.session_repairs.inc();
+                    SessionLevel::Repair
+                }
+                RepairLevel::RePeel => {
+                    shared.metrics.session_repeels.inc();
+                    SessionLevel::RePeel
+                }
+                RepairLevel::Cold => {
+                    shared.metrics.session_colds.inc();
+                    SessionLevel::Cold
+                }
+            };
+            PlanResponse::Session {
+                request_id,
+                session_id: *session_id,
+                generation: outcome.generation,
+                level,
+                schedule: s.planner.schedule().clone(),
+                cost: outcome.cost,
+                lower_bound: outcome.lower_bound,
+                work,
+                server_id: rid,
+            }
+        }
+        SessionOp::Commit { session_id } => {
+            let Some(sess) = shared.sessions.get(*session_id) else {
+                return unknown(*session_id);
+            };
+            let s = sess.lock().unwrap();
+            let schedule = s.planner.schedule().clone();
+            let cost = schedule.cost();
+            let lower_bound = kpbs::lower_bound(s.planner.instance());
+            let key = kpbs::session_cache_key(
+                s.planner.instance(),
+                s.algo as u64,
+                s.planner.generation(),
+            );
+            shared.cache.insert(
+                key,
+                Arc::new(PlanOutcome {
+                    schedule: schedule.clone(),
+                    cost,
+                    lower_bound,
+                }),
+            );
+            shared.metrics.sessions_committed.inc();
+            PlanResponse::Session {
+                request_id,
+                session_id: *session_id,
+                generation: s.planner.generation(),
+                level: SessionLevel::Committed,
+                schedule,
+                cost,
+                lower_bound,
+                work: [0; COUNTER_COUNT],
+                server_id: rid,
+            }
+        }
+        SessionOp::Close { session_id } => {
+            let Some(sess) = shared.sessions.close(*session_id) else {
+                return unknown(*session_id);
+            };
+            shared.metrics.sessions_closed.inc();
+            let s = sess.lock().unwrap();
+            let schedule = s.planner.schedule().clone();
+            let cost = schedule.cost();
+            let lower_bound = kpbs::lower_bound(s.planner.instance());
+            PlanResponse::Session {
+                request_id,
+                session_id: *session_id,
+                generation: s.planner.generation(),
+                level: SessionLevel::Closed,
+                schedule,
+                cost,
+                lower_bound,
+                work: [0; COUNTER_COUNT],
+                server_id: rid,
+            }
+        }
     }
 }
 

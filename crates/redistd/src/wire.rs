@@ -12,13 +12,36 @@
 //!
 //! # Versioning
 //!
-//! The current version is 2; the server accepts 1 and 2 and **replies in
-//! the version the request was sent with**, so old clients keep working
+//! The current version is 3; the server accepts 1 through 3 and **replies
+//! in the version the request was sent with**, so old clients keep working
 //! unchanged. Version 2 adds one field: `Ok` responses carry a trailing
 //! `server_id` — the request id the server minted at admission, the key
 //! that joins a client-observed response to its flight-recorder record,
 //! span timeline, and metric deltas. Version-1 responses omit the field
 //! and decode with `server_id = 0` ("not correlated").
+//!
+//! Version 3 adds the **session ops** of the delta-planning control plane:
+//! request kinds 1–4 (`OPEN`/`DELTA`/`COMMIT`/`CLOSE`) and response
+//! statuses 4 (session ok) and 5 (session rejected). The kinds are
+//! version-gated — a v1/v2 frame carrying them is refused — and kind 0
+//! frames encode byte-identically to v2, so the extension is invisible to
+//! stateless clients.
+//!
+//! # Session request payloads (v3, kinds 1–4)
+//!
+//! `OPEN` (kind 1) carries exactly a plan request's body after the kind
+//! byte. `DELTA` (kind 2) carries `request id (u64)`, `session id (u64)`,
+//! `ndeltas (u32)` and then per delta a tag byte: 0 = set-cell
+//! `(sender u32, receiver u32, bytes u64)`, 1 = grow-nodes
+//! `(senders u32, receivers u32)`, 2 = drop-sender `(sender u32)`,
+//! 3 = drop-receiver `(receiver u32)`. `COMMIT` (kind 3) and `CLOSE`
+//! (kind 4) carry `request id (u64), session id (u64)`.
+//!
+//! A session response (status 4) carries `session id (u64)`,
+//! `generation (u64)`, a repair-`level` byte, then the same
+//! schedule/cost/lower-bound/work/server-id tail as a plan `Ok`. Status 5
+//! is a session rejection: `session id (u64)` plus a reason byte
+//! (0 = table full, 1 = unknown session).
 //!
 //! # Plan request payload
 //!
@@ -54,7 +77,7 @@
 //! The CSR encoding is the *canonical* construction: rows in sender order,
 //! strictly ascending columns inside a row, all byte counts positive. The
 //! decoder rejects anything else, which is what lets the server key its
-//! plan cache on [`kpbs::fingerprint`] — equal matrices always decode into
+//! plan cache on [`mod@kpbs::fingerprint`] — equal matrices always decode into
 //! identical instances (see that module's docs).
 
 use kpbs::{Schedule, TrafficMatrix};
@@ -64,7 +87,9 @@ use telemetry::counters::COUNTER_COUNT;
 /// Frame magic: first four payload bytes of every binary frame.
 pub const MAGIC: [u8; 4] = *b"RDST";
 /// Current protocol version (what new clients send).
-pub const VERSION: u16 = 2;
+pub const VERSION: u16 = 3;
+/// Oldest version that understands the session ops (kinds 1–4).
+pub const SESSION_MIN_VERSION: u16 = 3;
 /// Oldest version the server still accepts.
 pub const MIN_VERSION: u16 = 1;
 /// Hard ceiling on any frame payload (16 MiB) — a malformed length prefix
@@ -224,6 +249,162 @@ pub struct PlanRequest {
     pub matrix: CsrMatrix,
 }
 
+/// One sparse matrix edit carried by a `DELTA` frame. Cell amounts are in
+/// **bytes** (like plan-request entries); the server converts them to
+/// ticks with the session's platform, exactly as it does matrix cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireDelta {
+    /// Sets cell `(sender, receiver)` to `bytes` (zero clears it).
+    SetCell {
+        /// Sender (row) index.
+        sender: u32,
+        /// Receiver (column) index.
+        receiver: u32,
+        /// New message size in bytes; 0 cancels the message.
+        bytes: u64,
+    },
+    /// Appends sender and/or receiver nodes to the live instance.
+    GrowNodes {
+        /// Sender nodes to append.
+        senders: u32,
+        /// Receiver nodes to append.
+        receivers: u32,
+    },
+    /// Cancels every message of one sender (node drop).
+    DropSender(
+        /// Sender (row) index.
+        u32,
+    ),
+    /// Cancels every message towards one receiver (node drop).
+    DropReceiver(
+        /// Receiver (column) index.
+        u32,
+    ),
+}
+
+/// The session operation a v3 frame requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOp {
+    /// Opens a session: cold-plans the matrix and holds it live.
+    Open {
+        /// Requested algorithm for the session's plans.
+        algo: Algo,
+        /// Platform parameters (fixed for the session's lifetime).
+        platform: WirePlatform,
+        /// The initial traffic matrix.
+        matrix: CsrMatrix,
+    },
+    /// Applies deltas to a live session and repairs its schedule.
+    Delta {
+        /// Server-minted session id from the `Open` response.
+        session_id: u64,
+        /// The edits, applied in order.
+        deltas: Vec<WireDelta>,
+    },
+    /// Publishes the session's current plan into the shared plan cache.
+    Commit {
+        /// Server-minted session id.
+        session_id: u64,
+    },
+    /// Closes the session and frees its state.
+    Close {
+        /// Server-minted session id.
+        session_id: u64,
+    },
+}
+
+/// A decoded session request (wire kinds 1–4; v3+ only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRequest {
+    /// Protocol version this request speaks (≥ [`SESSION_MIN_VERSION`]).
+    pub wire_version: u16,
+    /// Client-chosen identifier, echoed in the response.
+    pub request_id: u64,
+    /// The requested operation.
+    pub op: SessionOp,
+}
+
+/// Any decodable binary request frame: a stateless plan (kind 0, any
+/// version) or a session op (kinds 1–4, v3+).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A stateless plan request.
+    Plan(PlanRequest),
+    /// A session operation.
+    Session(SessionRequest),
+}
+
+impl Request {
+    /// The client-chosen request id.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Request::Plan(r) => r.request_id,
+            Request::Session(r) => r.request_id,
+        }
+    }
+
+    /// The protocol version the request was sent with.
+    pub fn wire_version(&self) -> u16 {
+        match self {
+            Request::Plan(r) => r.wire_version,
+            Request::Session(r) => r.wire_version,
+        }
+    }
+}
+
+/// What a session response reports the planner did (mirrors
+/// [`kpbs::delta::RepairLevel`] plus the lifecycle ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionLevel {
+    /// The session was opened with a cold plan.
+    Opened = 0,
+    /// The delta was absorbed by in-place repair.
+    Repair = 1,
+    /// The delta needed a bounded re-peel.
+    RePeel = 2,
+    /// The delta fell back to a cold plan.
+    Cold = 3,
+    /// The current plan was committed to the shared cache.
+    Committed = 4,
+    /// The session was closed.
+    Closed = 5,
+}
+
+impl SessionLevel {
+    fn from_u8(v: u8) -> Result<SessionLevel, WireError> {
+        Ok(match v {
+            0 => SessionLevel::Opened,
+            1 => SessionLevel::Repair,
+            2 => SessionLevel::RePeel,
+            3 => SessionLevel::Cold,
+            4 => SessionLevel::Committed,
+            5 => SessionLevel::Closed,
+            other => return Err(WireError::new(format!("unknown session level {other}"))),
+        })
+    }
+
+    /// Stable lower-case label (logs, JSON, load-generator reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            SessionLevel::Opened => "opened",
+            SessionLevel::Repair => "repair",
+            SessionLevel::RePeel => "repeel",
+            SessionLevel::Cold => "cold",
+            SessionLevel::Committed => "committed",
+            SessionLevel::Closed => "closed",
+        }
+    }
+}
+
+/// Why a session op was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionRejectReason {
+    /// The session table is at capacity (backpressure; retry later).
+    TableFull = 0,
+    /// The session id is unknown (never opened, closed, or evicted).
+    UnknownSession = 1,
+}
+
 /// Why a request was refused admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
@@ -272,6 +453,36 @@ pub enum PlanResponse {
         request_id: u64,
         /// Failure detail.
         message: String,
+    },
+    /// A session op succeeded (v3 status 4).
+    Session {
+        /// Echoed request id.
+        request_id: u64,
+        /// The session the op addressed (server-minted at `OPEN`).
+        session_id: u64,
+        /// The session's replan generation after this op.
+        generation: u64,
+        /// What the planner did.
+        level: SessionLevel,
+        /// The session's committed schedule after this op.
+        schedule: Schedule,
+        /// Schedule cost in ticks.
+        cost: u64,
+        /// Lower bound of the live instance in ticks.
+        lower_bound: u64,
+        /// Work-counter deltas of this op, [`telemetry::counters::Counter::ALL`] order.
+        work: [u64; COUNTER_COUNT],
+        /// Server-minted correlation id.
+        server_id: u64,
+    },
+    /// A session op was refused (v3 status 5).
+    SessionRejected {
+        /// Echoed request id.
+        request_id: u64,
+        /// The session id the op addressed (0 for a refused `OPEN`).
+        session_id: u64,
+        /// Why.
+        reason: SessionRejectReason,
     },
 }
 
@@ -394,15 +605,173 @@ pub fn encode_request(req: &PlanRequest) -> Vec<u8> {
     frame(p)
 }
 
-/// Decodes a request payload (no length prefix).
-pub fn decode_request(payload: &[u8]) -> Result<PlanRequest, WireError> {
+/// Encodes a session request as a full frame (length prefix included).
+pub fn encode_session_request(req: &SessionRequest) -> Vec<u8> {
+    debug_assert!(req.wire_version >= SESSION_MIN_VERSION);
+    let mut p = Vec::with_capacity(64);
+    p.extend_from_slice(&MAGIC);
+    put_u16(&mut p, req.wire_version);
+    match &req.op {
+        SessionOp::Open {
+            algo,
+            platform,
+            matrix,
+        } => {
+            p.push(1); // kind: session open
+            put_u64(&mut p, req.request_id);
+            p.push(*algo as u8);
+            put_u32(&mut p, platform.n1);
+            put_u32(&mut p, platform.n2);
+            put_f64(&mut p, platform.t1);
+            put_f64(&mut p, platform.t2);
+            put_f64(&mut p, platform.backbone);
+            put_f64(&mut p, platform.beta_seconds);
+            put_u32(&mut p, matrix.cols.len() as u32);
+            for &o in &matrix.row_ptr {
+                put_u32(&mut p, o);
+            }
+            for (&c, &b) in matrix.cols.iter().zip(&matrix.bytes) {
+                put_u32(&mut p, c);
+                put_u64(&mut p, b);
+            }
+        }
+        SessionOp::Delta { session_id, deltas } => {
+            p.push(2); // kind: session delta
+            put_u64(&mut p, req.request_id);
+            put_u64(&mut p, *session_id);
+            put_u32(&mut p, deltas.len() as u32);
+            for d in deltas {
+                match *d {
+                    WireDelta::SetCell {
+                        sender,
+                        receiver,
+                        bytes,
+                    } => {
+                        p.push(0);
+                        put_u32(&mut p, sender);
+                        put_u32(&mut p, receiver);
+                        put_u64(&mut p, bytes);
+                    }
+                    WireDelta::GrowNodes { senders, receivers } => {
+                        p.push(1);
+                        put_u32(&mut p, senders);
+                        put_u32(&mut p, receivers);
+                    }
+                    WireDelta::DropSender(i) => {
+                        p.push(2);
+                        put_u32(&mut p, i);
+                    }
+                    WireDelta::DropReceiver(j) => {
+                        p.push(3);
+                        put_u32(&mut p, j);
+                    }
+                }
+            }
+        }
+        SessionOp::Commit { session_id } => {
+            p.push(3); // kind: session commit
+            put_u64(&mut p, req.request_id);
+            put_u64(&mut p, *session_id);
+        }
+        SessionOp::Close { session_id } => {
+            p.push(4); // kind: session close
+            put_u64(&mut p, req.request_id);
+            put_u64(&mut p, *session_id);
+        }
+    }
+    frame(p)
+}
+
+/// Decodes any binary request payload — a stateless plan (kind 0) or a
+/// session op (kinds 1–4, version-gated to v3+).
+pub fn decode_frame(payload: &[u8]) -> Result<Request, WireError> {
     let mut c = Cursor::new(payload);
     let wire_version = check_header(&mut c)?;
     let kind = c.u8()?;
-    if kind != 0 {
+    if kind == 0 {
+        let request_id = c.u64()?;
+        let (algo, platform, matrix) = decode_plan_body(&mut c, payload)?;
+        return Ok(Request::Plan(PlanRequest {
+            wire_version,
+            request_id,
+            algo,
+            platform,
+            matrix,
+        }));
+    }
+    if !(1..=4).contains(&kind) {
         return Err(WireError::new(format!("unknown request kind {kind}")));
     }
+    if wire_version < SESSION_MIN_VERSION {
+        return Err(WireError::new(format!(
+            "request kind {kind} requires protocol version {SESSION_MIN_VERSION}, got {wire_version}"
+        )));
+    }
     let request_id = c.u64()?;
+    let op = match kind {
+        1 => {
+            let (algo, platform, matrix) = decode_plan_body(&mut c, payload)?;
+            SessionOp::Open {
+                algo,
+                platform,
+                matrix,
+            }
+        }
+        2 => {
+            let session_id = c.u64()?;
+            let ndeltas = c.u32()? as usize;
+            let mut deltas = Vec::with_capacity(ndeltas.min(1 << 16));
+            for _ in 0..ndeltas {
+                deltas.push(match c.u8()? {
+                    0 => WireDelta::SetCell {
+                        sender: c.u32()?,
+                        receiver: c.u32()?,
+                        bytes: c.u64()?,
+                    },
+                    1 => WireDelta::GrowNodes {
+                        senders: c.u32()?,
+                        receivers: c.u32()?,
+                    },
+                    2 => WireDelta::DropSender(c.u32()?),
+                    3 => WireDelta::DropReceiver(c.u32()?),
+                    other => return Err(WireError::new(format!("unknown delta tag {other}"))),
+                });
+            }
+            c.done()?;
+            SessionOp::Delta { session_id, deltas }
+        }
+        3 => {
+            let session_id = c.u64()?;
+            c.done()?;
+            SessionOp::Commit { session_id }
+        }
+        _ => {
+            let session_id = c.u64()?;
+            c.done()?;
+            SessionOp::Close { session_id }
+        }
+    };
+    Ok(Request::Session(SessionRequest {
+        wire_version,
+        request_id,
+        op,
+    }))
+}
+
+/// Decodes a stateless plan request payload (kind 0; no length prefix).
+pub fn decode_request(payload: &[u8]) -> Result<PlanRequest, WireError> {
+    match decode_frame(payload)? {
+        Request::Plan(req) => Ok(req),
+        Request::Session(_) => Err(WireError::new("expected a plan request, got a session op")),
+    }
+}
+
+/// Decodes the algo/platform/matrix body shared by plan and `OPEN` frames
+/// (everything after the request id), consuming the cursor to the end.
+fn decode_plan_body(
+    c: &mut Cursor,
+    payload: &[u8],
+) -> Result<(Algo, WirePlatform, CsrMatrix), WireError> {
     let algo = Algo::from_u8(c.u8()?)?;
     let n1 = c.u32()?;
     let n2 = c.u32()?;
@@ -448,11 +817,9 @@ pub fn decode_request(payload: &[u8]) -> Result<PlanRequest, WireError> {
         bytes,
     };
     matrix.validate()?;
-    Ok(PlanRequest {
-        wire_version,
-        request_id,
+    Ok((
         algo,
-        platform: WirePlatform {
+        WirePlatform {
             n1,
             n2,
             t1,
@@ -461,7 +828,7 @@ pub fn decode_request(payload: &[u8]) -> Result<PlanRequest, WireError> {
             beta_seconds,
         },
         matrix,
-    })
+    ))
 }
 
 /// The deterministic byte encoding of a schedule — the exact bytes an `Ok`
@@ -549,6 +916,43 @@ pub fn encode_response(resp: &PlanResponse, version: u16) -> Vec<u8> {
             put_u32(&mut p, message.len() as u32);
             p.extend_from_slice(message.as_bytes());
         }
+        PlanResponse::Session {
+            request_id,
+            session_id,
+            generation,
+            level,
+            schedule,
+            cost,
+            lower_bound,
+            work,
+            server_id,
+        } => {
+            debug_assert!(version >= SESSION_MIN_VERSION);
+            put_u64(&mut p, *request_id);
+            p.push(4);
+            put_u64(&mut p, *session_id);
+            put_u64(&mut p, *generation);
+            p.push(*level as u8);
+            p.extend_from_slice(&encode_schedule(schedule));
+            put_u64(&mut p, *cost);
+            put_u64(&mut p, *lower_bound);
+            p.push(COUNTER_COUNT as u8);
+            for &w in work.iter() {
+                put_u64(&mut p, w);
+            }
+            put_u64(&mut p, *server_id);
+        }
+        PlanResponse::SessionRejected {
+            request_id,
+            session_id,
+            reason,
+        } => {
+            debug_assert!(version >= SESSION_MIN_VERSION);
+            put_u64(&mut p, *request_id);
+            p.push(5);
+            put_u64(&mut p, *session_id);
+            p.push(*reason as u8);
+        }
     }
     frame(p)
 }
@@ -600,6 +1004,51 @@ pub fn decode_response(payload: &[u8]) -> Result<PlanResponse, WireError> {
             PlanResponse::Error {
                 request_id,
                 message: msg,
+            }
+        }
+        4 => {
+            let session_id = c.u64()?;
+            let generation = c.u64()?;
+            let level = SessionLevel::from_u8(c.u8()?)?;
+            let schedule = decode_schedule(&mut c)?;
+            let cost = c.u64()?;
+            let lower_bound = c.u64()?;
+            let n = c.u8()? as usize;
+            let mut work = [0u64; COUNTER_COUNT];
+            for slot in work.iter_mut().take(n) {
+                *slot = c.u64()?;
+            }
+            for _ in COUNTER_COUNT..n {
+                c.u64()?;
+            }
+            let server_id = c.u64()?;
+            PlanResponse::Session {
+                request_id,
+                session_id,
+                generation,
+                level,
+                schedule,
+                cost,
+                lower_bound,
+                work,
+                server_id,
+            }
+        }
+        5 => {
+            let session_id = c.u64()?;
+            let reason = match c.u8()? {
+                0 => SessionRejectReason::TableFull,
+                1 => SessionRejectReason::UnknownSession,
+                other => {
+                    return Err(WireError::new(format!(
+                        "unknown session reject reason {other}"
+                    )))
+                }
+            };
+            PlanResponse::SessionRejected {
+                request_id,
+                session_id,
+                reason,
             }
         }
         other => return Err(WireError::new(format!("unknown status {other}"))),
@@ -1036,6 +1485,151 @@ mod tests {
             let back = decode_response(&bytes[4..]).unwrap();
             assert_eq!(&back, case);
         }
+    }
+
+    fn sample_session_ops() -> Vec<SessionOp> {
+        let plan = sample_request();
+        vec![
+            SessionOp::Open {
+                algo: plan.algo,
+                platform: plan.platform,
+                matrix: plan.matrix,
+            },
+            SessionOp::Delta {
+                session_id: 17,
+                deltas: vec![
+                    WireDelta::SetCell {
+                        sender: 1,
+                        receiver: 0,
+                        bytes: 3_000_000,
+                    },
+                    WireDelta::SetCell {
+                        sender: 0,
+                        receiver: 1,
+                        bytes: 0,
+                    },
+                    WireDelta::GrowNodes {
+                        senders: 2,
+                        receivers: 0,
+                    },
+                    WireDelta::DropSender(3),
+                    WireDelta::DropReceiver(1),
+                ],
+            },
+            SessionOp::Commit { session_id: 17 },
+            SessionOp::Close { session_id: 17 },
+        ]
+    }
+
+    #[test]
+    fn session_requests_round_trip() {
+        for (i, op) in sample_session_ops().into_iter().enumerate() {
+            let req = SessionRequest {
+                wire_version: VERSION,
+                request_id: 100 + i as u64,
+                op,
+            };
+            let bytes = encode_session_request(&req);
+            match decode_frame(&bytes[4..]).unwrap() {
+                Request::Session(back) => assert_eq!(back, req),
+                other => panic!("expected a session op, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn session_kinds_require_v3() {
+        for op in sample_session_ops() {
+            let req = SessionRequest {
+                wire_version: VERSION,
+                request_id: 9,
+                op,
+            };
+            for old in [1u16, 2] {
+                let mut bytes = encode_session_request(&req);
+                // Version lives right after the 4-byte length prefix and
+                // 4-byte magic; rewrite it to an older protocol level.
+                bytes[8..10].copy_from_slice(&old.to_be_bytes());
+                let err = decode_frame(&bytes[4..]).unwrap_err();
+                assert!(err.0.contains("requires protocol version"), "{err}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_frame_classifies_plans_and_decode_request_refuses_sessions() {
+        let plan = sample_request();
+        let bytes = encode_request(&plan);
+        match decode_frame(&bytes[4..]).unwrap() {
+            Request::Plan(back) => assert_eq!(back, plan),
+            other => panic!("expected a plan, got {other:?}"),
+        }
+
+        let session = SessionRequest {
+            wire_version: VERSION,
+            request_id: 5,
+            op: SessionOp::Close { session_id: 1 },
+        };
+        let bytes = encode_session_request(&session);
+        let err = decode_request(&bytes[4..]).unwrap_err();
+        assert!(err.0.contains("session"), "{err}");
+    }
+
+    #[test]
+    fn session_responses_round_trip() {
+        let mut work = [0u64; COUNTER_COUNT];
+        work[3] = 11;
+        let cases = [
+            PlanResponse::Session {
+                request_id: 21,
+                session_id: 4,
+                generation: 9,
+                level: SessionLevel::RePeel,
+                schedule: Schedule {
+                    steps: vec![Step {
+                        transfers: vec![Transfer {
+                            edge: bipartite::EdgeId(0),
+                            amount: 5,
+                        }],
+                    }],
+                    beta: 1,
+                },
+                cost: 6,
+                lower_bound: 6,
+                work,
+                server_id: 77,
+            },
+            PlanResponse::SessionRejected {
+                request_id: 22,
+                session_id: 0,
+                reason: SessionRejectReason::TableFull,
+            },
+            PlanResponse::SessionRejected {
+                request_id: 23,
+                session_id: 99,
+                reason: SessionRejectReason::UnknownSession,
+            },
+        ];
+        for case in &cases {
+            let bytes = encode_response(case, VERSION);
+            let back = decode_response(&bytes[4..]).unwrap();
+            assert_eq!(&back, case);
+        }
+    }
+
+    #[test]
+    fn every_session_level_survives_the_wire() {
+        for level in [
+            SessionLevel::Opened,
+            SessionLevel::Repair,
+            SessionLevel::RePeel,
+            SessionLevel::Cold,
+            SessionLevel::Committed,
+            SessionLevel::Closed,
+        ] {
+            assert_eq!(SessionLevel::from_u8(level as u8).unwrap(), level);
+        }
+        assert!(SessionLevel::from_u8(6).is_err());
     }
 
     #[test]

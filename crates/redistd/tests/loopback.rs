@@ -644,7 +644,7 @@ fn request_split_into_single_bytes_is_served() {
         wire::write_all(&mut stream, std::slice::from_ref(byte)).unwrap();
         // A breather every few bytes keeps loopback from coalescing the
         // whole message into one segment (correct either way).
-        if byte % 16 == 0 {
+        if byte.is_multiple_of(16) {
             std::thread::sleep(Duration::from_millis(1));
         }
     }
@@ -717,4 +717,309 @@ fn malformed_frame_gets_error_response() {
     }
     let stats = handle.shutdown();
     assert_eq!(stats.errors, 1);
+}
+
+/// Client-side twin of the server's per-delta byte→tick conversion, used
+/// to drive a local mirror [`kpbs::DeltaPlanner`] through the same edits
+/// the wire carries.
+fn convert_delta(platform: &Platform, d: &wire::WireDelta) -> kpbs::MatrixDelta {
+    match *d {
+        wire::WireDelta::SetCell {
+            sender,
+            receiver,
+            bytes,
+        } => kpbs::MatrixDelta::Set {
+            sender: sender as usize,
+            receiver: receiver as usize,
+            ticks: kpbs::traffic::message_ticks(platform, TickScale::MILLIS, bytes),
+        },
+        wire::WireDelta::GrowNodes { senders, receivers } => kpbs::MatrixDelta::GrowNodes {
+            senders: senders as usize,
+            receivers: receivers as usize,
+        },
+        wire::WireDelta::DropSender(i) => kpbs::MatrixDelta::DropSender(i as usize),
+        wire::WireDelta::DropReceiver(j) => kpbs::MatrixDelta::DropReceiver(j as usize),
+    }
+}
+
+/// Tentpole acceptance: a live session survives a streamed delta campaign
+/// with zero byte-compare failures. The planner is deterministic, so a
+/// local mirror `DeltaPlanner` fed the same edits must produce
+/// byte-identical schedules, costs, generations and repair levels at every
+/// step — on whichever serving core carries the frames.
+fn run_session_campaign(core: server::ServingCore) {
+    telemetry::counters::enable();
+    let handle = server::start(ServerConfig {
+        core,
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let n = 8usize;
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let traffic = make_matrices(1, n).remove(0);
+    let (inst, _) = traffic.to_instance(&platform, BETA, TickScale::MILLIS);
+    let mut mirror = kpbs::DeltaPlanner::new(inst);
+
+    let mut c = Client::connect(addr).unwrap();
+    let session_id = match c
+        .session(&client::session_open(1, &traffic, &platform, BETA))
+        .unwrap()
+    {
+        PlanResponse::Session {
+            session_id,
+            generation,
+            level,
+            schedule,
+            cost,
+            ..
+        } => {
+            assert_eq!(generation, 0);
+            assert_eq!(level, wire::SessionLevel::Opened);
+            assert_eq!(
+                wire::encode_schedule(&schedule),
+                wire::encode_schedule(mirror.schedule())
+            );
+            assert_eq!(cost, mirror.schedule().cost());
+            session_id
+        }
+        other => panic!("open: {other:?}"),
+    };
+    assert_ne!(session_id, 0);
+
+    // A deterministic streamed campaign touching every delta kind:
+    // resizes, cancellations, node drops, and a mid-stream grow addressed
+    // by later cells.
+    let mut batches: Vec<Vec<wire::WireDelta>> = Vec::new();
+    let mut state = 0xabcd_ef01_2345_6789u64;
+    for round in 0u64..16 {
+        let mut batch = Vec::new();
+        for _ in 0..=(round % 3) {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let sender = (state % n as u64) as u32;
+            let receiver = ((state >> 8) % n as u64) as u32;
+            let bytes = if state.is_multiple_of(4) {
+                0
+            } else {
+                (1 + state % 24) * 1_000_000
+            };
+            batch.push(wire::WireDelta::SetCell {
+                sender,
+                receiver,
+                bytes,
+            });
+        }
+        if round == 5 {
+            batch.push(wire::WireDelta::DropSender(2));
+        }
+        if round == 9 {
+            batch.push(wire::WireDelta::DropReceiver(4));
+        }
+        if round == 11 {
+            batch.push(wire::WireDelta::GrowNodes {
+                senders: 1,
+                receivers: 1,
+            });
+            batch.push(wire::WireDelta::SetCell {
+                sender: n as u32,
+                receiver: n as u32,
+                bytes: 9_000_000,
+            });
+        }
+        batches.push(batch);
+    }
+
+    let mut levels = std::collections::HashSet::new();
+    for (k, batch) in batches.iter().enumerate() {
+        let local: Vec<kpbs::MatrixDelta> =
+            batch.iter().map(|d| convert_delta(&platform, d)).collect();
+        let want = mirror.replan(&local);
+        match c
+            .session(&client::session_delta(
+                100 + k as u64,
+                session_id,
+                batch.clone(),
+            ))
+            .unwrap()
+        {
+            PlanResponse::Session {
+                session_id: sid,
+                generation,
+                level,
+                schedule,
+                cost,
+                lower_bound,
+                ..
+            } => {
+                assert_eq!(sid, session_id);
+                assert_eq!(generation, want.generation, "round {k}");
+                assert_eq!(level.label(), want.level.label(), "round {k}");
+                assert_eq!(
+                    wire::encode_schedule(&schedule),
+                    wire::encode_schedule(mirror.schedule()),
+                    "round {k}: patched schedule must byte-equal the mirror"
+                );
+                assert_eq!(cost, want.cost, "round {k}");
+                assert_eq!(lower_bound, want.lower_bound, "round {k}");
+                levels.insert(level.label());
+            }
+            other => panic!("delta {k}: {other:?}"),
+        }
+    }
+    assert!(
+        levels.len() >= 2,
+        "campaign should exercise multiple repair levels, saw {levels:?}"
+    );
+
+    // COMMIT publishes into the shared plan cache; CLOSE frees the slot;
+    // a closed id stops resolving.
+    match c.session(&client::session_commit(900, session_id)).unwrap() {
+        PlanResponse::Session {
+            level, generation, ..
+        } => {
+            assert_eq!(level, wire::SessionLevel::Committed);
+            assert_eq!(generation, mirror.generation());
+        }
+        other => panic!("commit: {other:?}"),
+    }
+    match c.session(&client::session_close(901, session_id)).unwrap() {
+        PlanResponse::Session { level, .. } => assert_eq!(level, wire::SessionLevel::Closed),
+        other => panic!("close: {other:?}"),
+    }
+    match c
+        .session(&client::session_delta(902, session_id, Vec::new()))
+        .unwrap()
+    {
+        PlanResponse::SessionRejected { reason, .. } => {
+            assert_eq!(reason, wire::SessionRejectReason::UnknownSession)
+        }
+        other => panic!("stale delta: {other:?}"),
+    }
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.sessions_opened, 1);
+    assert_eq!(stats.sessions_closed, 1);
+    assert_eq!(stats.sessions_open, 0);
+    assert_eq!(stats.sessions_rejected, 1, "only the stale delta");
+    assert_eq!(
+        stats.session_repairs + stats.session_repeels + stats.session_colds,
+        batches.len() as u64
+    );
+    assert_eq!(stats.sessions_committed, 1);
+    assert_eq!(stats.cache.len, 1, "the commit is the only cache entry");
+}
+
+#[test]
+fn session_campaign_on_default_core() {
+    run_session_campaign(server::ServingCore::default());
+}
+
+#[test]
+fn session_campaign_on_thread_core() {
+    run_session_campaign(server::ServingCore::Threads);
+}
+
+/// The session table is a backpressure boundary: `OPEN` past
+/// `max_sessions` is refused with `table_full`, and a close frees the
+/// slot for the next open.
+#[test]
+fn session_table_full_is_backpressure_not_failure() {
+    let handle = server::start(ServerConfig {
+        max_sessions: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let n = 6;
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let traffic = &make_matrices(1, n)[0];
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let open = |c: &mut Client, id: u64| {
+        c.session(&client::session_open(id, traffic, &platform, BETA))
+            .unwrap()
+    };
+    let first = match open(&mut c, 1) {
+        PlanResponse::Session { session_id, .. } => session_id,
+        other => panic!("{other:?}"),
+    };
+    match open(&mut c, 2) {
+        PlanResponse::SessionRejected {
+            session_id, reason, ..
+        } => {
+            assert_eq!(session_id, 0);
+            assert_eq!(reason, wire::SessionRejectReason::TableFull);
+        }
+        other => panic!("{other:?}"),
+    }
+    match c.session(&client::session_close(3, first)).unwrap() {
+        PlanResponse::Session { level, .. } => assert_eq!(level, wire::SessionLevel::Closed),
+        other => panic!("{other:?}"),
+    }
+    match open(&mut c, 4) {
+        PlanResponse::Session { session_id, .. } => {
+            assert!(session_id > first, "ids are never recycled")
+        }
+        other => panic!("{other:?}"),
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.sessions_opened, 2);
+    assert_eq!(stats.sessions_rejected, 1);
+    assert_eq!(stats.sessions_open, 1);
+}
+
+/// Malformed session deltas (out-of-range nodes) are answered as protocol
+/// errors and leave the session fully usable — the planner never sees
+/// them.
+#[test]
+fn out_of_range_deltas_leave_the_session_intact() {
+    let handle = server::start(ServerConfig::default()).unwrap();
+    let n = 6;
+    let platform = Platform::new(n, n, 100.0, 100.0, 300.0);
+    let traffic = &make_matrices(1, n)[0];
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let sid = match c
+        .session(&client::session_open(1, traffic, &platform, BETA))
+        .unwrap()
+    {
+        PlanResponse::Session { session_id, .. } => session_id,
+        other => panic!("{other:?}"),
+    };
+    match c
+        .session(&client::session_delta(
+            2,
+            sid,
+            vec![wire::WireDelta::SetCell {
+                sender: n as u32, // one past the end
+                receiver: 0,
+                bytes: 1_000_000,
+            }],
+        ))
+        .unwrap()
+    {
+        PlanResponse::Error { message, .. } => {
+            assert!(message.contains("out of range"), "{message}")
+        }
+        other => panic!("{other:?}"),
+    }
+    // The session still answers: generation is untouched by the bad batch.
+    match c
+        .session(&client::session_delta(
+            3,
+            sid,
+            vec![wire::WireDelta::SetCell {
+                sender: 0,
+                receiver: 0,
+                bytes: 2_000_000,
+            }],
+        ))
+        .unwrap()
+    {
+        PlanResponse::Session { generation, .. } => assert_eq!(generation, 1),
+        other => panic!("{other:?}"),
+    }
+    handle.shutdown();
 }

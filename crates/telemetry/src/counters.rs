@@ -88,10 +88,22 @@ pub enum Counter {
     HierBlockPlans,
     /// Steps emitted by the hierarchical planner's composition phase.
     HierComposeSteps,
+    /// Delta replans absorbed entirely by level-0 schedule repair (trims
+    /// and slack insertions; no peeling ran).
+    DeltaRepairs,
+    /// Delta replans that fell back to a bounded re-peel of the residual
+    /// increase graph (level 1 of the repair ladder).
+    DeltaRePeels,
+    /// Delta replans that fell all the way back to a cold plan of the
+    /// post-delta instance (level 2, including cost-ceiling rejections).
+    DeltaColdFallbacks,
+    /// Delta-planning sessions opened (one per `DeltaPlanner` built from a
+    /// cold plan, locally or via a `redistd` OPEN frame).
+    DeltaSessionsOpened,
 }
 
 /// Number of distinct counters.
-pub const COUNTER_COUNT: usize = 23;
+pub const COUNTER_COUNT: usize = 27;
 
 impl Counter {
     /// Every counter, in declaration (and export) order.
@@ -119,6 +131,10 @@ impl Counter {
         Counter::HierPartitionAssigns,
         Counter::HierBlockPlans,
         Counter::HierComposeSteps,
+        Counter::DeltaRepairs,
+        Counter::DeltaRePeels,
+        Counter::DeltaColdFallbacks,
+        Counter::DeltaSessionsOpened,
     ];
 
     /// Stable snake_case key used in JSON exports and summary tables.
@@ -147,6 +163,10 @@ impl Counter {
             Counter::HierPartitionAssigns => "hier_partition",
             Counter::HierBlockPlans => "hier_block_plans",
             Counter::HierComposeSteps => "hier_compose",
+            Counter::DeltaRepairs => "delta_repairs",
+            Counter::DeltaRePeels => "delta_repeels",
+            Counter::DeltaColdFallbacks => "delta_cold_fallbacks",
+            Counter::DeltaSessionsOpened => "delta_sessions_opened",
         }
     }
 }

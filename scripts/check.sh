@@ -47,6 +47,18 @@ banner "serving-scale campaign (redistload --campaign -> BENCH_serve.json)"
 cargo run --release -p redistd --bin redistload -- \
   --campaign 64,256,1024 --requests 512 --distinct 8 --n 10 --out BENCH_serve.json
 
+banner "streaming-admission campaign (redistload --sessions -> BENCH_session.json)"
+# A live session on each serving core streams 48 delta batches; every
+# patched schedule must byte-compare equal to a client-side mirror planner
+# and deliver exactly what a cold plan of the post-delta matrix delivers.
+cargo run --release -p redistd --bin redistload -- \
+  --sessions 48 --delta-cells 2 --n 12 --out BENCH_session.json
+
+banner "delta-replan speedup gate (delta_bench -> BENCH_delta.json)"
+# Regenerates the checked-in study and fails unless single-cell replans at
+# n=256 beat cold OGGP planning by at least 3x.
+cargo run --release -p bench --bin delta_bench
+
 banner "serve-scale smoke (daemon at 256 connections + METRICS/FLIGHT gates)"
 PORT_FILE="$(mktemp)"
 FLIGHT_DUMP="$(mktemp)"

@@ -61,7 +61,7 @@ pub enum Algorithm {
     List,
     /// Preemptive greedy peeling without regularisation (ablation).
     Greedy,
-    /// Hierarchical block-decomposed planning (see [`kpbs::hier`]) — for
+    /// Hierarchical block-decomposed planning (see [`mod@kpbs::hier`]) — for
     /// large sparse instances where flat OGGP's peeling is too slow. Block
     /// count defaults to `⌈√n⌉` and can be overridden with
     /// [`Planner::with_blocks`].

@@ -1,10 +1,10 @@
-//! Collection strategies: [`vec`] with a flexible size specification.
+//! Collection strategies: [`vec()`] with a flexible size specification.
 
 use crate::strategy::Strategy;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-/// Inclusive range of lengths accepted by [`vec`]; built from a plain
+/// Inclusive range of lengths accepted by [`vec()`]; built from a plain
 /// `usize`, a `Range<usize>`, or a `RangeInclusive<usize>`.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
@@ -47,7 +47,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
