@@ -93,6 +93,25 @@ fn main() {
         ));
     });
 
+    // Topology arm: a fixed-seed heterogeneous plan through the
+    // per-bottleneck planner; the derive-k, route and compose counters are
+    // pure functions of the topology shape and the seeded matrix.
+    let mut rng = SmallRng::seed_from_u64(0x7090);
+    let topo = kpbs::instances::two_backbone_topology(4, 100.0, 40.0, 250.0, 80.0);
+    let topo_traffic = kpbs::instances::routable_traffic(&mut rng, &topo, 12);
+    record("topo_two_backbone_n8", &mut || {
+        std::hint::black_box(
+            kpbs::plan_topology(
+                &topo_traffic,
+                &topo,
+                0.05,
+                TickScale::MILLIS,
+                kpbs::TopoAlgo::Oggp,
+            )
+            .expect("fixed-seed topology plan"),
+        );
+    });
+
     // Simulator arm: OGGP schedule executed on the ideal fluid network.
     let mut rng = SmallRng::seed_from_u64(0xf10e);
     let platform = Platform::testbed(4);

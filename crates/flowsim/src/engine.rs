@@ -1,7 +1,7 @@
 //! The discrete-event loop: advance fluid flows between rate-changing
 //! events (flow completions and backbone-profile breakpoints).
 
-use crate::fairshare::max_min_rates;
+use crate::fairshare::max_min_rates_routed;
 use crate::flow::{Flow, FlowResult};
 use crate::network::{NetworkSpec, BYTES_PER_S_PER_MBPS};
 use crate::tcp::TcpModel;
@@ -107,15 +107,27 @@ impl Engine {
                 .map(|(f, _)| (f.src, f.dst))
                 .collect();
             let idx: Vec<usize> = (0..n).filter(|&i| !done[i]).collect();
-            let backbone_now = self.spec.backbone.at(now);
-            let alloc = max_min_rates(&pairs, &self.spec.nic_out, &self.spec.nic_in, backbone_now);
+            let links_now: Vec<f64> = (0..self.spec.num_links())
+                .map(|l| self.spec.link_profile(l).at(now))
+                .collect();
+            let link_of: Vec<usize> = pairs
+                .iter()
+                .map(|&(s, d)| self.spec.link_of(s, d))
+                .collect();
+            let alloc = max_min_rates_routed(
+                &pairs,
+                &self.spec.nic_out,
+                &self.spec.nic_in,
+                &links_now,
+                &link_of,
+            );
 
             // Effective (TCP-adjusted) rates in bytes/s.
             let mut rates = vec![0.0f64; n];
-            for (a, &i) in alloc.iter().zip(&idx) {
+            for ((a, &i), &l) in alloc.iter().zip(&idx).zip(&link_of) {
                 let solo = self.spec.nic_out[flows[i].src]
                     .min(self.spec.nic_in[flows[i].dst])
-                    .min(backbone_now);
+                    .min(links_now[l]);
                 let eff = self.config.tcp.effective_rate(*a, solo, run_bias, &mut rng);
                 rates[i] = eff * BYTES_PER_S_PER_MBPS;
             }
@@ -128,8 +140,10 @@ impl Engine {
             for &i in &idx {
                 dt = dt.min(remaining[i] / rates[i]);
             }
-            if let Some(change) = self.spec.backbone.next_change_after(now) {
-                dt = dt.min(change - now);
+            for l in 0..self.spec.num_links() {
+                if let Some(change) = self.spec.link_profile(l).next_change_after(now) {
+                    dt = dt.min(change - now);
+                }
             }
             debug_assert!(dt.is_finite() && dt > 0.0);
 
@@ -229,10 +243,32 @@ mod tests {
             nic_out: vec![100.0],
             nic_in: vec![100.0],
             backbone: CapacityProfile::Piecewise(vec![(0.0, 100.0), (0.5, 50.0)]),
+            extra_links: Vec::new(),
+            route: Vec::new(),
         };
         let e = Engine::new(spec, SimConfig::default());
         let r = e.run(&[Flow::new(0, 0, 12_500_000.0)]);
         assert!(close(r.makespan, 1.5), "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn multi_backbone_flows_use_their_own_link() {
+        // A two-backbone topology: fast pairs on a fat link, slow pairs on
+        // a thin one. Flows crossing different backbones must not share.
+        let topo = kpbs::instances::two_backbone_topology(1, 100.0, 100.0, 100.0, 25.0);
+        let spec = NetworkSpec::from_topology(&topo).unwrap();
+        let e = Engine::new(spec, SimConfig::default());
+        // 12.5 MB each: link 0 at 100 Mbit/s → 1 s; link 1 at 25 → 4 s.
+        let r = e.run(&[Flow::new(0, 0, 12_500_000.0), Flow::new(1, 1, 12_500_000.0)]);
+        assert!(close(r.flows[0].finish, 1.0), "fast {}", r.flows[0].finish);
+        assert!(close(r.flows[1].finish, 4.0), "slow {}", r.flows[1].finish);
+
+        // The same two flows forced over one shared 25 Mbit/s backbone
+        // would instead contend: both at 12.5 until t = 8.
+        let shared = NetworkSpec::uniform(2, 2, 100.0, 100.0, 25.0);
+        let r = Engine::new(shared, SimConfig::default())
+            .run(&[Flow::new(0, 0, 12_500_000.0), Flow::new(1, 1, 12_500_000.0)]);
+        assert!(close(r.makespan, 8.0), "shared {}", r.makespan);
     }
 
     #[test]

@@ -134,6 +134,8 @@ pub fn adaptive_scheduled_time(
             nic_out: spec.nic_out.clone(),
             nic_in: spec.nic_in.clone(),
             backbone: crate::network::CapacityProfile::Constant(cap),
+            extra_links: Vec::new(),
+            route: Vec::new(),
         };
         let engine = Engine::new(step_spec, config.clone());
         let k = ((cap / per_transfer_mbps).floor() as usize).clamp(1, n1.min(n2));
@@ -352,6 +354,8 @@ mod tests {
             nic_out: vec![25.0; 4],
             nic_in: vec![25.0; 4],
             backbone: CapacityProfile::Piecewise(vec![(0.0, 100.0), (2.0, 25.0), (20.0, 100.0)]),
+            extra_links: Vec::new(),
+            route: Vec::new(),
         };
         let r = adaptive_scheduled_time(&traffic, &spec, 25.0, 0.02, &SimConfig::default());
         assert!(r.num_steps > 0);

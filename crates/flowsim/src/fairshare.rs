@@ -1,7 +1,8 @@
 //! Max–min fair bandwidth allocation by progressive filling.
 //!
 //! Constraints: for each sender `i`, `Σ_{f: src=i} r_f ≤ out[i]`; for each
-//! receiver `j`, `Σ_{f: dst=j} r_f ≤ in[j]`; and `Σ_f r_f ≤ backbone`.
+//! receiver `j`, `Σ_{f: dst=j} r_f ≤ in[j]`; and for each backbone link `l`,
+//! `Σ_{f: link=l} r_f ≤ links[l]`.
 //! Progressive filling raises every unfrozen flow's rate at the same speed;
 //! when a constraint saturates, all flows crossing it freeze. The result is
 //! the unique max–min fair allocation, which is also Pareto-optimal: at
@@ -16,6 +17,9 @@ const EPS: f64 = 1e-9;
 /// per-sender caps `out`, per-receiver caps `in_`, and the `backbone` cap.
 /// All capacities and the returned rates share one arbitrary unit.
 ///
+/// The single-backbone special case of [`max_min_rates_routed`] — the
+/// paper's two-cluster platform, where every flow crosses the one link.
+///
 /// # Panics
 ///
 /// Panics if a flow references an out-of-range node or any capacity is
@@ -26,10 +30,34 @@ pub fn max_min_rates(
     in_: &[f64],
     backbone: f64,
 ) -> Vec<f64> {
-    assert!(backbone > 0.0, "backbone capacity must be positive");
-    for &(s, d) in flows {
+    max_min_rates_routed(flows, out, in_, &[backbone], &vec![0; flows.len()])
+}
+
+/// Computes the max–min fair rates for `flows` over a multi-backbone
+/// network: `links[l]` caps the total rate of the flows with
+/// `link_of[f] == l`. NIC constraints apply as in [`max_min_rates`].
+///
+/// # Panics
+///
+/// Panics if a flow references an out-of-range node or link, `link_of` is
+/// not flow-aligned, or any capacity is non-positive.
+pub fn max_min_rates_routed(
+    flows: &[(usize, usize)],
+    out: &[f64],
+    in_: &[f64],
+    links: &[f64],
+    link_of: &[usize],
+) -> Vec<f64> {
+    assert!(!links.is_empty(), "at least one backbone link is required");
+    assert!(
+        links.iter().all(|&c| c > 0.0),
+        "link capacities must be positive"
+    );
+    assert_eq!(link_of.len(), flows.len(), "link_of must align with flows");
+    for (&(s, d), &l) in flows.iter().zip(link_of) {
         assert!(s < out.len(), "sender {s} out of range");
         assert!(d < in_.len(), "receiver {d} out of range");
+        assert!(l < links.len(), "link {l} out of range");
     }
     assert!(out.iter().chain(in_).all(|&c| c > 0.0));
 
@@ -41,19 +69,19 @@ pub fn max_min_rates(
     // Residual capacity of each constraint.
     let mut out_res = out.to_vec();
     let mut in_res = in_.to_vec();
-    let mut bb_res = backbone;
+    let mut link_res = links.to_vec();
 
     while remaining > 0 {
         counters::incr(Counter::FairshareRounds);
         // Active flow count per constraint.
         let mut out_act = vec![0usize; out.len()];
         let mut in_act = vec![0usize; in_.len()];
-        let mut bb_act = 0usize;
+        let mut link_act = vec![0usize; links.len()];
         for (f, &(s, d)) in flows.iter().enumerate() {
             if !frozen[f] {
                 out_act[s] += 1;
                 in_act[d] += 1;
-                bb_act += 1;
+                link_act[link_of[f]] += 1;
             }
         }
         // The common increment is limited by the tightest constraint.
@@ -68,7 +96,11 @@ pub fn max_min_rates(
                 inc = inc.min(in_res[d] / a as f64);
             }
         }
-        inc = inc.min(bb_res / bb_act as f64);
+        for (l, &a) in link_act.iter().enumerate() {
+            if a > 0 {
+                inc = inc.min(link_res[l] / a as f64);
+            }
+        }
         debug_assert!(inc.is_finite() && inc >= 0.0);
 
         // Raise all unfrozen flows and charge the constraints.
@@ -77,18 +109,20 @@ pub fn max_min_rates(
                 rates[f] += inc;
                 out_res[s] -= inc;
                 in_res[d] -= inc;
-                bb_res -= inc;
+                link_res[link_of[f]] -= inc;
             }
         }
 
         // Freeze flows crossing a saturated constraint.
-        let bb_tight = bb_res <= EPS * backbone;
         let mut any_frozen = false;
         for (f, &(s, d)) in flows.iter().enumerate() {
             if frozen[f] {
                 continue;
             }
-            let tight = bb_tight || out_res[s] <= EPS * out[s] || in_res[d] <= EPS * in_[d];
+            let l = link_of[f];
+            let tight = link_res[l] <= EPS * links[l]
+                || out_res[s] <= EPS * out[s]
+                || in_res[d] <= EPS * in_[d];
             if tight {
                 frozen[f] = true;
                 remaining -= 1;
@@ -199,6 +233,39 @@ mod tests {
                     || total >= backbone * (1.0 - 1e-6);
                 assert!(tight, "flow ({s},{d}) could still grow");
             }
+        }
+    }
+
+    #[test]
+    fn routed_links_are_independent() {
+        // Two disjoint pairs on separate links: each takes its own link cap,
+        // unconstrained by the other.
+        let flows = [(0, 0), (1, 1)];
+        let r = max_min_rates_routed(&flows, &[100.0; 2], &[100.0; 2], &[30.0, 70.0], &[0, 1]);
+        assert!(close(r[0], 30.0), "r0 = {}", r[0]);
+        assert!(close(r[1], 70.0), "r1 = {}", r[1]);
+        // Same flows forced onto one shared 30 link: 15 each.
+        let r = max_min_rates_routed(&flows, &[100.0; 2], &[100.0; 2], &[30.0], &[0, 0]);
+        assert!(close(r[0], 15.0));
+        assert!(close(r[1], 15.0));
+    }
+
+    #[test]
+    fn routed_reduces_to_single_backbone() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(77);
+        for _ in 0..100 {
+            let ns = rng.gen_range(1..5);
+            let nr = rng.gen_range(1..5);
+            let out: Vec<f64> = (0..ns).map(|_| rng.gen_range(1.0..100.0)).collect();
+            let in_: Vec<f64> = (0..nr).map(|_| rng.gen_range(1.0..100.0)).collect();
+            let bb = rng.gen_range(1.0..200.0);
+            let flows: Vec<(usize, usize)> = (0..rng.gen_range(1..10))
+                .map(|_| (rng.gen_range(0..ns), rng.gen_range(0..nr)))
+                .collect();
+            let a = max_min_rates(&flows, &out, &in_, bb);
+            let b = max_min_rates_routed(&flows, &out, &in_, &[bb], &vec![0; flows.len()]);
+            assert_eq!(a, b, "single-link routed allocation diverged");
         }
     }
 

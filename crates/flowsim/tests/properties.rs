@@ -87,6 +87,8 @@ proptest! {
             nic_out: out.clone(),
             nic_in: in_.clone(),
             backbone: CapacityProfile::Constant(backbone),
+            extra_links: Vec::new(),
+            route: Vec::new(),
         };
         let flows: Vec<Flow> = pairs
             .iter()

@@ -5,6 +5,8 @@
 //! plus structured workloads a redistribution scheduler meets in practice.
 
 use crate::problem::Instance;
+use crate::topo::{BackboneSpec, NodeSpec, Topology};
+use crate::traffic::TrafficMatrix;
 use bipartite::{Graph, Weight};
 use rand::Rng;
 
@@ -179,6 +181,111 @@ pub fn staircase(levels: usize, beta: Weight) -> Instance {
     Instance::new(g, 1, beta)
 }
 
+/// A star topology (Marchal et al.) with per-node NIC speeds drawn
+/// uniformly from `lo_mbps..=hi_mbps`: `n1` senders, `n2` receivers, one
+/// shared backbone of `backbone_mbps`. The heterogeneous counterpart of
+/// [`Platform::testbed`](crate::platform::Platform::testbed).
+pub fn star_topology<R: Rng + ?Sized>(
+    rng: &mut R,
+    n1: usize,
+    n2: usize,
+    lo_mbps: f64,
+    hi_mbps: f64,
+    backbone_mbps: f64,
+) -> Topology {
+    assert!(n1 >= 1 && n2 >= 1);
+    assert!(lo_mbps > 0.0 && lo_mbps <= hi_mbps);
+    let draw = |rng: &mut R| {
+        if lo_mbps == hi_mbps {
+            lo_mbps
+        } else {
+            rng.gen_range(lo_mbps..=hi_mbps)
+        }
+    };
+    let out: Vec<f64> = (0..n1).map(|_| draw(rng)).collect();
+    let inn: Vec<f64> = (0..n2).map(|_| draw(rng)).collect();
+    Topology::star(&out, &inn, backbone_mbps)
+}
+
+/// A multi-level cluster-of-clusters topology. Sender clusters are given as
+/// `(node_count, nic_mbps)` pairs and numbered `0..S`; receiver clusters
+/// likewise, numbered `S..S+R`. Each link `(s, r, capacity_mbps)` joins
+/// sender cluster `s` to receiver cluster `r` (indices into the respective
+/// slices).
+pub fn multi_level_topology(
+    sender_clusters: &[(usize, f64)],
+    receiver_clusters: &[(usize, f64)],
+    links: &[(usize, usize, f64)],
+) -> Topology {
+    let mut nodes = Vec::new();
+    for (c, &(count, speed)) in sender_clusters.iter().enumerate() {
+        for _ in 0..count {
+            nodes.push(NodeSpec {
+                nic_out: speed,
+                nic_in: speed,
+                cluster: c,
+            });
+        }
+    }
+    let base = sender_clusters.len();
+    for (c, &(count, speed)) in receiver_clusters.iter().enumerate() {
+        for _ in 0..count {
+            nodes.push(NodeSpec {
+                nic_out: speed,
+                nic_in: speed,
+                cluster: base + c,
+            });
+        }
+    }
+    let links = links
+        .iter()
+        .map(|&(s, r, capacity)| BackboneSpec {
+            capacity,
+            connects: (s, base + r),
+        })
+        .collect();
+    Topology { nodes, links }
+}
+
+/// Two independent backbones: fast sender cluster → fast receiver cluster
+/// over `cap_fast_mbps`, slow pair over `cap_slow_mbps`, `per_cluster`
+/// nodes everywhere. The smallest topology where per-bottleneck `k_b`
+/// diverges from any single global `k` and disjoint links zip in parallel.
+pub fn two_backbone_topology(
+    per_cluster: usize,
+    fast_mbps: f64,
+    slow_mbps: f64,
+    cap_fast_mbps: f64,
+    cap_slow_mbps: f64,
+) -> Topology {
+    multi_level_topology(
+        &[(per_cluster, fast_mbps), (per_cluster, slow_mbps)],
+        &[(per_cluster, fast_mbps), (per_cluster, slow_mbps)],
+        &[(0, 0, cap_fast_mbps), (1, 1, cap_slow_mbps)],
+    )
+}
+
+/// A traffic matrix for `topo` with volume only on routable pairs: each
+/// sender→receiver pair served by some backbone gets `0..=max_mb` MB,
+/// unreachable pairs stay zero. The workload generator every heterogeneous
+/// campaign and proptest uses.
+pub fn routable_traffic<R: Rng + ?Sized>(
+    rng: &mut R,
+    topo: &Topology,
+    max_mb: u64,
+) -> TrafficMatrix {
+    let (n1, n2) = (topo.senders(), topo.receivers());
+    let mut m = TrafficMatrix::zeros(n1, n2);
+    for i in 0..n1 {
+        for j in 0..n2 {
+            if topo.route(i, j).is_some() {
+                m.set(i, j, rng.gen_range(0..=max_mb) * 1_000_000);
+            }
+        }
+    }
+    m
+}
+
 /// Every named family at a small, fast size — the regression corpus the
 /// test-suites sweep.
 pub fn regression_corpus() -> Vec<(&'static str, Instance)> {
@@ -292,6 +399,32 @@ mod tests {
         let inst = sparse_clustered(&mut rng, 32, clusters, 5, 0.0, 10, 8, 1);
         for (_, l, r, _) in inst.graph.edges() {
             assert_eq!(l % clusters, r % clusters, "edge {l}->{r} left cluster");
+        }
+    }
+
+    #[test]
+    fn topology_generators_validate_and_plan() {
+        use crate::topo::{plan_topology, TopoAlgo};
+        use crate::traffic::TickScale;
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let star = star_topology(&mut rng, 5, 4, 10.0, 100.0, 200.0);
+        let twob = two_backbone_topology(3, 100.0, 10.0, 300.0, 40.0);
+        for topo in [&star, &twob] {
+            topo.validate().unwrap();
+            let m = routable_traffic(&mut rng, topo, 8);
+            let plan = plan_topology(&m, topo, 0.05, TickScale::MILLIS, TopoAlgo::Oggp).unwrap();
+            plan.schedule.validate(&plan.instance).unwrap();
+            assert!(plan.schedule.cost() >= plan.lower_bound);
+        }
+        // Unroutable pairs stay zero: cluster-crossed cells of the
+        // two-backbone matrix carry no traffic.
+        let m = routable_traffic(&mut rng, &twob, 8);
+        for i in 0..3 {
+            for j in 3..6 {
+                assert_eq!(m.get(i, j), 0);
+                assert_eq!(m.get(j - 3 + 3, j - 3), 0);
+            }
         }
     }
 

@@ -20,7 +20,8 @@
 //! branch-and-bound solver for tiny instances), [`baselines`], [`mod@hier`] (the
 //! hierarchical block-decomposed planner for large sparse instances), and
 //! the future-work extensions [`adaptive`] (time-varying `k`) and [`relax`]
-//! (barrier weakening).
+//! (barrier weakening). [`mod@topo`] generalises the platform model to
+//! heterogeneous multi-backbone topologies with a per-bottleneck `k_b`.
 //!
 //! # Quickstart
 //!
@@ -66,6 +67,7 @@ pub mod relax;
 pub mod residual;
 pub mod schedule;
 pub mod stats;
+pub mod topo;
 pub mod traffic;
 pub mod validate;
 pub mod wdm;
@@ -82,6 +84,10 @@ pub use platform::Platform;
 pub use problem::Instance;
 pub use residual::{residual_matrix, restrict_matrix, surviving_residual};
 pub use schedule::{Schedule, Step, Transfer};
+pub use topo::{
+    plan_topology, topo_lower_bound, BackboneSpec, NodeSpec, TopoAlgo, TopoError, TopoPlan,
+    Topology,
+};
 pub use traffic::TrafficMatrix;
 
 #[cfg(test)]

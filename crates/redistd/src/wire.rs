@@ -782,12 +782,12 @@ fn decode_plan_body(
     if n1 == 0 || n2 == 0 {
         return Err(WireError::new("empty cluster"));
     }
-    if !(t1 > 0.0 && t1.is_finite() && t2 > 0.0 && t2.is_finite()) {
-        return Err(WireError::new("non-positive NIC throughput"));
-    }
-    if !(backbone > 0.0 && backbone.is_finite()) {
-        return Err(WireError::new("non-positive backbone throughput"));
-    }
+    // Wire-decoded platforms go through the same validation choke point as
+    // every other topology construction (non-finite / non-positive speeds
+    // and capacities rejected before anything downstream sees them).
+    kpbs::Topology::two_cluster(n1 as usize, n2 as usize, t1, t2, backbone)
+        .validate()
+        .map_err(|_| WireError::new("invalid platform throughputs"))?;
     if !(beta_seconds >= 0.0 && beta_seconds.is_finite()) {
         return Err(WireError::new("invalid beta"));
     }

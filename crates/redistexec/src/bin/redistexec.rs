@@ -5,7 +5,17 @@
 //!            [--algo oggp|ggp] [--transport loopback|sim]
 //!            [--faults SEED] [--timeout SECS] [--trace out.json]
 //!            [--rid N] [--metrics out.prom]
+//!        redistexec --topo topo.txt [--beta 0.05] [--lo-mb 5] [--hi-mb 30]
+//!            [--seed 1] [--algo oggp|ggp] [--faults SEED] [--timeout SECS]
 //!        redistexec --bench [--seeds 40] [--out BENCH_exec.json]
+//!
+//! `--topo FILE` executes over a heterogeneous topology instead of the
+//! uniform platform: the file holds `node OUT IN CLUSTER [COUNT]` and
+//! `link CAP SRC DST` lines (`#` comments allowed). The workload fills
+//! only routable pairs, planning runs per backbone under its own
+//! preemption bound `k_b`, execution goes through the flowsim transport
+//! lowered from the topology, and fault plans may include per-node NIC
+//! slowdowns and per-link degradations.
 //!
 //! Plans a deterministic uniform workload, then executes it under the fault
 //! plan generated from `--faults` (omit for a fault-free run). `--trace`
@@ -23,10 +33,10 @@
 //! delivery invariant, with retry/replan/fault/splice counter totals.
 
 use kpbs::traffic::TickScale;
-use kpbs::{Platform, TrafficMatrix};
+use kpbs::{Platform, Topology, TrafficMatrix};
 use redistexec::{
-    plan_and_execute_observed, ExecConfig, ExecMetrics, ExecReport, FaultPlan, FaultSpec,
-    LoopbackTransport, PlanRecord, ReplanAlgo, SimTransport, Transport,
+    plan_and_execute_observed, plan_and_execute_topo, ExecConfig, ExecMetrics, ExecReport,
+    FaultPlan, FaultSpec, LoopbackTransport, PlanRecord, ReplanAlgo, SimTransport, Transport,
 };
 use telemetry::counters::{self, Counter};
 use telemetry::metrics::Registry;
@@ -220,11 +230,138 @@ fn bench(seeds: u64, out_path: &str) {
     print!("{json}");
 }
 
+/// A seeded workload on `topo`'s routable pairs only (unreachable pairs
+/// carry no demand — the planner would reject them).
+fn routable_matrix(seed: u64, topo: &Topology, lo_mb: u64, hi_mb: u64) -> TrafficMatrix {
+    let mut rng = Rng::new(seed);
+    let mut m = TrafficMatrix::zeros(topo.senders(), topo.receivers());
+    for i in 0..topo.senders() {
+        for j in 0..topo.receivers() {
+            if topo.route(i, j).is_some() {
+                let mb = lo_mb + rng.next() % (hi_mb - lo_mb + 1);
+                m.set(i, j, mb * 1_000_000);
+            }
+        }
+    }
+    m
+}
+
+fn run_topo(topo_path: &str) {
+    let text = std::fs::read_to_string(topo_path).unwrap_or_else(|e| {
+        eprintln!("redistexec: cannot read {topo_path}: {e}");
+        std::process::exit(2);
+    });
+    let topo = Topology::parse(&text).unwrap_or_else(|e| {
+        eprintln!("redistexec: {topo_path}: {e}");
+        std::process::exit(2);
+    });
+    let beta: f64 = arg("beta", 0.05);
+    let lo_mb: u64 = arg("lo-mb", 5);
+    let hi_mb: u64 = arg("hi-mb", 30);
+    let seed: u64 = arg("seed", 1);
+    let timeout: f64 = arg("timeout", 3_600.0);
+    let algo = match arg("algo", "oggp".to_string()).as_str() {
+        "oggp" => ReplanAlgo::Oggp,
+        "ggp" => ReplanAlgo::Ggp,
+        other => {
+            eprintln!("redistexec: unknown --algo {other} (want oggp|ggp)");
+            std::process::exit(2);
+        }
+    };
+    if lo_mb == 0 || lo_mb > hi_mb {
+        eprintln!("redistexec: need 1 <= --lo-mb <= --hi-mb");
+        std::process::exit(2);
+    }
+    let (n1, n2) = (topo.senders(), topo.receivers());
+    let traffic = routable_matrix(seed, &topo, lo_mb, hi_mb);
+    let faults = match arg_str("faults") {
+        Some(s) => {
+            let fseed: u64 = s.parse().unwrap_or_else(|_| {
+                eprintln!("redistexec: bad value for --faults");
+                std::process::exit(2);
+            });
+            let spec = FaultSpec {
+                nic_slowdowns: 2,
+                link_degradations: 2,
+                links: topo.links.len(),
+                ..FaultSpec::default()
+            };
+            FaultPlan::generate(fseed, n1, n2, &spec)
+        }
+        None => FaultPlan::none(),
+    };
+    let fault_events = faults.event_count();
+    let config = ExecConfig {
+        algo,
+        step_timeout_seconds: timeout,
+        ..ExecConfig::default()
+    };
+    let transport = SimTransport::for_topology(&topo).unwrap_or_else(|e| {
+        eprintln!("redistexec: {topo_path}: {e}");
+        std::process::exit(2);
+    });
+    let (initial, report) = match plan_and_execute_topo(
+        &traffic,
+        &topo,
+        beta,
+        TickScale::MILLIS,
+        transport,
+        faults,
+        config,
+    ) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("redistexec: execution failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match report.verify_against(&traffic) {
+        Ok(()) => println!("delivery invariant: OK"),
+        Err(e) => {
+            eprintln!("redistexec: delivery invariant VIOLATED: {e}");
+            std::process::exit(1);
+        }
+    }
+    let ks: Vec<String> = (0..topo.links.len())
+        .map(|b| format!("k_{b}={}", topo.link_k(b)))
+        .collect();
+    println!(
+        "topology: {n1}x{n2} over {} backbones ({}), beta={beta}s, transport=sim",
+        topo.links.len(),
+        ks.join(", ")
+    );
+    println!(
+        "plan: {} steps, cost {} ticks; fault plan: {fault_events} events",
+        initial.schedule.num_steps(),
+        initial.schedule.cost()
+    );
+    println!(
+        "executed {} steps in {:.3}s virtual time; faults: {} injected; \
+         {} retries, {} timeouts, {} replans splicing {} steps",
+        report.steps.len(),
+        report.total_seconds,
+        report.faults_injected,
+        report.retries,
+        report.timeouts,
+        report.replans,
+        report.steps_spliced
+    );
+    println!(
+        "delivered {} of {} bytes",
+        report.delivered.total_bytes(),
+        traffic.total_bytes()
+    );
+}
+
 fn main() {
     if flag("bench") {
         let seeds: u64 = arg("seeds", 40);
         let out: String = arg("out", "BENCH_exec.json".to_string());
         bench(seeds.max(1), &out);
+        return;
+    }
+    if let Some(path) = arg_str("topo") {
+        run_topo(&path);
         return;
     }
 

@@ -55,10 +55,10 @@ pub mod runtime;
 pub mod transport;
 
 pub use faults::{FaultPlan, FaultSpec, NodeRef};
-pub use replan::{plan, PlanRecord, ReplanAlgo};
+pub use replan::{plan, plan_topo, PlanRecord, ReplanAlgo};
 pub use residual::{outstanding, Liveness};
 pub use runtime::{
-    plan_and_execute, plan_and_execute_observed, ExecConfig, ExecError, ExecMetrics, ExecReport,
-    ExecutedStep, Runtime,
+    plan_and_execute, plan_and_execute_observed, plan_and_execute_topo, ExecConfig, ExecError,
+    ExecMetrics, ExecReport, ExecutedStep, Runtime,
 };
-pub use transport::{LoopbackTransport, SimTransport, TransferOp, Transport};
+pub use transport::{LoopbackTransport, SimTransport, StepFaults, TransferOp, Transport};

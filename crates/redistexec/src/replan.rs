@@ -9,9 +9,10 @@
 
 use crate::transport::TransferOp;
 use kpbs::validate::ValidationError;
-use kpbs::{ggp, oggp};
+use kpbs::{ggp, oggp, plan_topology};
 use kpbs::{plan_many_with, Instance, Platform, Schedule, TrafficMatrix};
-use telemetry::counters::Snapshot;
+use kpbs::{TopoAlgo, TopoError, Topology};
+use telemetry::counters::{self, Snapshot};
 
 /// Which scheduler plans (and re-plans) the traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +95,35 @@ pub fn plan(
     })
 }
 
+/// Plans `traffic` over a heterogeneous [`Topology`] with the chosen
+/// algorithm: every traffic block is routed to its governing backbone,
+/// planned under that backbone's own preemption bound `k_b`, and the
+/// per-link schedules are composed and validated ([`kpbs::plan_topology`]).
+/// The work snapshot captures the planning round's counter delta the same
+/// way [`plan`] does through the batch discipline.
+pub fn plan_topo(
+    traffic: &TrafficMatrix,
+    topo: &Topology,
+    beta_seconds: f64,
+    scale: kpbs::traffic::TickScale,
+    algo: ReplanAlgo,
+) -> Result<PlanRecord, TopoError> {
+    let topo_algo = match algo {
+        ReplanAlgo::Oggp => TopoAlgo::Oggp,
+        ReplanAlgo::Ggp => TopoAlgo::Ggp,
+    };
+    let before = counters::local_snapshot();
+    let plan = plan_topology(traffic, topo, beta_seconds, scale, topo_algo)?;
+    let work = counters::local_snapshot().delta(&before);
+    Ok(PlanRecord {
+        instance: plan.instance,
+        endpoints: plan.endpoints,
+        bytes: plan.bytes,
+        schedule: plan.schedule,
+        work,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +153,43 @@ mod tests {
             }
             assert_eq!(seen, m, "{algo:?} byte coverage");
         }
+    }
+
+    #[test]
+    fn plan_topo_homogeneous_matches_platform_plan() {
+        let (m, p) = traffic();
+        let topo = Topology::from_platform(&p);
+        for algo in [ReplanAlgo::Oggp, ReplanAlgo::Ggp] {
+            let flat = plan(&m, &p, 0.05, TickScale::MILLIS, algo).unwrap();
+            let via_topo = plan_topo(&m, &topo, 0.05, TickScale::MILLIS, algo).unwrap();
+            assert_eq!(via_topo.schedule, flat.schedule, "{algo:?} oracle");
+            assert_eq!(via_topo.endpoints, flat.endpoints);
+            assert_eq!(via_topo.bytes, flat.bytes);
+        }
+    }
+
+    #[test]
+    fn plan_topo_covers_bytes_on_two_backbones() {
+        let topo = kpbs::instances::two_backbone_topology(2, 100.0, 50.0, 200.0, 60.0);
+        let mut m = TrafficMatrix::zeros(4, 4);
+        m.set(0, 1, 9_000_000);
+        m.set(1, 0, 4_000_000);
+        m.set(2, 3, 6_000_000);
+        m.set(3, 2, 2_000_000);
+        let rec = plan_topo(&m, &topo, 0.05, TickScale::MILLIS, ReplanAlgo::Oggp).unwrap();
+        rec.schedule.validate(&rec.instance).unwrap();
+        let mut seen = TrafficMatrix::zeros(4, 4);
+        for step in rec.step_ops() {
+            for op in step {
+                seen.set(op.src, op.dst, seen.get(op.src, op.dst) + op.bytes);
+            }
+        }
+        assert_eq!(seen, m, "byte coverage through composition");
+
+        // Unroutable traffic is a planning error, not a silent drop.
+        m.set(0, 3, 1_000_000);
+        let err = plan_topo(&m, &topo, 0.05, TickScale::MILLIS, ReplanAlgo::Oggp).unwrap_err();
+        assert!(matches!(err, TopoError::Unroutable { .. }), "{err}");
     }
 
     #[test]

@@ -39,7 +39,7 @@ use crate::residual::{outstanding, Liveness};
 use crate::transport::{TransferOp, Transport};
 use kpbs::traffic::TickScale;
 use kpbs::validate::ValidationError;
-use kpbs::{Platform, Schedule, TrafficMatrix};
+use kpbs::{Platform, Schedule, Topology, TrafficMatrix};
 use telemetry::counters::{self, Counter};
 use telemetry::metrics::{CounterHandle, Registry};
 use telemetry::spans;
@@ -243,6 +243,9 @@ pub enum ExecError {
         /// Bytes still owed to surviving pairs.
         missing_bytes: u64,
     },
+    /// Topology-aware planning failed (invalid topology, unroutable
+    /// traffic, or a composition bug).
+    PlanningFailed(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -260,6 +263,7 @@ impl std::fmt::Display for ExecError {
                     "execution drained with {missing_bytes} bytes undelivered"
                 )
             }
+            ExecError::PlanningFailed(m) => write!(f, "topology planning failed: {m}"),
         }
     }
 }
@@ -351,6 +355,26 @@ impl<T: Transport> Runtime<T> {
         scale: TickScale,
         initial: &PlanRecord,
     ) -> Result<ExecReport, ExecError> {
+        let algo = self.config.algo;
+        let replanner = move |residual: &TrafficMatrix| {
+            replan::plan(residual, platform, beta_seconds, scale, algo)
+                .map_err(ExecError::ReplanFailed)
+        };
+        self.run_with(traffic, beta_seconds, scale, initial, &replanner)
+    }
+
+    /// The execution loop, generic over the residual replanner — the
+    /// platform path plugs in [`replan::plan`], the topology path
+    /// [`replan::plan_topo`]; everything else (drops, shaping, retries,
+    /// splices, budget) is shared.
+    fn run_with(
+        &mut self,
+        traffic: &TrafficMatrix,
+        beta_seconds: f64,
+        scale: TickScale,
+        initial: &PlanRecord,
+        replanner: &dyn Fn(&TrafficMatrix) -> Result<PlanRecord, ExecError>,
+    ) -> Result<ExecReport, ExecError> {
         let budget = if self.config.replan_budget > 0 {
             self.config.replan_budget as u64
         } else {
@@ -372,6 +396,8 @@ impl<T: Transport> Runtime<T> {
             delivered: TrafficMatrix::zeros(traffic.senders(), traffic.receivers()),
         };
         let mut drop_cursor = 0usize;
+        let mut nic_cursor = 0usize;
+        let mut link_cursor = 0usize;
         let mut needs_replan = false;
         let mut slot: u64 = 0;
 
@@ -389,6 +415,31 @@ impl<T: Transport> Runtime<T> {
                         m.faults_injected.inc();
                     }
                     needs_replan = true;
+                }
+            }
+
+            // NIC slowdowns and link degradations newly in force are
+            // counted once as injected faults; they shape steps through
+            // `step_faults` from here on but never force a replan (the
+            // plan stays valid — only its timing stretches).
+            while nic_cursor < self.faults.nic_slowdowns().len()
+                && self.faults.nic_slowdowns()[nic_cursor].0 <= slot
+            {
+                nic_cursor += 1;
+                report.faults_injected += 1;
+                counters::incr(Counter::ExecFaultsInjected);
+                if let Some(m) = &self.metrics {
+                    m.faults_injected.inc();
+                }
+            }
+            while link_cursor < self.faults.link_degradations().len()
+                && self.faults.link_degradations()[link_cursor].0 <= slot
+            {
+                link_cursor += 1;
+                report.faults_injected += 1;
+                counters::incr(Counter::ExecFaultsInjected);
+                if let Some(m) = &self.metrics {
+                    m.faults_injected.inc();
                 }
             }
 
@@ -411,9 +462,7 @@ impl<T: Transport> Runtime<T> {
                 let residual = outstanding(traffic, &self.transport, &liveness);
                 queue.clear();
                 if residual.total_bytes() > 0 {
-                    let rec =
-                        replan::plan(&residual, platform, beta_seconds, scale, self.config.algo)
-                            .map_err(ExecError::ReplanFailed)?;
+                    let rec = replanner(&residual)?;
                     let steps = rec.step_ops();
                     report.steps_spliced += steps.len() as u64;
                     counters::add(Counter::ExecStepsSpliced, steps.len() as u64);
@@ -444,8 +493,10 @@ impl<T: Transport> Runtime<T> {
                 needs_replan = true;
             }
 
-            let slowdown = self.faults.slowdown_at(slot);
-            if slowdown != 1.0 {
+            let shaping = self
+                .faults
+                .step_faults(slot, traffic.senders(), traffic.receivers());
+            if shaping.slowdown != 1.0 {
                 report.faults_injected += 1;
                 counters::incr(Counter::ExecFaultsInjected);
                 if let Some(m) = &self.metrics {
@@ -454,7 +505,7 @@ impl<T: Transport> Runtime<T> {
             }
 
             if !alive_ops.is_empty() {
-                let projected = self.transport.estimate(&alive_ops, slowdown);
+                let projected = self.transport.estimate_faulted(&alive_ops, &shaping);
                 if projected > self.config.step_timeout_seconds {
                     report.timeouts += 1;
                     if let Some(m) = &self.metrics {
@@ -529,7 +580,7 @@ impl<T: Transport> Runtime<T> {
             let seconds = if deliver_ops.is_empty() {
                 0.0
             } else {
-                self.transport.deliver(&deliver_ops, slowdown)
+                self.transport.deliver_faulted(&deliver_ops, &shaping)
             };
             let backoff_seconds = backoff_ticks as f64 / scale.ticks_per_second;
             report.total_seconds += beta_seconds + seconds + backoff_seconds;
@@ -605,6 +656,41 @@ pub fn plan_and_execute_observed<T: Transport>(
         rt = rt.with_metrics(m);
     }
     let report = rt.run(traffic, platform, beta_seconds, scale, &initial)?;
+    Ok((initial, report))
+}
+
+/// Plans `traffic` over a heterogeneous [`Topology`] (per-backbone `k`,
+/// composed schedule — see [`kpbs::plan_topology`]) and executes it under
+/// the fault plan. Residual replans after drops or retry exhaustion route
+/// through the same topology-aware planner, so replanned steps respect
+/// every backbone's own preemption bound too.
+pub fn plan_and_execute_topo<T: Transport>(
+    traffic: &TrafficMatrix,
+    topo: &Topology,
+    beta_seconds: f64,
+    scale: TickScale,
+    transport: T,
+    faults: FaultPlan,
+    config: ExecConfig,
+) -> Result<(PlanRecord, ExecReport), ExecError> {
+    if traffic.senders() != topo.senders() || traffic.receivers() != topo.receivers() {
+        return Err(ExecError::DimensionMismatch(format!(
+            "traffic {}×{} vs topology {}×{}",
+            traffic.senders(),
+            traffic.receivers(),
+            topo.senders(),
+            topo.receivers()
+        )));
+    }
+    let initial = replan::plan_topo(traffic, topo, beta_seconds, scale, config.algo)
+        .map_err(|e| ExecError::PlanningFailed(e.to_string()))?;
+    let algo = config.algo;
+    let mut rt = Runtime::new(transport, faults, config);
+    let replanner = move |residual: &TrafficMatrix| {
+        replan::plan_topo(residual, topo, beta_seconds, scale, algo)
+            .map_err(|e| ExecError::PlanningFailed(e.to_string()))
+    };
+    let report = rt.run_with(traffic, beta_seconds, scale, &initial, &replanner)?;
     Ok((initial, report))
 }
 
@@ -833,6 +919,122 @@ mod tests {
             .unwrap();
         // 50 + 100 ticks of capped exponential backoff for two retries.
         assert_eq!(backoff.args.get("ticks"), Some(150));
+    }
+
+    #[test]
+    fn nic_and_link_faults_stretch_but_deliver_exactly() {
+        let mut faults = FaultPlan::none();
+        faults.push_nic_slowdown(0, NodeRef::Sender(0), 4.0);
+        faults.push_link_degradation(1, 0, 2.0);
+        let (m, clean) = run_with(FaultPlan::none(), ExecConfig::default());
+        let (_, report) = run_with(faults, ExecConfig::default());
+        report.verify_against(&m).unwrap();
+        assert_eq!(report.delivered.total_bytes(), m.total_bytes());
+        assert_eq!(report.replans, 0, "shaping faults never force a replan");
+        assert_eq!(report.faults_injected, 2, "both events counted once");
+        assert!(
+            report.total_seconds > clean.total_seconds,
+            "a 4× slower sender NIC must stretch the run ({} vs {})",
+            report.total_seconds,
+            clean.total_seconds
+        );
+    }
+
+    #[test]
+    fn fault_event_order_is_slot_deterministic() {
+        // The same fault events pushed in opposite orders must produce
+        // byte- and time-identical executions (regression for the
+        // event-list-order sensitivity of composed same-slot faults).
+        let build = |reverse: bool| {
+            let mut p = FaultPlan::none();
+            let events: &mut dyn Iterator<Item = usize> = if reverse {
+                &mut (0..4usize).rev()
+            } else {
+                &mut (0..4usize)
+            };
+            for e in events {
+                match e {
+                    0 => p.push_drop(1, NodeRef::Receiver(2)),
+                    1 => p.push_slowdown(1, 2.0),
+                    2 => p.push_nic_slowdown(1, NodeRef::Sender(1), 3.0),
+                    _ => p.push_nic_slowdown(1, NodeRef::Sender(1), 1.5),
+                }
+            }
+            p
+        };
+        assert_eq!(build(false), build(true));
+        let (m, a) = run_with(build(false), ExecConfig::default());
+        let (_, b) = run_with(build(true), ExecConfig::default());
+        a.verify_against(&m).unwrap();
+        assert_eq!(a.steps.len(), b.steps.len());
+        for (sa, sb) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(sa.ops, sb.ops, "slot {} ops diverged", sa.slot);
+            assert_eq!(sa.seconds, sb.seconds, "slot {} timing", sa.slot);
+        }
+        assert_eq!(a.total_seconds, b.total_seconds);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.replans, b.replans);
+        assert_eq!(a.faults_injected, b.faults_injected);
+    }
+
+    #[test]
+    fn topo_plan_and_execute_two_backbones() {
+        let topo = kpbs::instances::two_backbone_topology(2, 100.0, 50.0, 200.0, 60.0);
+        let mut m = TrafficMatrix::zeros(4, 4);
+        m.set(0, 1, 9_000_000);
+        m.set(1, 0, 4_000_000);
+        m.set(2, 3, 6_000_000);
+        m.set(3, 2, 2_000_000);
+        let transport = crate::transport::SimTransport::for_topology(&topo).unwrap();
+        let (initial, report) = plan_and_execute_topo(
+            &m,
+            &topo,
+            0.05,
+            TickScale::MILLIS,
+            transport,
+            FaultPlan::none(),
+            ExecConfig::default(),
+        )
+        .unwrap();
+        report.verify_against(&m).unwrap();
+        initial.schedule.validate(&initial.instance).unwrap();
+        assert_eq!(report.delivered.total_bytes(), m.total_bytes());
+
+        // A drop on the slow side forces a topology-aware residual replan;
+        // surviving pairs (including fast-link ones) still complete.
+        let mut faults = FaultPlan::none();
+        faults.push_drop(1, NodeRef::Receiver(2));
+        let transport = crate::transport::SimTransport::for_topology(&topo).unwrap();
+        let (_, report) = plan_and_execute_topo(
+            &m,
+            &topo,
+            0.05,
+            TickScale::MILLIS,
+            transport,
+            faults,
+            ExecConfig::default(),
+        )
+        .unwrap();
+        report.verify_against(&m).unwrap();
+        assert!(report.replans >= 1);
+        assert_eq!(report.delivered.get(0, 1), m.get(0, 1));
+        for rec in &report.plans {
+            rec.schedule.validate(&rec.instance).unwrap();
+        }
+
+        // Dimension mismatch is caught before planning.
+        let transport = LoopbackTransport::new(3, 3, 1e6);
+        let err = plan_and_execute_topo(
+            &TrafficMatrix::zeros(3, 3),
+            &topo,
+            0.05,
+            TickScale::MILLIS,
+            transport,
+            FaultPlan::none(),
+            ExecConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::DimensionMismatch(_)), "{err}");
     }
 
     #[test]

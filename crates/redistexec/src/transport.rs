@@ -17,7 +17,56 @@
 //! `1/s` models a platform-wide slowdown of `s` exactly.
 
 use flowsim::{Engine, Flow, NetworkSpec, SimConfig};
-use kpbs::{Platform, TrafficMatrix};
+use kpbs::{Platform, Topology, TrafficMatrix};
+
+/// Fault shaping in force for one execution step.
+///
+/// The uniform `slowdown` is the legacy platform-wide factor; the optional
+/// per-node and per-link vectors carry heterogeneous faults from
+/// [`FaultPlan`](crate::FaultPlan): a factor of `f > 1.0` at index `i`
+/// means node (or link) `i` currently runs `f×` slower. Empty vectors mean
+/// "all 1.0", so [`StepFaults::uniform`] is exactly the legacy behaviour
+/// and transports take byte-identical code paths for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepFaults {
+    /// Platform-wide slowdown factor (≥ 1.0).
+    pub slowdown: f64,
+    /// Per-sender NIC slowdown factors; empty = all 1.0.
+    pub sender_factors: Vec<f64>,
+    /// Per-receiver NIC slowdown factors; empty = all 1.0.
+    pub receiver_factors: Vec<f64>,
+    /// Per-backbone-link degradation factors; empty = all 1.0. Indices
+    /// past the end of the vector are treated as 1.0.
+    pub link_factors: Vec<f64>,
+}
+
+impl StepFaults {
+    /// Uniform shaping: only the platform-wide `slowdown` applies.
+    pub fn uniform(slowdown: f64) -> Self {
+        StepFaults {
+            slowdown,
+            sender_factors: Vec::new(),
+            receiver_factors: Vec::new(),
+            link_factors: Vec::new(),
+        }
+    }
+
+    /// True when no per-node or per-link factor is in force, i.e. the
+    /// scalar `slowdown` fully describes this step's shaping.
+    pub fn is_uniform(&self) -> bool {
+        self.sender_factors.is_empty()
+            && self.receiver_factors.is_empty()
+            && self.link_factors.is_empty()
+    }
+
+    fn sender_factor(&self, i: usize) -> f64 {
+        self.sender_factors.get(i).copied().unwrap_or(1.0)
+    }
+
+    fn receiver_factor(&self, j: usize) -> f64 {
+        self.receiver_factors.get(j).copied().unwrap_or(1.0)
+    }
+}
 
 /// One byte-valued transfer of a step: `bytes` from sender `src` to
 /// receiver `dst`.
@@ -44,6 +93,20 @@ pub trait Transport {
 
     /// The bytes delivered so far, per `(sender, receiver)` pair.
     fn delivered(&self) -> &TrafficMatrix;
+
+    /// Like [`Transport::estimate`] but under full [`StepFaults`] shaping.
+    ///
+    /// The default implementation honours only `faults.slowdown` —
+    /// transports that can model per-node NIC or per-link degradation
+    /// faults must override this (and [`Transport::deliver_faulted`]).
+    fn estimate_faulted(&mut self, ops: &[TransferOp], faults: &StepFaults) -> f64 {
+        self.estimate(ops, faults.slowdown)
+    }
+
+    /// Like [`Transport::deliver`] but under full [`StepFaults`] shaping.
+    fn deliver_faulted(&mut self, ops: &[TransferOp], faults: &StepFaults) -> f64 {
+        self.deliver(ops, faults.slowdown)
+    }
 }
 
 /// In-memory transport with analytic 1-port timing: the ops of a step run
@@ -91,6 +154,32 @@ impl Transport for LoopbackTransport {
     fn delivered(&self) -> &TrafficMatrix {
         &self.ledger
     }
+
+    /// Per-node NIC faults stretch each op by the product of its sender's
+    /// and receiver's factors; the step still lasts as long as its slowest
+    /// op. Link factors are ignored — loopback has no backbone to degrade.
+    fn estimate_faulted(&mut self, ops: &[TransferOp], faults: &StepFaults) -> f64 {
+        if faults.is_uniform() {
+            return self.estimate(ops, faults.slowdown);
+        }
+        ops.iter()
+            .map(|op| {
+                op.bytes as f64 / self.rate_bytes_per_s
+                    * faults.slowdown
+                    * faults.sender_factor(op.src)
+                    * faults.receiver_factor(op.dst)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    fn deliver_faulted(&mut self, ops: &[TransferOp], faults: &StepFaults) -> f64 {
+        let seconds = self.estimate_faulted(ops, faults);
+        for op in ops {
+            let sofar = self.ledger.get(op.src, op.dst);
+            self.ledger.set(op.src, op.dst, sofar + op.bytes);
+        }
+        seconds
+    }
 }
 
 /// Transport backed by the [`flowsim`] fluid engine: each step becomes one
@@ -119,6 +208,44 @@ impl SimTransport {
     pub fn for_platform(p: &Platform) -> Self {
         SimTransport::new(NetworkSpec::from_platform(p), SimConfig::default())
     }
+
+    /// A simulated transport for a heterogeneous [`Topology`] with default
+    /// engine config. Fails when the topology does not validate.
+    pub fn for_topology(topo: &Topology) -> Result<Self, String> {
+        Ok(SimTransport::new(
+            NetworkSpec::from_topology(topo)?,
+            SimConfig::default(),
+        ))
+    }
+
+    /// The network spec under `faults`: every capacity scaled by
+    /// `1/slowdown`, then each faulted sender/receiver NIC and backbone
+    /// link divided by its factor. The uniform path takes the exact legacy
+    /// [`NetworkSpec::scaled`] route, so fault-free and slowdown-only runs
+    /// stay byte-identical to the scalar API.
+    fn faulted_spec(&self, faults: &StepFaults) -> NetworkSpec {
+        let mut spec = self.spec.scaled(1.0 / faults.slowdown);
+        if faults.is_uniform() {
+            return spec;
+        }
+        for (i, cap) in spec.nic_out.iter_mut().enumerate() {
+            *cap /= faults.sender_factor(i);
+        }
+        for (j, cap) in spec.nic_in.iter_mut().enumerate() {
+            *cap /= faults.receiver_factor(j);
+        }
+        for (l, &factor) in faults.link_factors.iter().enumerate() {
+            if factor != 1.0 && l < spec.num_links() {
+                let degraded = spec.link_profile(l).scaled(1.0 / factor);
+                if l == 0 {
+                    spec.backbone = degraded;
+                } else {
+                    spec.extra_links[l - 1] = degraded;
+                }
+            }
+        }
+        spec
+    }
 }
 
 impl Transport for SimTransport {
@@ -145,6 +272,27 @@ impl Transport for SimTransport {
 
     fn delivered(&self) -> &TrafficMatrix {
         &self.ledger
+    }
+
+    fn estimate_faulted(&mut self, ops: &[TransferOp], faults: &StepFaults) -> f64 {
+        if ops.is_empty() {
+            return 0.0;
+        }
+        let flows: Vec<Flow> = ops
+            .iter()
+            .map(|op| Flow::new(op.src, op.dst, op.bytes as f64))
+            .collect();
+        let spec = self.faulted_spec(faults);
+        Engine::new(spec, self.config.clone()).run(&flows).makespan
+    }
+
+    fn deliver_faulted(&mut self, ops: &[TransferOp], faults: &StepFaults) -> f64 {
+        let seconds = self.estimate_faulted(ops, faults);
+        for op in ops {
+            let sofar = self.ledger.get(op.src, op.dst);
+            self.ledger.set(op.src, op.dst, sofar + op.bytes);
+        }
+        seconds
     }
 }
 
@@ -213,6 +361,121 @@ mod tests {
         let b = loop_.deliver(&ops, 1.0);
         assert!((a - b).abs() < 1e-6, "sim {a} vs loopback {b}");
         assert_eq!(sim.delivered().get(0, 1), 25_000_000);
+    }
+
+    #[test]
+    fn loopback_nic_faults_stretch_only_the_faulted_op() {
+        // 12.5 MB/s; two 12.5 MB ops. Sender 0 runs 3× slower → its op
+        // takes 3 s while the other still takes 1 s; the step takes 3 s.
+        let mut t = LoopbackTransport::new(2, 2, 12.5e6);
+        let ops = [
+            TransferOp {
+                src: 0,
+                dst: 0,
+                bytes: 12_500_000,
+            },
+            TransferOp {
+                src: 1,
+                dst: 1,
+                bytes: 12_500_000,
+            },
+        ];
+        let faults = StepFaults {
+            slowdown: 1.0,
+            sender_factors: vec![3.0, 1.0],
+            receiver_factors: Vec::new(),
+            link_factors: vec![8.0], // no backbone on loopback: ignored
+        };
+        assert!((t.estimate_faulted(&ops, &faults) - 3.0).abs() < 1e-9);
+        let uniform = StepFaults::uniform(2.0);
+        assert!((t.estimate_faulted(&ops, &uniform) - 2.0).abs() < 1e-9);
+        let secs = t.deliver_faulted(&ops, &faults);
+        assert!((secs - 3.0).abs() < 1e-9);
+        assert_eq!(t.delivered().get(0, 0), 12_500_000);
+        assert_eq!(t.delivered().get(1, 1), 12_500_000);
+    }
+
+    #[test]
+    fn sim_faulted_uniform_path_matches_scalar_api() {
+        let p = Platform::new(3, 3, 100.0, 80.0, 250.0);
+        let mut sim = SimTransport::for_platform(&p);
+        let ops = [
+            TransferOp {
+                src: 0,
+                dst: 1,
+                bytes: 7_000_000,
+            },
+            TransferOp {
+                src: 2,
+                dst: 0,
+                bytes: 3_000_000,
+            },
+        ];
+        let scalar = sim.estimate(&ops, 2.5);
+        let faulted = sim.estimate_faulted(&ops, &StepFaults::uniform(2.5));
+        assert_eq!(scalar, faulted, "uniform shaping must be byte-identical");
+    }
+
+    #[test]
+    fn sim_nic_and_link_faults_shape_the_step() {
+        // 100 Mbit/s NICs, ample backbone: a 12.5 MB op takes 1 s clean.
+        let p = Platform::new(2, 2, 100.0, 100.0, 1000.0);
+        let mut sim = SimTransport::for_platform(&p);
+        let ops = [TransferOp {
+            src: 0,
+            dst: 1,
+            bytes: 12_500_000,
+        }];
+        let clean = sim.estimate_faulted(&ops, &StepFaults::uniform(1.0));
+        assert!((clean - 1.0).abs() < 1e-6);
+
+        // Receiver 1's NIC at 4× slower → 4 s.
+        let nic = StepFaults {
+            slowdown: 1.0,
+            sender_factors: Vec::new(),
+            receiver_factors: vec![1.0, 4.0],
+            link_factors: Vec::new(),
+        };
+        let slowed = sim.estimate_faulted(&ops, &nic);
+        assert!((slowed - 4.0).abs() < 1e-6, "got {slowed}");
+
+        // Backbone degraded 20× (1000 → 50 Mbit/s) → 2 s.
+        let link = StepFaults {
+            slowdown: 1.0,
+            sender_factors: Vec::new(),
+            receiver_factors: Vec::new(),
+            link_factors: vec![20.0],
+        };
+        let degraded = sim.estimate_faulted(&ops, &link);
+        assert!((degraded - 2.0).abs() < 1e-6, "got {degraded}");
+    }
+
+    #[test]
+    fn sim_for_topology_routes_links_independently() {
+        // Two disjoint cluster pairs with their own backbones: a flow on
+        // the slow link does not contend with one on the fast link.
+        let topo = kpbs::instances::two_backbone_topology(1, 100.0, 100.0, 1000.0, 50.0);
+        let mut sim = SimTransport::for_topology(&topo).expect("valid topology");
+        let ops = [
+            TransferOp {
+                src: 0,
+                dst: 0,
+                bytes: 12_500_000,
+            },
+            TransferOp {
+                src: 1,
+                dst: 1,
+                bytes: 12_500_000,
+            },
+        ];
+        // Fast-link op: NIC-bound at 100 Mbit/s → 1 s. Slow-link op:
+        // link-bound at 50 Mbit/s → 2 s. Makespan 2 s, not the ~3 s a
+        // shared 50 Mbit/s pipe would give.
+        let secs = sim.deliver_faulted(&ops, &StepFaults::uniform(1.0));
+        assert!((secs - 2.0).abs() < 1e-6, "got {secs}");
+
+        let bad = Topology::two_cluster(2, 2, 0.0, 100.0, 100.0);
+        assert!(SimTransport::for_topology(&bad).is_err());
     }
 
     #[test]

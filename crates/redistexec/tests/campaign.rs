@@ -34,15 +34,25 @@ fn workload_strategy() -> impl Strategy<Value = (TrafficMatrix, Platform, f64)> 
 }
 
 fn fault_spec_strategy() -> impl Strategy<Value = FaultSpec> {
-    (0usize..=8, 1u32..=6, 0usize..=2, 0usize..=3, 4u64..=24).prop_map(
-        |(transients, max_consecutive, node_drops, slowdowns, horizon)| FaultSpec {
-            transients,
-            max_consecutive,
-            node_drops,
-            slowdowns,
-            horizon,
-        },
+    (
+        (0usize..=8, 1u32..=6, 0usize..=2, 0usize..=3, 4u64..=24),
+        (0usize..=4, 0usize..=3),
     )
+        .prop_map(
+            |(
+                (transients, max_consecutive, node_drops, slowdowns, horizon),
+                (nic_slowdowns, link_degradations),
+            )| FaultSpec {
+                transients,
+                max_consecutive,
+                node_drops,
+                slowdowns,
+                horizon,
+                nic_slowdowns,
+                link_degradations,
+                links: 1,
+            },
+        )
 }
 
 proptest! {

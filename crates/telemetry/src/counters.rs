@@ -100,10 +100,19 @@ pub enum Counter {
     /// Delta-planning sessions opened (one per `DeltaPlanner` built from a
     /// cold plan, locally or via a `redistd` OPEN frame).
     DeltaSessionsOpened,
+    /// Per-bottleneck preemption bounds derived from a topology (one per
+    /// backbone link each time a topology's `k_b` values are computed).
+    TopoDeriveK,
+    /// Traffic-matrix messages routed to their governing backbone by the
+    /// topology planning adapter (one per non-zero cell).
+    TopoRouteMessages,
+    /// Steps emitted by the topology adapter's per-backbone schedule
+    /// composition.
+    TopoComposeSteps,
 }
 
 /// Number of distinct counters.
-pub const COUNTER_COUNT: usize = 27;
+pub const COUNTER_COUNT: usize = 30;
 
 impl Counter {
     /// Every counter, in declaration (and export) order.
@@ -135,6 +144,9 @@ impl Counter {
         Counter::DeltaRePeels,
         Counter::DeltaColdFallbacks,
         Counter::DeltaSessionsOpened,
+        Counter::TopoDeriveK,
+        Counter::TopoRouteMessages,
+        Counter::TopoComposeSteps,
     ];
 
     /// Stable snake_case key used in JSON exports and summary tables.
@@ -167,6 +179,9 @@ impl Counter {
             Counter::DeltaRePeels => "delta_repeels",
             Counter::DeltaColdFallbacks => "delta_cold_fallbacks",
             Counter::DeltaSessionsOpened => "delta_sessions_opened",
+            Counter::TopoDeriveK => "topo_derive_k",
+            Counter::TopoRouteMessages => "topo_route",
+            Counter::TopoComposeSteps => "topo_compose",
         }
     }
 }

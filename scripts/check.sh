@@ -98,4 +98,11 @@ banner "execution-runtime fault campaign (redistexec -> BENCH_exec.json)"
 cargo run --release -p redistexec --bin redistexec -- \
   --bench --seeds 40 --out BENCH_exec.json
 
+banner "heterogeneous-topology smoke (hetero_bench --smoke)"
+# Plans and executes the {homogeneous, star, two-backbone} x {fault-free,
+# faulty} slice under per-bottleneck k derivation; fails on any validation
+# error, delivery violation, or a cost beating the heterogeneity-aware
+# lower bound. The homogeneous arm is byte-compared to the Platform oracle.
+cargo run --release -p bench --bin hetero_bench -- --smoke > /dev/null
+
 printf '\nAll checks passed.\n'

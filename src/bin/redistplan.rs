@@ -25,7 +25,8 @@
 
 use redistribute::cli::{opt_flag, opt_value, opt_values, parse_matrix_csv};
 use redistribute::kpbs::batch::parallel_map;
-use redistribute::kpbs::{Platform, TrafficMatrix};
+use redistribute::kpbs::traffic::TickScale;
+use redistribute::kpbs::{plan_topology, Platform, TopoAlgo, Topology, TrafficMatrix};
 use redistribute::telemetry::{counters, export, spans};
 use redistribute::{Algorithm, Plan, Planner};
 
@@ -58,6 +59,13 @@ fn main() {
              invocation. Pass '-' as the path to read one matrix from stdin\n\
              (usable once per invocation, combinable with file paths).\n\
              \n\
+             --topo <path>   plan over a heterogeneous topology instead of the\n\
+             \x20               uniform --t1/--t2/--backbone platform. The file\n\
+             \x20               holds 'node OUT IN CLUSTER [COUNT]' and\n\
+             \x20               'link CAP SRC DST' lines ('#' comments allowed);\n\
+             \x20               each traffic block is planned under its own\n\
+             \x20               backbone's preemption bound k_b and the per-link\n\
+             \x20               schedules are composed (--algo oggp|ggp|hier)\n\
              --blocks B      block count for --algo hier (default: auto, ~sqrt(n);\n\
              \x20               1 reproduces flat oggp)\n\
              --jobs N        plan batches and --compare sweeps on N threads;\n\
@@ -139,6 +147,72 @@ fn main() {
     }
     if want_counters {
         counters::enable();
+    }
+
+    if let Some(path) = opt_value(&args, "topo") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        let topo = Topology::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        let topo_algo = match algo {
+            Algorithm::Oggp => TopoAlgo::Oggp,
+            Algorithm::Ggp => TopoAlgo::Ggp,
+            Algorithm::Hier => {
+                let b = if blocks > 0 {
+                    blocks
+                } else {
+                    redistribute::kpbs::hier::default_blocks(topo.senders().min(topo.receivers()))
+                };
+                TopoAlgo::Hier(redistribute::kpbs::hier::HierConfig::new(b))
+            }
+            other => die(&format!("--topo supports oggp|ggp|hier, not {other:?}")),
+        };
+        for (i, traffic) in traffics.iter().enumerate() {
+            if traffics.len() > 1 {
+                let path = matrix_paths.get(i).copied().unwrap_or("<demo>");
+                println!("[{}/{}] {path}", i + 1, traffics.len());
+            }
+            let plan = plan_topology(traffic, &topo, beta, TickScale::MILLIS, topo_algo)
+                .unwrap_or_else(|e| die(&format!("topology planning failed: {e}")));
+            println!(
+                "topology: {} senders, {} receivers, {} backbones; traffic: {} messages, {:.1} MB",
+                topo.senders(),
+                topo.receivers(),
+                topo.links.len(),
+                traffic.message_count(),
+                traffic.total_bytes() as f64 / 1e6
+            );
+            for lp in &plan.link_plans {
+                let link = &topo.links[lp.link];
+                println!(
+                    "  link {} ({} -> {}, {:.1} Mbit/s): k_b = {}, {} messages, cost {:.2} s (bound {:.2} s)",
+                    lp.link,
+                    link.connects.0,
+                    link.connects.1,
+                    link.capacity,
+                    lp.k,
+                    lp.messages,
+                    lp.cost as f64 / TickScale::MILLIS.ticks_per_second,
+                    lp.lower_bound as f64 / TickScale::MILLIS.ticks_per_second
+                );
+            }
+            let secs = TickScale::MILLIS.ticks_per_second;
+            println!(
+                "{algo:?}: {} composed steps, cost {:.2} s, lower bound {:.2} s, ratio {:.4}",
+                plan.schedule.num_steps(),
+                plan.schedule.cost() as f64 / secs,
+                plan.lower_bound as f64 / secs,
+                plan.evaluation_ratio()
+            );
+            if opt_flag(&args, "gantt") {
+                println!("\n{}", plan.schedule.gantt(72));
+            }
+        }
+        if want_counters {
+            counters::disable();
+            println!("\nwork counters:");
+            print!("{}", export::counter_summary(&counters::global_snapshot()));
+        }
+        return;
     }
 
     // Matrices in a batch may differ in shape, so each gets its own platform.

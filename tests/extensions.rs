@@ -132,6 +132,8 @@ fn adaptive_plan_agrees_with_flowsim_adaptive_executor() {
         nic_out: vec![25.0; 4],
         nic_in: vec![25.0; 4],
         backbone: CapacityProfile::Piecewise(vec![(0.0, 100.0), (3.0, 50.0)]),
+        extra_links: Vec::new(),
+        route: Vec::new(),
     };
     let r = adaptive_scheduled_time(&traffic, &spec, 25.0, 0.01, &SimConfig::default());
     let vol = traffic.total_bytes() as f64;
